@@ -1,0 +1,111 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! decision-tree vs linear predicate matching, scripting-context reuse vs
+//! fresh contexts, and cooperative (overlay) caching vs local-only caching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nakika_core::node::{NaKikaNode, NodeConfig, OriginFetch};
+use nakika_core::pipeline::CompiledStage;
+use nakika_core::policy::{LinearMatcher, Matcher};
+use nakika_core::scripts;
+use nakika_core::vocab::VocabHooks;
+use nakika_http::Request;
+use nakika_overlay::{key_for, Location, Overlay};
+use nakika_script::{stdlib, Context, ContextPool};
+use nakika_sim::workload::ScriptedOrigin;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_matcher_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_matcher");
+    group.measurement_time(Duration::from_millis(800)).sample_size(30);
+    for n in [10usize, 100, 500] {
+        let stage = CompiledStage::compile(
+            "bench.js",
+            &scripts::pred_n_stage(n),
+            &VocabHooks::default(),
+        )
+        .unwrap();
+        let linear = LinearMatcher::build(&stage.policies);
+        let tree = stage.policies.compile();
+        let request = Request::get("http://www.google.com/");
+        group.bench_with_input(BenchmarkId::new("decision_tree", n), &tree, |b, m| {
+            b.iter(|| m.find_closest_match(&request))
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &linear, |b, m| {
+            b.iter(|| m.find_closest_match(&request))
+        });
+    }
+    group.finish();
+}
+
+fn bench_context_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_context");
+    group.measurement_time(Duration::from_millis(800)).sample_size(30);
+    group.bench_function("fresh_context_per_handler", |b| {
+        b.iter(|| {
+            let ctx = Context::new();
+            stdlib::install(&ctx);
+            ctx
+        })
+    });
+    let pool = ContextPool::new(8);
+    group.bench_function("pooled_context_per_handler", |b| {
+        b.iter(|| {
+            let ctx = pool.acquire();
+            pool.release(ctx);
+        })
+    });
+    group.finish();
+}
+
+fn bench_cooperative_caching_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_coop_cache");
+    group.measurement_time(Duration::from_millis(800)).sample_size(20);
+
+    // A flash crowd for one URL spread over 4 proxies: with the overlay, one
+    // origin fetch seeds every node; without it, each node goes to the origin.
+    for coop in [false, true] {
+        let label = if coop { "overlay" } else { "local_only" };
+        group.bench_function(BenchmarkId::new("flash_crowd", label), |b| {
+            b.iter(|| {
+                let overlay = Arc::new(Overlay::with_defaults());
+                let origin = ScriptedOrigin::micro_benchmark();
+                let origin: Arc<dyn OriginFetch> = Arc::new(origin);
+                let nodes: Vec<NaKikaNode> = (0..4)
+                    .map(|i| {
+                        let mut node = NaKikaNode::new(if coop {
+                            NodeConfig::proxy_with_dht(&format!("n{i}"))
+                        } else {
+                            NodeConfig::plain_proxy(&format!("n{i}"))
+                        });
+                        if coop {
+                            let id = key_for(&format!("n{i}"));
+                            overlay.join(id, Location::new(i as f64, 0.0));
+                            node.attach_overlay(overlay.clone(), id);
+                        }
+                        node
+                    })
+                    .collect();
+                for round in 0..4u64 {
+                    for node in &nodes {
+                        node.handle_request(
+                            Request::get("http://hot.example.org/page"),
+                            10 + round,
+                            &origin,
+                        );
+                    }
+                }
+                nodes.iter().map(|n| n.stats().origin_fetches).sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matcher_ablation,
+    bench_context_ablation,
+    bench_cooperative_caching_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Component micro-benchmarks backing the cost breakdown of §5.1 and the
+//! Table-2 configurations: script parsing and execution, scripting-context
+//! creation vs reuse, decision-tree construction vs cached retrieval,
+//! predicate evaluation, proxy-cache hits, and whole-request handling per
+//! node configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nakika_core::node::{NaKikaNode, NodeConfig, OriginFetch};
+use nakika_core::pipeline::{CompiledStage, StageCache, StageLookup};
+use nakika_core::scripts;
+use nakika_core::vocab::VocabHooks;
+use nakika_core::ProxyCache;
+use nakika_http::{Method, Request, Response};
+use nakika_script::{parse_program, stdlib, Context, ContextPool, Interpreter};
+use nakika_sim::workload::ScriptedOrigin;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_script_engine(c: &mut Criterion) {
+    let mut group = quick(c).benchmark_group("script_engine");
+    group.measurement_time(Duration::from_millis(800)).sample_size(30);
+
+    let source = scripts::IMAGE_TRANSCODER;
+    group.bench_function("parse_transcoder_script", |b| {
+        b.iter(|| parse_program(source).unwrap())
+    });
+
+    let program = parse_program("var s = 0; for (var i = 0; i < 100; i++) { s += i; } s").unwrap();
+    group.bench_function("execute_small_loop", |b| {
+        b.iter(|| {
+            let ctx = Context::new();
+            stdlib::install(&ctx);
+            Interpreter::new(&ctx).run(&program).unwrap()
+        })
+    });
+
+    // Paper: context creation ~1.5 ms vs reuse ~3 µs.
+    group.bench_function("context_create", |b| {
+        b.iter(|| {
+            let ctx = Context::new();
+            stdlib::install(&ctx);
+            ctx
+        })
+    });
+    let pool = ContextPool::new(4);
+    pool.release(Context::new());
+    group.bench_function("context_reuse", |b| {
+        b.iter(|| {
+            let ctx = pool.acquire();
+            pool.release(ctx);
+        })
+    });
+    group.finish();
+}
+
+fn bench_policy_matching(c: &mut Criterion) {
+    let mut group = quick(c).benchmark_group("policy_matching");
+    group.measurement_time(Duration::from_millis(800)).sample_size(30);
+
+    for n in [1usize, 10, 100] {
+        let source = scripts::pred_n_stage(n);
+        group.bench_with_input(BenchmarkId::new("compile_stage", n), &source, |b, src| {
+            b.iter(|| CompiledStage::compile("bench.js", src, &VocabHooks::default()).unwrap())
+        });
+        let stage = CompiledStage::compile("bench.js", &source, &VocabHooks::default()).unwrap();
+        let request = Request::get("http://www.google.com/");
+        // Paper: predicate evaluation < 38 µs for all configurations.
+        group.bench_with_input(BenchmarkId::new("predicate_eval", n), &stage, |b, stage| {
+            b.iter(|| stage.find_closest_match(&request))
+        });
+    }
+
+    // Paper: retrieving a decision tree from the in-memory cache takes ~4 µs.
+    let cache = StageCache::new();
+    let stage = CompiledStage::compile(
+        "cached.js",
+        &scripts::match_1_stage("www.google.com"),
+        &VocabHooks::default(),
+    )
+    .unwrap();
+    cache.put("cached.js", Arc::new(stage), u64::MAX);
+    group.bench_function("stage_cache_hit", |b| {
+        b.iter(|| match cache.get("cached.js", 1) {
+            StageLookup::Hit(s) => s,
+            _ => unreachable!(),
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache_and_requests(c: &mut Criterion) {
+    let mut group = quick(c).benchmark_group("node_request");
+    group.measurement_time(Duration::from_millis(800)).sample_size(30);
+
+    // Paper: retrieving a resource from Apache's cache takes ~1.1 ms.
+    let cache = ProxyCache::with_defaults();
+    let response = Response::ok("text/html", vec![b'x'; 2096]).with_header("Cache-Control", "max-age=600");
+    cache.put("http://www.google.com/", &Method::Get, &response, 0);
+    group.bench_function("proxy_cache_hit", |b| {
+        b.iter(|| cache.get("http://www.google.com/", 1).unwrap())
+    });
+
+    // Whole-request handling per Table-1 configuration (warm cache).
+    let configurations: Vec<(&str, NodeConfig, Option<String>)> = vec![
+        ("proxy", NodeConfig::plain_proxy("bench"), None),
+        ("admin", NodeConfig::scripted("bench"), None),
+        (
+            "match1",
+            NodeConfig::scripted("bench"),
+            Some(scripts::match_1_stage("www.google.com")),
+        ),
+        (
+            "pred100",
+            NodeConfig::scripted("bench"),
+            Some(scripts::pred_n_stage(100)),
+        ),
+    ];
+    for (name, mut config, site_script) in configurations {
+        config.resource.enabled = false;
+        let origin = ScriptedOrigin::micro_benchmark().with_empty_walls();
+        if let Some(script) = &site_script {
+            origin.route_script("/nakika.js", script);
+        }
+        let origin: Arc<dyn OriginFetch> = Arc::new(origin);
+        let node = NaKikaNode::new(config);
+        node.handle_request(Request::get("http://www.google.com/"), 1, &origin);
+        group.bench_function(BenchmarkId::new("warm_request", name), |b| {
+            b.iter(|| node.handle_request(Request::get("http://www.google.com/"), 5, &origin))
+        });
+    }
+    group.finish();
+}
+
+fn bench_integrity(c: &mut Criterion) {
+    let mut group = quick(c).benchmark_group("integrity");
+    group.measurement_time(Duration::from_millis(800)).sample_size(30);
+    let body = vec![0xABu8; 64 * 1024];
+    group.bench_function("sha256_64k", |b| {
+        b.iter(|| nakika_integrity::sha256(&body))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_script_engine,
+    bench_policy_matching,
+    bench_cache_and_requests,
+    bench_integrity
+);
+criterion_main!(benches);

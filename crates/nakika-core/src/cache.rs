@@ -1,0 +1,282 @@
+//! The proxy cache: expiration-based caching of original and processed
+//! content (paper §3.1, §4).
+//!
+//! Na Kika deliberately builds on the web's expiration-based consistency
+//! model for everything it caches — static resources, dynamically created
+//! content, and the scripts themselves (which is also how security-policy
+//! updates propagate: publish the new script and let cached copies expire).
+//! The cache is shared by all sites on a node and bounded in bytes, evicting
+//! the entries that expire soonest first and then the least recently used.
+
+use nakika_http::cache_control::{freshness, Freshness};
+use nakika_http::{Method, Response};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Cache statistics used throughout the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a fresh entry.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Entry {
+    response: Response,
+    fresh_until: u64,
+    last_used: u64,
+    size: usize,
+}
+
+/// A bounded, expiration-based response cache.
+pub struct ProxyCache {
+    entries: Mutex<HashMap<String, Entry>>,
+    stats: Mutex<CacheStats>,
+    capacity_bytes: usize,
+    used_bytes: Mutex<usize>,
+    /// Heuristic freshness applied when the origin gives no expiration
+    /// information (the deployment knob; the evaluation's cold/warm contrast
+    /// only needs *some* positive lifetime).
+    heuristic: Duration,
+}
+
+impl ProxyCache {
+    /// Creates a cache bounded to `capacity_bytes`, with the given heuristic
+    /// freshness lifetime for responses lacking explicit expiration metadata.
+    pub fn new(capacity_bytes: usize, heuristic: Duration) -> ProxyCache {
+        ProxyCache {
+            entries: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CacheStats::default()),
+            capacity_bytes,
+            used_bytes: Mutex::new(0),
+            heuristic,
+        }
+    }
+
+    /// A cache with defaults suitable for tests and examples: 256 MiB and a
+    /// 60-second heuristic lifetime.
+    pub fn with_defaults() -> ProxyCache {
+        ProxyCache::new(256 * 1024 * 1024, Duration::from_secs(60))
+    }
+
+    /// Looks up a fresh response for `key` at time `now_secs`.
+    pub fn get(&self, key: &str, now_secs: u64) -> Option<Response> {
+        let mut entries = self.entries.lock();
+        let result = match entries.get_mut(key) {
+            Some(entry) if entry.fresh_until > now_secs => {
+                entry.last_used = now_secs;
+                Some(entry.response.clone())
+            }
+            _ => None,
+        };
+        drop(entries);
+        let mut stats = self.stats.lock();
+        if result.is_some() {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+        result
+    }
+
+    /// Stores a response under `key` if HTTP's caching rules allow a shared
+    /// cache to do so.  Returns true when the entry was stored.
+    pub fn put(&self, key: &str, method: &Method, response: &Response, now_secs: u64) -> bool {
+        let lifetime = match freshness(method, response, self.heuristic) {
+            Freshness::Fresh(lifetime) => lifetime,
+            Freshness::Revalidate | Freshness::Uncacheable => return false,
+        };
+        let size = response.body.len() + 512;
+        if size > self.capacity_bytes {
+            return false;
+        }
+        let entry = Entry {
+            response: response.clone(),
+            fresh_until: now_secs + lifetime.as_secs().max(1),
+            last_used: now_secs,
+            size,
+        };
+        let mut entries = self.entries.lock();
+        let mut used = self.used_bytes.lock();
+        if let Some(old) = entries.insert(key.to_string(), entry) {
+            *used -= old.size;
+        }
+        *used += size;
+        // Evict while over budget: expired first, then soonest-to-expire /
+        // least recently used.
+        let mut evictions = 0u64;
+        while *used > self.capacity_bytes {
+            let victim = entries
+                .iter()
+                .filter(|(k, _)| k.as_str() != key)
+                .min_by_key(|(_, e)| (e.fresh_until, e.last_used))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    if let Some(e) = entries.remove(&k) {
+                        *used -= e.size;
+                        evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        drop(entries);
+        drop(used);
+        let mut stats = self.stats.lock();
+        stats.inserts += 1;
+        stats.evictions += evictions;
+        true
+    }
+
+    /// Removes an entry (used when integrity verification rejects cached
+    /// content).
+    pub fn invalidate(&self, key: &str) -> bool {
+        let mut entries = self.entries.lock();
+        if let Some(e) = entries.remove(key) {
+            *self.used_bytes.lock() -= e.size;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+        *self.used_bytes.lock() = 0;
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently accounted to cached entries.
+    pub fn used_bytes(&self) -> usize {
+        *self.used_bytes.lock()
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nakika_http::{Response, StatusCode};
+
+    fn cacheable(body: &str, max_age: u64) -> Response {
+        Response::ok("text/html", body)
+            .with_header("Cache-Control", &format!("max-age={max_age}"))
+    }
+
+    #[test]
+    fn hit_after_put_miss_after_expiry() {
+        let cache = ProxyCache::with_defaults();
+        let resp = cacheable("home page", 300);
+        assert!(cache.put("http://g.com/", &Method::Get, &resp, 100));
+        assert!(cache.get("http://g.com/", 150).is_some());
+        assert!(cache.get("http://g.com/", 500).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncacheable_responses_are_not_stored() {
+        let cache = ProxyCache::with_defaults();
+        let private = Response::ok("text/html", "x").with_header("Cache-Control", "private");
+        assert!(!cache.put("http://a.com/", &Method::Get, &private, 0));
+        let post_target = cacheable("y", 100);
+        assert!(!cache.put("http://a.com/post", &Method::Post, &post_target, 0));
+        let error = Response::error(StatusCode::SERVICE_UNAVAILABLE);
+        assert!(!cache.put("http://a.com/busy", &Method::Get, &error, 0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn heuristic_lifetime_applies_without_explicit_expiry() {
+        let cache = ProxyCache::new(1 << 20, Duration::from_secs(60));
+        let resp = Response::ok("text/html", "implicit");
+        assert!(cache.put("http://a.com/", &Method::Get, &resp, 0));
+        assert!(cache.get("http://a.com/", 30).is_some());
+        assert!(cache.get("http://a.com/", 61).is_none());
+        // With a zero heuristic nothing is stored.
+        let strict = ProxyCache::new(1 << 20, Duration::ZERO);
+        assert!(!strict.put("http://a.com/", &Method::Get, &resp, 0));
+    }
+
+    #[test]
+    fn eviction_keeps_usage_within_capacity() {
+        let cache = ProxyCache::new(4096, Duration::from_secs(60));
+        for i in 0..10 {
+            let resp = cacheable(&"x".repeat(700), 1000);
+            cache.put(&format!("http://a.com/{i}"), &Method::Get, &resp, i);
+        }
+        assert!(cache.used_bytes() <= 4096);
+        assert!(cache.len() < 10);
+        assert!(cache.stats().evictions > 0);
+        // The most recently inserted entry survives.
+        assert!(cache.get("http://a.com/9", 10).is_some());
+    }
+
+    #[test]
+    fn oversized_objects_are_refused() {
+        let cache = ProxyCache::new(1024, Duration::from_secs(60));
+        let big = cacheable(&"x".repeat(10_000), 1000);
+        assert!(!cache.put("http://a.com/big", &Method::Get, &big, 0));
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn replacing_an_entry_updates_accounting() {
+        let cache = ProxyCache::new(1 << 20, Duration::from_secs(60));
+        let small = cacheable("small", 100);
+        let large = cacheable(&"L".repeat(1000), 100);
+        cache.put("http://a.com/", &Method::Get, &large, 0);
+        let used_large = cache.used_bytes();
+        cache.put("http://a.com/", &Method::Get, &small, 1);
+        assert!(cache.used_bytes() < used_large);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let cache = ProxyCache::with_defaults();
+        cache.put("http://a.com/", &Method::Get, &cacheable("x", 100), 0);
+        assert!(cache.invalidate("http://a.com/"));
+        assert!(!cache.invalidate("http://a.com/"));
+        cache.put("http://a.com/", &Method::Get, &cacheable("x", 100), 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+    }
+}

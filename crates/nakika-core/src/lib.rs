@@ -1,0 +1,50 @@
+//! The Na Kika edge-side computing network (Grimm et al., NSDI 2006).
+//!
+//! This crate is the paper's primary contribution rebuilt in Rust:
+//!
+//! * **Policy objects and predicate selection** ([`policy`]) — services and
+//!   security policies are pairs of `onRequest` / `onResponse` event handlers
+//!   attached to predicates over HTTP messages; for each pipeline stage the
+//!   closest-matching pair is selected, with precedence URL > client address
+//!   > method > headers, via a decision-tree matcher.
+//! * **The scripting pipeline** ([`pipeline`]) — the `EXECUTE-PIPELINE`
+//!   algorithm of Figure 4: client-side administrative control, site-specific
+//!   processing, server-side administrative control, plus dynamically
+//!   scheduled stages, with any `onRequest` handler able to short-circuit the
+//!   pipeline by producing a response.
+//! * **Vocabularies** ([`vocab`]) — the native-code libraries exposed to
+//!   scripts as global objects: `Request`, `Response`, `System`, `Cache`,
+//!   `Fetch`, `ImageTransformer`, `Xml`, `HardState`, `Log`, `Policy`.
+//! * **Congestion-based resource control** ([`resource`]) — the `CONTROL`
+//!   algorithm of Figure 6: track per-site consumption, throttle
+//!   proportionally under congestion, terminate the largest contributor if
+//!   congestion persists.
+//! * **The proxy cache** ([`cache`]) — expiration-based caching of original
+//!   and processed content, compiled-stage (decision-tree) caching, negative
+//!   caching of absent `nakika.js` scripts, and cooperative lookups through
+//!   the structured overlay.
+//! * **Na Kika Pages** ([`pages`]) — the `<?nkp ... ?>` markup model layered
+//!   on the event model.
+//! * **The node façade** ([`node`]) — [`node::NaKikaNode`] wires the pieces
+//!   into a single proxy that mediates one HTTP exchange at a time, in any of
+//!   the configurations the paper's evaluation exercises (plain proxy, proxy
+//!   + DHT, administrative control only, predicate benchmarks, full node).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod node;
+pub mod pages;
+pub mod pipeline;
+pub mod policy;
+pub mod resource;
+pub mod scripts;
+pub mod vocab;
+
+pub use cache::{CacheStats, ProxyCache};
+pub use node::{NaKikaNode, NodeConfig, NodeMode, OriginFetch};
+pub use pipeline::{PipelineOutcome, PipelineRunner};
+pub use policy::{Matcher, Policy, PolicySet};
+pub use resource::{ResourceKind, ResourceManager, ResourceManagerConfig, SiteUsage};
+pub use vocab::Exchange;

@@ -1,0 +1,815 @@
+//! The Na Kika node: one edge-side proxy wiring together the cache, the
+//! scripting pipeline, congestion-based resource control, hard state, access
+//! logging and the cooperative-caching overlay.
+//!
+//! A node mediates one HTTP exchange per call to [`NaKikaNode::handle_request`];
+//! transport (sockets or the simulator) lives outside this crate and supplies
+//! an [`OriginFetch`] implementation plus the current time, so the same node
+//! code runs unchanged under the discrete-event simulator, the real TCP
+//! server, unit tests and the benchmarks.
+
+use crate::cache::{CacheStats, ProxyCache};
+use crate::pipeline::{
+    CompiledStage, PipelineOutcome, PipelineRunner, StageCache, StageLoader, StageLookup,
+    CLIENT_WALL_URL, SERVER_WALL_URL,
+};
+use crate::resource::{Admission, ResourceKind, ResourceManager, ResourceManagerConfig};
+use crate::vocab::VocabHooks;
+use crate::pages;
+use nakika_http::cache_control::{freshness, Freshness};
+use nakika_http::pattern::Cidr;
+use nakika_http::{Method, Request, Response, StatusCode};
+use nakika_overlay::{NodeId, Overlay};
+use nakika_script::ResourceMeter;
+use nakika_state::{AccessLog, LogEntry, SiteStore};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a node obtains resources it does not have cached.
+pub trait OriginFetch: Send + Sync {
+    /// Fetches a resource from its origin server.
+    fn fetch_origin(&self, request: &Request) -> Response;
+
+    /// Fetches a resource from a peer Na Kika node that announced a cached
+    /// copy (`peer` is the payload that peer stored in the overlay).  The
+    /// default falls back to the origin.
+    fn fetch_peer(&self, peer: &str, request: &Request) -> Response {
+        let _ = peer;
+        self.fetch_origin(request)
+    }
+}
+
+/// Node operating modes, matching the evaluation's configurations (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeMode {
+    /// A regular caching proxy: no overlay, no scripting (`Proxy`).
+    PlainProxy,
+    /// The proxy with an integrated DHT for cooperative caching (`DHT`).
+    ProxyWithDht,
+    /// The full Na Kika node: scripting pipeline, resource controls, and
+    /// (when an overlay is attached) cooperative caching.
+    Scripted,
+}
+
+/// Node configuration.
+#[derive(Clone)]
+pub struct NodeConfig {
+    /// Node name (also the payload announced to the overlay).
+    pub name: String,
+    /// Operating mode.
+    pub mode: NodeMode,
+    /// URL of the client-side administrative control script.
+    pub client_wall_url: String,
+    /// URL of the server-side administrative control script.
+    pub server_wall_url: String,
+    /// Proxy-cache capacity in bytes.
+    pub cache_capacity_bytes: usize,
+    /// Heuristic freshness for responses without explicit expiration.
+    pub heuristic_ttl: Duration,
+    /// Freshness applied to compiled stages whose script response carries no
+    /// explicit expiration, and to negative `nakika.js` entries.
+    pub script_ttl: Duration,
+    /// Address blocks considered local to the hosting organisation.
+    pub local_networks: Vec<Cidr>,
+    /// Resource-manager configuration.
+    pub resource: ResourceManagerConfig,
+    /// Seconds between executions of the congestion-control procedure.
+    pub control_period_secs: u64,
+    /// Per-site hard-state quota in bytes.
+    pub hard_state_quota: usize,
+}
+
+impl NodeConfig {
+    /// A full scripted node named `name` with default knobs.
+    pub fn scripted(name: &str) -> NodeConfig {
+        NodeConfig {
+            name: name.to_string(),
+            mode: NodeMode::Scripted,
+            client_wall_url: CLIENT_WALL_URL.to_string(),
+            server_wall_url: SERVER_WALL_URL.to_string(),
+            cache_capacity_bytes: 256 * 1024 * 1024,
+            heuristic_ttl: Duration::from_secs(60),
+            script_ttl: Duration::from_secs(300),
+            local_networks: Vec::new(),
+            resource: ResourceManagerConfig::default(),
+            control_period_secs: 5,
+            hard_state_quota: 16 * 1024 * 1024,
+        }
+    }
+
+    /// A plain Apache-style caching proxy (the `Proxy` baseline).
+    pub fn plain_proxy(name: &str) -> NodeConfig {
+        NodeConfig {
+            mode: NodeMode::PlainProxy,
+            resource: ResourceManagerConfig {
+                enabled: false,
+                ..ResourceManagerConfig::default()
+            },
+            ..NodeConfig::scripted(name)
+        }
+    }
+
+    /// A proxy with DHT integration but no scripting (the `DHT` baseline).
+    pub fn proxy_with_dht(name: &str) -> NodeConfig {
+        NodeConfig {
+            mode: NodeMode::ProxyWithDht,
+            ..NodeConfig::plain_proxy(name)
+        }
+    }
+
+    /// Disables congestion-based resource controls (the "without resource
+    /// controls" experimental arm).
+    pub fn without_resource_controls(mut self) -> NodeConfig {
+        self.resource.enabled = false;
+        self
+    }
+}
+
+/// Statistics a node accumulates, consumed by the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Requests handled (including rejected ones).
+    pub requests: u64,
+    /// Responses served from the local cache.
+    pub cache_hits: u64,
+    /// Responses fetched from a peer node found through the overlay.
+    pub peer_hits: u64,
+    /// Responses fetched from the origin server.
+    pub origin_fetches: u64,
+    /// Responses generated entirely by scripts (no fetch at all).
+    pub script_generated: u64,
+    /// Requests rejected by throttling (server busy).
+    pub throttled: u64,
+    /// Requests rejected because the site's pipelines were terminated.
+    pub terminated: u64,
+    /// Script errors observed while processing requests.
+    pub script_errors: u64,
+    /// Na Kika Pages rendered.
+    pub pages_rendered: u64,
+}
+
+/// Shared fetch path: local cache, then overlay peers, then the origin.
+#[derive(Clone)]
+struct ResourceFetcher {
+    node_name: String,
+    cache: Arc<ProxyCache>,
+    overlay: Option<(Arc<Overlay>, NodeId)>,
+    origin: Arc<dyn OriginFetch>,
+    heuristic_ttl: Duration,
+    stats: Arc<Mutex<NodeStats>>,
+}
+
+impl ResourceFetcher {
+    fn cache_key(request: &Request) -> String {
+        format!("{} {}", request.method, request.uri.to_origin())
+    }
+
+    fn fetch(&self, request: &Request, now: u64) -> Response {
+        let key = Self::cache_key(request);
+        if request.method.is_cacheable() {
+            if let Some(cached) = self.cache.get(&key, now) {
+                self.stats.lock().cache_hits += 1;
+                return cached;
+            }
+        }
+        // Cooperative caching: one cached copy anywhere in the overlay is
+        // enough to avoid an origin access.
+        if let Some((overlay, node_id)) = &self.overlay {
+            if request.method.is_cacheable() {
+                let peers = overlay.get(*node_id, &key, now);
+                if let Some(peer) = peers.iter().find(|p| p.payload != self.node_name) {
+                    let response = self.origin.fetch_peer(&peer.payload, request);
+                    if response.status.is_success() {
+                        self.store_and_announce(&key, request, &response, now);
+                        self.stats.lock().peer_hits += 1;
+                        return response;
+                    }
+                }
+            }
+        }
+        let response = self.origin.fetch_origin(request);
+        self.stats.lock().origin_fetches += 1;
+        self.store_and_announce(&key, request, &response, now);
+        response
+    }
+
+    fn store_and_announce(&self, key: &str, request: &Request, response: &Response, now: u64) {
+        if !self.cache.put(key, &request.method, response, now) {
+            return;
+        }
+        if let Some((overlay, node_id)) = &self.overlay {
+            let lifetime = match freshness(&request.method, response, self.heuristic_ttl) {
+                Freshness::Fresh(lifetime) => lifetime.as_secs().max(1),
+                _ => return,
+            };
+            overlay.put(*node_id, key, &self.node_name, now + lifetime);
+        }
+    }
+}
+
+/// Stage loader backed by the node's fetch path and compiled-stage cache.
+struct NodeStageLoader {
+    fetcher: ResourceFetcher,
+    stage_cache: Arc<StageCache>,
+    hooks: VocabHooks,
+    script_ttl: Duration,
+}
+
+impl StageLoader for NodeStageLoader {
+    fn load(&self, url: &str, now: u64) -> Option<Arc<CompiledStage>> {
+        match self.stage_cache.get(url, now) {
+            StageLookup::Hit(stage) => return Some(stage),
+            StageLookup::KnownAbsent => return None,
+            StageLookup::Miss => {}
+        }
+        let request = Request::get(url);
+        let response = self.fetcher.fetch(&request, now);
+        let fresh_until = now
+            + match freshness(&Method::Get, &response, self.script_ttl) {
+                Freshness::Fresh(lifetime) => lifetime.as_secs().max(1),
+                _ => self.script_ttl.as_secs().max(1),
+            };
+        if !response.status.is_success() || response.body.is_empty() {
+            self.stage_cache.put_absent(url, fresh_until);
+            return None;
+        }
+        match CompiledStage::compile(url, &response.body.to_text(), &self.hooks) {
+            Ok(stage) => {
+                let stage = Arc::new(stage);
+                self.stage_cache.put(url, stage.clone(), fresh_until);
+                Some(stage)
+            }
+            Err(_) => {
+                // A broken script is treated like an absent one until its
+                // cached copy expires and a (hopefully fixed) copy is fetched.
+                self.stage_cache.put_absent(url, fresh_until);
+                None
+            }
+        }
+    }
+}
+
+/// One Na Kika edge node.
+pub struct NaKikaNode {
+    config: NodeConfig,
+    cache: Arc<ProxyCache>,
+    stage_cache: Arc<StageCache>,
+    resource: Arc<ResourceManager>,
+    runner: PipelineRunner,
+    store: Arc<SiteStore>,
+    access_log: Arc<AccessLog>,
+    overlay: Option<(Arc<Overlay>, NodeId)>,
+    stats: Arc<Mutex<NodeStats>>,
+    last_control: Mutex<u64>,
+}
+
+impl NaKikaNode {
+    /// Creates a node from its configuration.
+    pub fn new(config: NodeConfig) -> NaKikaNode {
+        let cache = Arc::new(ProxyCache::new(
+            config.cache_capacity_bytes,
+            config.heuristic_ttl,
+        ));
+        let resource = Arc::new(ResourceManager::new(config.resource.clone()));
+        let store = Arc::new(SiteStore::new(config.hard_state_quota));
+        NaKikaNode {
+            cache,
+            stage_cache: Arc::new(StageCache::new()),
+            resource,
+            runner: PipelineRunner::default(),
+            store,
+            access_log: Arc::new(AccessLog::new()),
+            overlay: None,
+            stats: Arc::new(Mutex::new(NodeStats::default())),
+            last_control: Mutex::new(0),
+            config,
+        }
+    }
+
+    /// Attaches the node to a structured overlay under the given identifier
+    /// (already joined by the caller).
+    pub fn attach_overlay(&mut self, overlay: Arc<Overlay>, id: NodeId) {
+        self.overlay = Some((overlay, id));
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// The node's proxy cache (exposed for statistics and tests).
+    pub fn cache(&self) -> &Arc<ProxyCache> {
+        &self.cache
+    }
+
+    /// The node's resource manager.
+    pub fn resource_manager(&self) -> &Arc<ResourceManager> {
+        &self.resource
+    }
+
+    /// The node's hard-state store.
+    pub fn store(&self) -> &Arc<SiteStore> {
+        &self.store
+    }
+
+    /// The node's access log.
+    pub fn access_log(&self) -> &Arc<AccessLog> {
+        &self.access_log
+    }
+
+    /// Cache statistics snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Node statistics snapshot.
+    pub fn stats(&self) -> NodeStats {
+        *self.stats.lock()
+    }
+
+    /// Handles one HTTP exchange at time `now_secs`, fetching whatever it
+    /// needs through `origin`.
+    pub fn handle_request(
+        &self,
+        request: Request,
+        now_secs: u64,
+        origin: &Arc<dyn OriginFetch>,
+    ) -> Response {
+        self.stats.lock().requests += 1;
+        self.maybe_run_control(now_secs);
+        let site = request.site();
+
+        // Admission control happens before any resources are expended.
+        match self.resource.admit(&site) {
+            Admission::Accept => {}
+            Admission::Throttle => {
+                self.stats.lock().throttled += 1;
+                return Response::error(StatusCode::SERVICE_UNAVAILABLE);
+            }
+            Admission::Terminate => {
+                self.stats.lock().terminated += 1;
+                return Response::error(StatusCode::SERVICE_UNAVAILABLE);
+            }
+        }
+
+        let fetcher = ResourceFetcher {
+            node_name: self.config.name.clone(),
+            cache: self.cache.clone(),
+            overlay: match self.config.mode {
+                NodeMode::PlainProxy => None,
+                _ => self.overlay.clone(),
+            },
+            origin: origin.clone(),
+            heuristic_ttl: self.config.heuristic_ttl,
+            stats: self.stats.clone(),
+        };
+
+        let response = match self.config.mode {
+            NodeMode::PlainProxy | NodeMode::ProxyWithDht => fetcher.fetch(&request, now_secs),
+            NodeMode::Scripted => self.run_pipeline(request.clone(), now_secs, fetcher, &site),
+        };
+
+        self.access_log.record(
+            &site,
+            LogEntry {
+                timestamp: now_secs,
+                client: request.client_ip.to_string(),
+                method: request.method.as_str().to_string(),
+                url: request.uri.to_string(),
+                status: response.status.as_u16(),
+                bytes: response.body.len(),
+            },
+        );
+        self.resource.record(
+            &site,
+            ResourceKind::BytesTransferred,
+            (request.body.len() + response.body.len()) as f64,
+        );
+        response
+    }
+
+    fn run_pipeline(
+        &self,
+        request: Request,
+        now_secs: u64,
+        fetcher: ResourceFetcher,
+        site: &str,
+    ) -> Response {
+        let resource = self.resource.clone();
+        let hooks = VocabHooks {
+            fetch: Some({
+                let fetcher = fetcher.clone();
+                Arc::new(move |req: &Request| fetcher.fetch(req, now_secs))
+            }),
+            store: Some(self.store.clone()),
+            access_log: Some(self.access_log.clone()),
+            cache: Some(self.cache.clone()),
+            local_networks: Arc::new(self.config.local_networks.clone()),
+            congestion: Some(Arc::new(move |name: &str| {
+                ResourceKind::parse(name)
+                    .map(|kind| resource.congestion_level(kind))
+                    .unwrap_or(0.0)
+            })),
+        };
+
+        let loader = NodeStageLoader {
+            fetcher: fetcher.clone(),
+            stage_cache: self.stage_cache.clone(),
+            hooks: hooks.clone(),
+            script_ttl: self.config.script_ttl,
+        };
+
+        let meter = ResourceMeter::new();
+        self.resource.register_meter(site, meter.clone());
+
+        let site_stage_url = format!("http://{site}/nakika.js");
+        let fetch_resource = {
+            let fetcher = fetcher.clone();
+            move |req: &Request| fetcher.fetch(req, now_secs)
+        };
+        let outcome: PipelineOutcome = self.runner.execute(
+            request,
+            now_secs,
+            &loader,
+            &site_stage_url,
+            &self.config.client_wall_url,
+            &self.config.server_wall_url,
+            &fetch_resource,
+            &hooks,
+            meter.clone(),
+        );
+
+        // Charge the pipeline's consumption to the site.
+        self.resource
+            .record(site, ResourceKind::Cpu, meter.steps() as f64);
+        self.resource
+            .record(site, ResourceKind::Memory, meter.allocated() as f64);
+        self.resource.record(
+            site,
+            ResourceKind::Bandwidth,
+            outcome.response.body.len() as f64,
+        );
+        self.resource
+            .record(site, ResourceKind::RunningTime, 1.0 + meter.steps() as f64 / 100_000.0);
+
+        {
+            let mut stats = self.stats.lock();
+            if outcome.generated_by_script {
+                stats.script_generated += 1;
+            }
+            stats.script_errors += outcome.script_errors.len() as u64;
+        }
+
+        let mut response = outcome.response;
+        // Na Kika Pages: render `.nkp` / `text/nkp` responses on the edge.
+        let is_page = pages::is_nkp(
+            outcome.final_request.uri.extension(),
+            response.headers.content_type(),
+        );
+        if is_page && response.status.is_success() {
+            let compiled = pages::compile_page(&response.body.to_text());
+            match run_page(&compiled, &hooks, &outcome.final_request, now_secs) {
+                Ok(html) => {
+                    response.headers.set("Content-Type", "text/html");
+                    response.set_body(html);
+                    self.stats.lock().pages_rendered += 1;
+                }
+                Err(_) => {
+                    self.stats.lock().script_errors += 1;
+                }
+            }
+        }
+        response
+    }
+
+    fn maybe_run_control(&self, now_secs: u64) {
+        if !self.resource.is_enabled() {
+            return;
+        }
+        let mut last = self.last_control.lock();
+        if now_secs >= *last + self.config.control_period_secs {
+            *last = now_secs;
+            drop(last);
+            self.resource.control();
+        }
+    }
+}
+
+/// Runs a compiled Na Kika Page in a fresh sandboxed context with the node's
+/// vocabularies bound to the current exchange.
+fn run_page(
+    compiled: &str,
+    hooks: &VocabHooks,
+    request: &Request,
+    now_secs: u64,
+) -> Result<String, nakika_script::ScriptError> {
+    let ctx = nakika_script::Context::new();
+    nakika_script::stdlib::install(&ctx);
+    let exchange = crate::vocab::new_exchange(request.clone(), now_secs);
+    crate::vocab::install(&ctx, &exchange, hooks);
+    let program = nakika_script::parse_program(compiled)?;
+    let mut interp = nakika_script::Interpreter::new(&ctx);
+    Ok(interp.run(&program)?.to_display_string())
+}
+
+/// A convenience [`OriginFetch`] built from a closure — used by tests,
+/// examples and the benchmark harness.
+pub struct FnOrigin<F>(pub F);
+
+impl<F> OriginFetch for FnOrigin<F>
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    fn fetch_origin(&self, request: &Request) -> Response {
+        (self.0)(request)
+    }
+}
+
+/// Wraps a closure into an `Arc<dyn OriginFetch>`.
+pub fn origin_from_fn<F>(f: F) -> Arc<dyn OriginFetch>
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    Arc::new(FnOrigin(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scripts;
+    use nakika_overlay::{key_for, Location};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// An origin that serves a small static site plus Na Kika scripts, and
+    /// counts how many times it was contacted.
+    struct TestOrigin {
+        hits: AtomicU64,
+        site_script: Option<String>,
+    }
+
+    impl TestOrigin {
+        fn new(site_script: Option<&str>) -> Arc<TestOrigin> {
+            Arc::new(TestOrigin {
+                hits: AtomicU64::new(0),
+                site_script: site_script.map(str::to_string),
+            })
+        }
+        fn hits(&self) -> u64 {
+            self.hits.load(Ordering::SeqCst)
+        }
+    }
+
+    impl OriginFetch for TestOrigin {
+        fn fetch_origin(&self, request: &Request) -> Response {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+            let path = request.uri.path.as_str();
+            if path.ends_with("nakika.js") {
+                return match &self.site_script {
+                    Some(src) => Response::ok("application/javascript", src.as_str())
+                        .with_header("Cache-Control", "max-age=300"),
+                    None => Response::error(StatusCode::NOT_FOUND),
+                };
+            }
+            if path.ends_with("clientwall.js") || path.ends_with("serverwall.js") {
+                return Response::ok("application/javascript", scripts::EMPTY_WALL)
+                    .with_header("Cache-Control", "max-age=300");
+            }
+            if path.ends_with(".nkp") {
+                return Response::ok("text/nkp", "<p><?nkp= 6 * 7 ?></p>")
+                    .with_header("Cache-Control", "no-store");
+            }
+            Response::ok("text/html", format!("<html>origin body for {path}</html>"))
+                .with_header("Cache-Control", "max-age=120")
+        }
+    }
+
+    fn as_origin(o: &Arc<TestOrigin>) -> Arc<dyn OriginFetch> {
+        o.clone()
+    }
+
+    #[test]
+    fn plain_proxy_caches_and_serves() {
+        let node = NaKikaNode::new(NodeConfig::plain_proxy("edge-1"));
+        let origin = TestOrigin::new(None);
+        let dyn_origin = as_origin(&origin);
+        let r1 = node.handle_request(Request::get("http://www.google.com/"), 10, &dyn_origin);
+        assert_eq!(r1.status, StatusCode::OK);
+        let r2 = node.handle_request(Request::get("http://www.google.com/"), 20, &dyn_origin);
+        assert_eq!(r2.body.to_text(), r1.body.to_text());
+        assert_eq!(origin.hits(), 1, "second access served from cache");
+        let stats = node.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.origin_fetches, 1);
+    }
+
+    #[test]
+    fn scripted_node_runs_walls_and_site_stage() {
+        let site_script = r#"
+            p = new Policy();
+            p.url = ["site.example"];
+            p.onResponse = function() { Response.setHeader('X-Edge', 'nakika'); };
+            p.register();
+        "#;
+        let node = NaKikaNode::new(NodeConfig::scripted("edge-1"));
+        let origin = TestOrigin::new(Some(site_script));
+        let dyn_origin = as_origin(&origin);
+        let resp = node.handle_request(Request::get("http://site.example/page"), 10, &dyn_origin);
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.headers.get("x-edge"), Some("nakika"));
+        // Scripts (two walls + nakika.js) plus the page itself were fetched.
+        assert_eq!(origin.hits(), 4);
+        // A second request reuses the cached compiled stages and cached page.
+        node.handle_request(Request::get("http://site.example/page"), 20, &dyn_origin);
+        assert_eq!(origin.hits(), 4);
+    }
+
+    #[test]
+    fn missing_site_script_is_negatively_cached() {
+        let node = NaKikaNode::new(NodeConfig::scripted("edge-1"));
+        let origin = TestOrigin::new(None);
+        let dyn_origin = as_origin(&origin);
+        node.handle_request(Request::get("http://plain.example/a"), 10, &dyn_origin);
+        let hits_after_first = origin.hits();
+        node.handle_request(Request::get("http://plain.example/b"), 20, &dyn_origin);
+        // Only the new page is fetched — not nakika.js again.
+        assert_eq!(origin.hits(), hits_after_first + 1);
+    }
+
+    #[test]
+    fn digital_library_wall_blocks_outside_clients() {
+        let mut config = NodeConfig::scripted("edge-1");
+        config.local_networks = vec![Cidr::parse("128.122.0.0/16").unwrap()];
+        let node = NaKikaNode::new(config);
+        // Serve Figure 5 as the client wall.
+        struct WallOrigin;
+        impl OriginFetch for WallOrigin {
+            fn fetch_origin(&self, request: &Request) -> Response {
+                if request.uri.path.ends_with("clientwall.js") {
+                    Response::ok("application/javascript", scripts::DIGITAL_LIBRARY_POLICY)
+                        .with_header("Cache-Control", "max-age=300")
+                } else if request.uri.path.ends_with(".js") {
+                    Response::ok("application/javascript", scripts::EMPTY_WALL)
+                        .with_header("Cache-Control", "max-age=300")
+                } else {
+                    Response::ok("text/html", "the full article")
+                }
+            }
+        }
+        let origin: Arc<dyn OriginFetch> = Arc::new(WallOrigin);
+        let outside = Request::get("http://bmj.bmjjournals.com/cgi/reprint/1")
+            .with_client_ip("203.0.113.5".parse().unwrap());
+        let resp = node.handle_request(outside, 10, &origin);
+        assert_eq!(resp.status, StatusCode::UNAUTHORIZED);
+        let inside = Request::get("http://bmj.bmjjournals.com/cgi/reprint/1")
+            .with_client_ip("128.122.1.1".parse().unwrap());
+        let resp = node.handle_request(inside, 20, &origin);
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.body.to_text(), "the full article");
+    }
+
+    #[test]
+    fn nkp_pages_are_rendered_on_the_edge() {
+        let node = NaKikaNode::new(NodeConfig::scripted("edge-1"));
+        let origin = TestOrigin::new(None);
+        let dyn_origin = as_origin(&origin);
+        let resp =
+            node.handle_request(Request::get("http://site.example/hello.nkp"), 10, &dyn_origin);
+        assert_eq!(resp.body.to_text(), "<p>42</p>");
+        assert_eq!(resp.headers.content_type(), Some("text/html"));
+        assert_eq!(node.stats().pages_rendered, 1);
+    }
+
+    #[test]
+    fn cooperative_caching_avoids_origin_when_a_peer_has_a_copy() {
+        let overlay = Arc::new(Overlay::with_defaults());
+        let id_a = key_for("edge-a");
+        let id_b = key_for("edge-b");
+        overlay.join(id_a, Location::new(0.0, 0.0));
+        overlay.join(id_b, Location::new(1.0, 0.0));
+
+        let mut node_a = NaKikaNode::new(NodeConfig::proxy_with_dht("edge-a"));
+        node_a.attach_overlay(overlay.clone(), id_a);
+        let mut node_b = NaKikaNode::new(NodeConfig::proxy_with_dht("edge-b"));
+        node_b.attach_overlay(overlay.clone(), id_b);
+
+        let origin = TestOrigin::new(None);
+        let dyn_origin = as_origin(&origin);
+        // Node A pulls the page from the origin and announces it.
+        node_a.handle_request(Request::get("http://shared.example/big"), 10, &dyn_origin);
+        assert_eq!(origin.hits(), 1);
+        // Node B finds A's announcement and fetches from its peer instead.
+        struct PeerAwareOrigin {
+            inner: Arc<TestOrigin>,
+            peer_fetches: AtomicU64,
+        }
+        impl OriginFetch for PeerAwareOrigin {
+            fn fetch_origin(&self, request: &Request) -> Response {
+                self.inner.fetch_origin(request)
+            }
+            fn fetch_peer(&self, _peer: &str, request: &Request) -> Response {
+                self.peer_fetches.fetch_add(1, Ordering::SeqCst);
+                Response::ok("text/html", format!("peer copy of {}", request.uri.path))
+                    .with_header("Cache-Control", "max-age=120")
+            }
+        }
+        let peer_origin = Arc::new(PeerAwareOrigin {
+            inner: origin.clone(),
+            peer_fetches: AtomicU64::new(0),
+        });
+        let dyn_peer: Arc<dyn OriginFetch> = peer_origin.clone();
+        let resp = node_b.handle_request(Request::get("http://shared.example/big"), 20, &dyn_peer);
+        assert!(resp.body.to_text().contains("peer copy"));
+        assert_eq!(peer_origin.peer_fetches.load(Ordering::SeqCst), 1);
+        assert_eq!(origin.hits(), 1, "origin contacted only once in total");
+        assert_eq!(node_b.stats().peer_hits, 1);
+    }
+
+    #[test]
+    fn throttling_rejects_requests_with_server_busy() {
+        let mut config = NodeConfig::scripted("edge-1");
+        config.resource.capacity.insert(ResourceKind::Cpu, 1.0);
+        config.control_period_secs = 1;
+        let node = NaKikaNode::new(config);
+        let origin = TestOrigin::new(None);
+        let dyn_origin = as_origin(&origin);
+        // Generate load well past the 1-step CPU "capacity", then let the
+        // control loop run.
+        for t in 0..20 {
+            node.handle_request(Request::get("http://hog.example/page"), t, &dyn_origin);
+        }
+        let mut busy = 0;
+        for t in 20..60 {
+            let resp = node.handle_request(Request::get("http://hog.example/page"), t, &dyn_origin);
+            if resp.status == StatusCode::SERVICE_UNAVAILABLE {
+                busy += 1;
+            }
+        }
+        assert!(busy > 0, "expected some server-busy rejections");
+        assert!(node.stats().throttled + node.stats().terminated > 0);
+    }
+
+    #[test]
+    fn misbehaving_script_is_contained() {
+        // The paper's misbehaving script: consume all memory by doubling a
+        // string.  The sandbox cap stops each execution and congestion
+        // control penalises the site, while other sites keep working.
+        let hog_script = r#"
+            p = new Policy();
+            p.url = ["hog.example"];
+            p.onResponse = function() {
+                var s = 'xxxxxxxxxxxxxxxx';
+                while (true) { s = s + s; }
+            };
+            p.register();
+        "#;
+        struct TwoSiteOrigin {
+            hog_script: String,
+        }
+        impl OriginFetch for TwoSiteOrigin {
+            fn fetch_origin(&self, request: &Request) -> Response {
+                let path = request.uri.path.as_str();
+                if path.ends_with("nakika.js") {
+                    if request.uri.host.contains("hog") {
+                        return Response::ok("application/javascript", self.hog_script.as_str())
+                            .with_header("Cache-Control", "max-age=300");
+                    }
+                    return Response::error(StatusCode::NOT_FOUND);
+                }
+                if path.ends_with(".js") {
+                    return Response::ok("application/javascript", scripts::EMPTY_WALL)
+                        .with_header("Cache-Control", "max-age=300");
+                }
+                Response::ok("text/html", "content").with_header("Cache-Control", "no-store")
+            }
+        }
+        let mut config = NodeConfig::scripted("edge-1");
+        config.control_period_secs = 1;
+        let node = NaKikaNode::new(config);
+        let origin: Arc<dyn OriginFetch> = Arc::new(TwoSiteOrigin {
+            hog_script: hog_script.to_string(),
+        });
+        let mut good_ok = 0;
+        for t in 0..30 {
+            let hog = node.handle_request(Request::get("http://hog.example/x"), t, &origin);
+            // Either the sandbox stopped the script (request still served) or
+            // admission control rejected it outright.
+            assert!(hog.status == StatusCode::OK || hog.status == StatusCode::SERVICE_UNAVAILABLE);
+            let good = node.handle_request(Request::get("http://good.example/x"), t, &origin);
+            if good.status == StatusCode::OK {
+                good_ok += 1;
+            }
+        }
+        assert!(
+            good_ok >= 28,
+            "the well-behaved site stays available, got {good_ok}/30"
+        );
+        assert!(node.stats().script_errors > 0, "the memory hog was stopped");
+    }
+}

@@ -1,0 +1,252 @@
+//! The web's expiration-based consistency model.
+//!
+//! Na Kika deliberately builds on HTTP's expiration-based caching for both
+//! original and processed content, and its administrative control scripts are
+//! themselves distributed by letting cached copies expire (paper §3.2).  This
+//! module implements freshness computation from `Cache-Control`, `Expires`,
+//! `Date`, and `Age`, plus the absolute-expiration requirement of the
+//! content-integrity extension (paper §6).
+
+use crate::headers::Headers;
+use crate::message::Response;
+use crate::method::Method;
+use std::time::Duration;
+
+/// Parsed `Cache-Control` directives relevant to a shared cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheControl {
+    /// `no-store` — must not be cached at all.
+    pub no_store: bool,
+    /// `no-cache` — must be revalidated before use.
+    pub no_cache: bool,
+    /// `private` — not cacheable by shared caches (like Na Kika proxies).
+    pub private: bool,
+    /// `public` — explicitly cacheable.
+    pub public: bool,
+    /// `max-age` in seconds.
+    pub max_age: Option<u64>,
+    /// `s-maxage` in seconds (overrides `max-age` for shared caches).
+    pub s_maxage: Option<u64>,
+    /// `must-revalidate`.
+    pub must_revalidate: bool,
+}
+
+impl CacheControl {
+    /// Parses all `Cache-Control` headers in `headers`.
+    pub fn parse(headers: &Headers) -> CacheControl {
+        let mut cc = CacheControl::default();
+        for value in headers.get_all("cache-control") {
+            for directive in value.split(',') {
+                let directive = directive.trim().to_ascii_lowercase();
+                let (name, arg) = match directive.find('=') {
+                    Some(idx) => (&directive[..idx], Some(directive[idx + 1..].trim_matches('"').to_string())),
+                    None => (directive.as_str(), None),
+                };
+                match name {
+                    "no-store" => cc.no_store = true,
+                    "no-cache" => cc.no_cache = true,
+                    "private" => cc.private = true,
+                    "public" => cc.public = true,
+                    "must-revalidate" => cc.must_revalidate = true,
+                    "max-age" => cc.max_age = arg.and_then(|a| a.parse().ok()),
+                    "s-maxage" => cc.s_maxage = arg.and_then(|a| a.parse().ok()),
+                    _ => {}
+                }
+            }
+        }
+        cc
+    }
+
+    /// The effective freshness lifetime for a shared cache, if any directive
+    /// specifies one.
+    pub fn shared_max_age(&self) -> Option<Duration> {
+        self.s_maxage
+            .or(self.max_age)
+            .map(Duration::from_secs)
+    }
+}
+
+/// The freshness decision for a response held in (or considered for) a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Freshness {
+    /// The response may be stored and served for the given lifetime.
+    Fresh(Duration),
+    /// The response may be stored but must be revalidated on each use.
+    Revalidate,
+    /// The response must not be stored by a shared cache.
+    Uncacheable,
+}
+
+/// Computes whether a response to `method` may be stored by a Na Kika proxy
+/// and, if so, for how long.
+///
+/// `heuristic` is the lifetime applied when the origin supplies no explicit
+/// expiration information but the status is heuristically cacheable; the
+/// paper's deployment uses ordinary HTTP defaults, and its experiments rely
+/// on explicit expirations for scripts and content.
+pub fn freshness(method: &Method, resp: &Response, heuristic: Duration) -> Freshness {
+    if !method.is_cacheable() {
+        return Freshness::Uncacheable;
+    }
+    let cc = CacheControl::parse(&resp.headers);
+    if cc.no_store || cc.private {
+        return Freshness::Uncacheable;
+    }
+    if cc.no_cache {
+        return Freshness::Revalidate;
+    }
+    if let Some(age) = cc.shared_max_age() {
+        return if age.is_zero() {
+            Freshness::Revalidate
+        } else {
+            Freshness::Fresh(age)
+        };
+    }
+    // Expires relative to Date; both are modelled as integral seconds since an
+    // arbitrary epoch (the simulator's clock) via `Expires-Seconds` /
+    // `Date-Seconds` when produced internally, or as HTTP-dates otherwise.
+    if let (Some(expires), Some(date)) = (
+        seconds_header(&resp.headers, "expires-seconds"),
+        seconds_header(&resp.headers, "date-seconds"),
+    ) {
+        return if expires > date {
+            Freshness::Fresh(Duration::from_secs(expires - date))
+        } else {
+            Freshness::Revalidate
+        };
+    }
+    if resp.headers.contains("expires") {
+        // An unparseable or past Expires value means "already expired".
+        return Freshness::Revalidate;
+    }
+    if resp.status.is_cacheable_by_default() && !heuristic.is_zero() {
+        Freshness::Fresh(heuristic)
+    } else {
+        Freshness::Uncacheable
+    }
+}
+
+fn seconds_header(headers: &Headers, name: &str) -> Option<u64> {
+    headers.get(name).and_then(|v| v.trim().parse().ok())
+}
+
+/// Rewrites a response's cache metadata to use an *absolute* expiration time
+/// (in seconds on the caller's clock), as required by the content-integrity
+/// scheme: untrusted nodes cannot be trusted to decrement relative lifetimes
+/// (paper §6).
+pub fn set_absolute_expiry(resp: &mut Response, now_secs: u64, lifetime: Duration) {
+    resp.headers.remove("cache-control");
+    resp.headers.set("Date-Seconds", now_secs.to_string());
+    resp.headers
+        .set("Expires-Seconds", (now_secs + lifetime.as_secs()).to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Response;
+    use crate::status::StatusCode;
+
+    fn resp_with_cc(value: &str) -> Response {
+        Response::ok("text/html", "x").with_header("Cache-Control", value)
+    }
+
+    #[test]
+    fn parses_directives() {
+        let r = resp_with_cc("public, max-age=300, s-maxage=\"600\", must-revalidate");
+        let cc = CacheControl::parse(&r.headers);
+        assert!(cc.public);
+        assert!(cc.must_revalidate);
+        assert_eq!(cc.max_age, Some(300));
+        assert_eq!(cc.s_maxage, Some(600));
+        assert_eq!(cc.shared_max_age(), Some(Duration::from_secs(600)));
+    }
+
+    #[test]
+    fn no_store_and_private_are_uncacheable() {
+        for v in ["no-store", "private", "private, max-age=100"] {
+            let r = resp_with_cc(v);
+            assert_eq!(
+                freshness(&Method::Get, &r, Duration::from_secs(60)),
+                Freshness::Uncacheable,
+                "directive {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_cache_requires_revalidation() {
+        let r = resp_with_cc("no-cache");
+        assert_eq!(
+            freshness(&Method::Get, &r, Duration::from_secs(60)),
+            Freshness::Revalidate
+        );
+    }
+
+    #[test]
+    fn max_age_wins_over_heuristic() {
+        let r = resp_with_cc("max-age=120");
+        assert_eq!(
+            freshness(&Method::Get, &r, Duration::from_secs(60)),
+            Freshness::Fresh(Duration::from_secs(120))
+        );
+        let r = resp_with_cc("max-age=0");
+        assert_eq!(
+            freshness(&Method::Get, &r, Duration::from_secs(60)),
+            Freshness::Revalidate
+        );
+    }
+
+    #[test]
+    fn non_get_is_uncacheable() {
+        let r = resp_with_cc("max-age=120");
+        assert_eq!(
+            freshness(&Method::Post, &r, Duration::from_secs(60)),
+            Freshness::Uncacheable
+        );
+    }
+
+    #[test]
+    fn heuristic_applies_only_to_default_cacheable_statuses() {
+        let ok = Response::ok("text/html", "x");
+        assert_eq!(
+            freshness(&Method::Get, &ok, Duration::from_secs(60)),
+            Freshness::Fresh(Duration::from_secs(60))
+        );
+        let busy = Response::error(StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(
+            freshness(&Method::Get, &busy, Duration::from_secs(60)),
+            Freshness::Uncacheable
+        );
+        assert_eq!(
+            freshness(&Method::Get, &ok, Duration::ZERO),
+            Freshness::Uncacheable
+        );
+    }
+
+    #[test]
+    fn absolute_expiry_round_trips() {
+        let mut r = Response::ok("text/html", "x").with_header("Cache-Control", "max-age=5");
+        set_absolute_expiry(&mut r, 1000, Duration::from_secs(300));
+        assert!(!r.headers.contains("cache-control"));
+        assert_eq!(
+            freshness(&Method::Get, &r, Duration::ZERO),
+            Freshness::Fresh(Duration::from_secs(300))
+        );
+        // Expired absolute time → revalidate.
+        set_absolute_expiry(&mut r, 1000, Duration::ZERO);
+        assert_eq!(
+            freshness(&Method::Get, &r, Duration::ZERO),
+            Freshness::Revalidate
+        );
+    }
+
+    #[test]
+    fn legacy_expires_header_means_revalidate() {
+        let r = Response::ok("text/html", "x").with_header("Expires", "Thu, 01 Dec 1994 16:00:00 GMT");
+        assert_eq!(
+            freshness(&Method::Get, &r, Duration::from_secs(60)),
+            Freshness::Revalidate
+        );
+    }
+}

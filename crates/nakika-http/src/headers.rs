@@ -1,0 +1,258 @@
+//! Case-insensitive, order-preserving HTTP header map.
+
+use std::fmt;
+
+/// A single header entry (name preserved as sent, matched case-insensitively).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HeaderEntry {
+    /// Header name as originally written.
+    pub name: String,
+    /// Header value.
+    pub value: String,
+}
+
+/// An ordered multimap of HTTP headers.
+///
+/// Header names are matched ASCII case-insensitively (per RFC 7230) while the
+/// original spelling and the insertion order are preserved, which matters for
+/// proxies that must forward messages faithfully.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Headers {
+    entries: Vec<HeaderEntry>,
+}
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Headers {
+        Headers::default()
+    }
+
+    /// Number of header entries (counting duplicates separately).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no headers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the first value for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|e| e.name.eq_ignore_ascii_case(name))
+            .map(|e| e.value.as_str())
+    }
+
+    /// Returns all values for `name` in insertion order.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| e.name.eq_ignore_ascii_case(name))
+            .map(|e| e.value.as_str())
+            .collect()
+    }
+
+    /// True if a header with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Appends a header, keeping any existing values for the same name.
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push(HeaderEntry {
+            name: name.into(),
+            value: value.into(),
+        });
+    }
+
+    /// Sets a header, replacing all existing values for the same name.
+    ///
+    /// This is the operation exposed to scripts as `Response.setHeader` in the
+    /// paper's Figure 2.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        self.remove(&name);
+        self.append(name, value);
+    }
+
+    /// Removes all values for `name`, returning how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !e.name.eq_ignore_ascii_case(name));
+        before - self.entries.len()
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|e| (e.name.as_str(), e.value.as_str()))
+    }
+
+    /// Returns the value of `Content-Length` parsed as an integer, if present
+    /// and valid.
+    pub fn content_length(&self) -> Option<usize> {
+        self.get("content-length").and_then(|v| v.trim().parse().ok())
+    }
+
+    /// Returns the value of `Content-Type`, if present (without parameters).
+    pub fn content_type(&self) -> Option<&str> {
+        self.get("content-type")
+            .map(|v| v.split(';').next().unwrap_or(v).trim())
+    }
+
+    /// True if the message uses chunked transfer encoding.
+    pub fn is_chunked(&self) -> bool {
+        self.get("transfer-encoding")
+            .map(|v| v.to_ascii_lowercase().contains("chunked"))
+            .unwrap_or(false)
+    }
+
+    /// True if the connection should be kept alive after this message,
+    /// given the HTTP version in use.
+    pub fn keep_alive(&self, version_11: bool) -> bool {
+        match self.get("connection").map(|v| v.to_ascii_lowercase()) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => version_11,
+        }
+    }
+
+    /// Extracts cookie pairs from all `Cookie` headers.
+    ///
+    /// The paper's vocabularies expose cookie access to scripts; this is the
+    /// parsing backend.
+    pub fn cookies(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for value in self.get_all("cookie") {
+            for pair in value.split(';') {
+                let pair = pair.trim();
+                if let Some(eq) = pair.find('=') {
+                    out.push((pair[..eq].trim().to_string(), pair[eq + 1..].trim().to_string()));
+                } else if !pair.is_empty() {
+                    out.push((pair.to_string(), String::new()));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Headers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "{}: {}", e.name, e.value)?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Headers {
+    type Item = (&'a str, &'a str);
+    type IntoIter = std::vec::IntoIter<(&'a str, &'a str)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries
+            .iter()
+            .map(|e| (e.name.as_str(), e.value.as_str()))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+impl FromIterator<(String, String)> for Headers {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        let mut h = Headers::new();
+        for (k, v) in iter {
+            h.append(k, v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut h = Headers::new();
+        h.append("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert!(h.contains("Content-type"));
+    }
+
+    #[test]
+    fn set_replaces_append_accumulates() {
+        let mut h = Headers::new();
+        h.append("X-A", "1");
+        h.append("x-a", "2");
+        assert_eq!(h.get_all("X-A"), vec!["1", "2"]);
+        h.set("X-A", "3");
+        assert_eq!(h.get_all("X-A"), vec!["3"]);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn remove_counts() {
+        let mut h = Headers::new();
+        h.append("A", "1");
+        h.append("a", "2");
+        h.append("B", "3");
+        assert_eq!(h.remove("A"), 2);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.remove("A"), 0);
+    }
+
+    #[test]
+    fn content_length_and_type() {
+        let mut h = Headers::new();
+        h.set("Content-Length", " 42 ");
+        h.set("Content-Type", "image/jpeg; q=1");
+        assert_eq!(h.content_length(), Some(42));
+        assert_eq!(h.content_type(), Some("image/jpeg"));
+        h.set("Content-Length", "abc");
+        assert_eq!(h.content_length(), None);
+    }
+
+    #[test]
+    fn chunked_detection() {
+        let mut h = Headers::new();
+        assert!(!h.is_chunked());
+        h.set("Transfer-Encoding", "gzip, Chunked");
+        assert!(h.is_chunked());
+    }
+
+    #[test]
+    fn keep_alive_defaults() {
+        let mut h = Headers::new();
+        assert!(h.keep_alive(true));
+        assert!(!h.keep_alive(false));
+        h.set("Connection", "close");
+        assert!(!h.keep_alive(true));
+        h.set("Connection", "keep-alive");
+        assert!(h.keep_alive(false));
+    }
+
+    #[test]
+    fn cookie_parsing() {
+        let mut h = Headers::new();
+        h.append("Cookie", "session=abc; user=bob");
+        h.append("Cookie", "flag");
+        let cookies = h.cookies();
+        assert_eq!(cookies.len(), 3);
+        assert_eq!(cookies[0], ("session".to_string(), "abc".to_string()));
+        assert_eq!(cookies[1], ("user".to_string(), "bob".to_string()));
+        assert_eq!(cookies[2], ("flag".to_string(), String::new()));
+    }
+
+    #[test]
+    fn display_and_iteration_order() {
+        let mut h = Headers::new();
+        h.append("B", "2");
+        h.append("A", "1");
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![("B", "2"), ("A", "1")]);
+        assert_eq!(h.to_string(), "B: 2\nA: 1\n");
+    }
+}

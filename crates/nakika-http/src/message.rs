@@ -1,0 +1,335 @@
+//! HTTP request and response messages with chunked ("bucket brigade") bodies.
+
+use crate::headers::Headers;
+use crate::method::Method;
+use crate::status::StatusCode;
+use crate::uri::Uri;
+use bytes::Bytes;
+use std::net::{IpAddr, Ipv4Addr};
+
+/// An HTTP message body, held as a sequence of chunks.
+///
+/// Apache delivers message data to filters as *bucket brigades*: a list of
+/// buffers that arrive piecemeal.  Na Kika's scripts read the body in chunks
+/// (`Response.read()` in the paper's Figure 2) so that cut-through routing is
+/// possible; this type models that chunk list while allowing cheap whole-body
+/// access when a script needs the entire instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Body {
+    chunks: Vec<Bytes>,
+}
+
+impl Body {
+    /// An empty body.
+    pub fn empty() -> Body {
+        Body::default()
+    }
+
+    /// A body with a single chunk.
+    pub fn from_bytes(data: impl Into<Bytes>) -> Body {
+        let data = data.into();
+        if data.is_empty() {
+            Body::empty()
+        } else {
+            Body { chunks: vec![data] }
+        }
+    }
+
+    /// A body built from a list of chunks (empty chunks are dropped).
+    pub fn from_chunks(chunks: Vec<Bytes>) -> Body {
+        Body {
+            chunks: chunks.into_iter().filter(|c| !c.is_empty()).collect(),
+        }
+    }
+
+    /// Total length in bytes across all chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+
+    /// True if the body holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.iter().all(|c| c.is_empty())
+    }
+
+    /// The chunks in order.
+    pub fn chunks(&self) -> &[Bytes] {
+        &self.chunks
+    }
+
+    /// Appends a chunk to the body.
+    pub fn push(&mut self, chunk: impl Into<Bytes>) {
+        let chunk = chunk.into();
+        if !chunk.is_empty() {
+            self.chunks.push(chunk);
+        }
+    }
+
+    /// Collapses the body into a single contiguous buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        match self.chunks.len() {
+            0 => Bytes::new(),
+            1 => self.chunks[0].clone(),
+            _ => {
+                let mut buf = Vec::with_capacity(self.len());
+                for c in &self.chunks {
+                    buf.extend_from_slice(c);
+                }
+                Bytes::from(buf)
+            }
+        }
+    }
+
+    /// Interprets the body as UTF-8 text, replacing invalid sequences.
+    pub fn to_text(&self) -> String {
+        String::from_utf8_lossy(&self.to_bytes()).into_owned()
+    }
+
+    /// Replaces the body content with a single chunk.
+    pub fn replace(&mut self, data: impl Into<Bytes>) {
+        self.chunks.clear();
+        self.push(data);
+    }
+
+    /// Removes all content.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Body {
+        Body::from_bytes(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Body {
+        Body::from_bytes(Bytes::from(s.into_bytes()))
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Body {
+        Body::from_bytes(Bytes::from(v))
+    }
+}
+
+/// An HTTP request as seen by Na Kika's scripting pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Target URI.  For proxied requests this is the absolute URI.
+    pub uri: Uri,
+    /// True for HTTP/1.1, false for HTTP/1.0.
+    pub version_11: bool,
+    /// Header fields.
+    pub headers: Headers,
+    /// Message body.
+    pub body: Body,
+    /// IP address of the client that sent the request (known to the proxy
+    /// even though it is not part of the wire format); used by policy
+    /// predicates such as the digital-library protection in Figure 5.
+    pub client_ip: IpAddr,
+}
+
+impl Request {
+    /// Creates a GET request for `uri` from an unspecified client.
+    pub fn get(uri: &str) -> Request {
+        Request {
+            method: Method::Get,
+            uri: Uri::parse(uri).unwrap_or_else(|_| Uri::http("invalid.local", 80, "/")),
+            version_11: true,
+            headers: Headers::new(),
+            body: Body::empty(),
+            client_ip: IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+        }
+    }
+
+    /// Creates a request with the given method and URI.
+    pub fn new(method: Method, uri: Uri) -> Request {
+        Request {
+            method,
+            uri,
+            version_11: true,
+            headers: Headers::new(),
+            body: Body::empty(),
+            client_ip: IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+        }
+    }
+
+    /// Builder-style helper setting the client IP.
+    pub fn with_client_ip(mut self, ip: IpAddr) -> Request {
+        self.client_ip = ip;
+        self
+    }
+
+    /// Builder-style helper setting a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Request {
+        self.headers.set(name, value);
+        self
+    }
+
+    /// Builder-style helper setting the body and Content-Length.
+    pub fn with_body(mut self, body: impl Into<Body>) -> Request {
+        self.body = body.into();
+        self.headers.set("Content-Length", self.body.len().to_string());
+        self
+    }
+
+    /// The site this request targets (authority of the origin URI).
+    pub fn site(&self) -> String {
+        self.uri.to_origin().site()
+    }
+
+    /// The `Host` header value to send, synthesised from the URI if missing.
+    pub fn host_header(&self) -> String {
+        self.headers
+            .get("host")
+            .map(str::to_string)
+            .unwrap_or_else(|| self.uri.authority())
+    }
+}
+
+/// An HTTP response as seen by Na Kika's scripting pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// True for HTTP/1.1.
+    pub version_11: bool,
+    /// Header fields.
+    pub headers: Headers,
+    /// Message body.
+    pub body: Body,
+}
+
+impl Response {
+    /// Creates a response with the given status and an empty body.
+    pub fn new(status: StatusCode) -> Response {
+        Response {
+            status,
+            version_11: true,
+            headers: Headers::new(),
+            body: Body::empty(),
+        }
+    }
+
+    /// A `200 OK` response carrying `body` with the given content type.
+    pub fn ok(content_type: &str, body: impl Into<Body>) -> Response {
+        let body = body.into();
+        let mut r = Response::new(StatusCode::OK);
+        r.headers.set("Content-Type", content_type);
+        r.headers.set("Content-Length", body.len().to_string());
+        r.body = body;
+        r
+    }
+
+    /// An error response with a short plain-text body, as produced by
+    /// `Request.terminate(code)` in scripts.
+    pub fn error(status: StatusCode) -> Response {
+        let body = Body::from(format!("{}\n", status));
+        let mut r = Response::new(status);
+        r.headers.set("Content-Type", "text/plain");
+        r.headers.set("Content-Length", body.len().to_string());
+        r.body = body;
+        r
+    }
+
+    /// A redirect (302) to `location`.
+    pub fn redirect(location: &str) -> Response {
+        let mut r = Response::new(StatusCode::FOUND);
+        r.headers.set("Location", location);
+        r.headers.set("Content-Length", "0");
+        r
+    }
+
+    /// Builder-style helper setting a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.set(name, value);
+        self
+    }
+
+    /// Replaces the body and fixes up Content-Length.
+    pub fn set_body(&mut self, body: impl Into<Body>) {
+        self.body = body.into();
+        self.headers.set("Content-Length", self.body.len().to_string());
+    }
+
+    /// Content type without parameters, defaulting to
+    /// `application/octet-stream`.
+    pub fn content_type(&self) -> String {
+        self.headers
+            .content_type()
+            .unwrap_or("application/octet-stream")
+            .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_chunk_accounting() {
+        let mut b = Body::empty();
+        assert!(b.is_empty());
+        b.push(Bytes::from_static(b"hello "));
+        b.push(Bytes::from_static(b""));
+        b.push(Bytes::from_static(b"world"));
+        assert_eq!(b.len(), 11);
+        assert_eq!(b.chunks().len(), 2);
+        assert_eq!(b.to_text(), "hello world");
+        b.replace("x");
+        assert_eq!(b.to_text(), "x");
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn body_single_chunk_is_zero_copy() {
+        let data = Bytes::from_static(b"payload");
+        let b = Body::from_bytes(data.clone());
+        // Single-chunk bodies return the same underlying buffer.
+        assert_eq!(b.to_bytes().as_ptr(), data.as_ptr());
+    }
+
+    #[test]
+    fn request_builders() {
+        let r = Request::get("http://med.nyu.edu/simm/1")
+            .with_header("User-Agent", "test")
+            .with_body("data");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.site(), "med.nyu.edu");
+        assert_eq!(r.headers.get("user-agent"), Some("test"));
+        assert_eq!(r.headers.content_length(), Some(4));
+        assert_eq!(r.host_header(), "med.nyu.edu");
+    }
+
+    #[test]
+    fn request_site_strips_nakika_suffix() {
+        let r = Request::get("http://med.nyu.edu.nakika.net/simm/1");
+        assert_eq!(r.site(), "med.nyu.edu");
+    }
+
+    #[test]
+    fn response_constructors() {
+        let r = Response::ok("text/html", "<p>hi</p>");
+        assert_eq!(r.status, StatusCode::OK);
+        assert_eq!(r.headers.content_length(), Some(9));
+        let e = Response::error(StatusCode::UNAUTHORIZED);
+        assert!(e.body.to_text().contains("401"));
+        let d = Response::redirect("http://elsewhere/");
+        assert_eq!(d.status, StatusCode::FOUND);
+        assert_eq!(d.headers.get("location"), Some("http://elsewhere/"));
+    }
+
+    #[test]
+    fn response_set_body_updates_length() {
+        let mut r = Response::ok("text/plain", "aaa");
+        r.set_body("bbbbb");
+        assert_eq!(r.headers.content_length(), Some(5));
+        assert_eq!(r.content_type(), "text/plain");
+    }
+}

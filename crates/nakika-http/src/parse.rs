@@ -1,0 +1,380 @@
+//! Incremental HTTP/1.x parser for requests and responses.
+//!
+//! The parser works on a byte slice and reports either a complete message and
+//! how many bytes it consumed, or that more data is needed.  This matches the
+//! way Apache hands data to its filter chain: piecemeal, as it arrives on the
+//! socket.
+
+use crate::error::{HttpError, Result};
+use crate::headers::Headers;
+use crate::message::{Body, Request, Response};
+use crate::method::Method;
+use crate::status::StatusCode;
+use crate::uri::Uri;
+use bytes::Bytes;
+use std::net::{IpAddr, Ipv4Addr};
+
+/// Maximum accepted header block size (64 KiB), a defence against
+/// client-initiated resource exhaustion at the admission-control stage.
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// Default maximum body size accepted by the parser (64 MiB).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Outcome of a parse attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseOutcome<T> {
+    /// A complete message was parsed; `consumed` bytes were used.
+    Complete {
+        /// The parsed message.
+        message: T,
+        /// Number of input bytes consumed.
+        consumed: usize,
+    },
+    /// More input is required before a message can be produced.
+    Partial,
+}
+
+/// Parses an HTTP request from `input`.
+pub fn parse_request(input: &[u8]) -> Result<ParseOutcome<Request>> {
+    let head = match find_head(input)? {
+        Some(h) => h,
+        None => return Ok(ParseOutcome::Partial),
+    };
+    let text = std::str::from_utf8(&input[..head])
+        .map_err(|_| HttpError::MalformedHeader("non-utf8 header block".to_string()))?;
+    let mut lines = text.split("\r\n");
+    let start = lines
+        .next()
+        .ok_or_else(|| HttpError::MalformedStartLine("empty".to_string()))?;
+    let mut parts = start.split_whitespace();
+    let method = Method::parse(parts.next().unwrap_or(""))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::MalformedStartLine(start.to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::MalformedStartLine(start.to_string()))?;
+    let version_11 = parse_version(version)?;
+    let headers = parse_headers(lines)?;
+    let uri = resolve_request_uri(target, &headers)?;
+
+    let body_start = head + 4;
+    let (body, consumed) = parse_body(&input[body_start..], &headers, &method)?;
+    let (body, body_len) = match body {
+        Some(b) => b,
+        None => return Ok(ParseOutcome::Partial),
+    };
+    let _ = consumed;
+    Ok(ParseOutcome::Complete {
+        message: Request {
+            method,
+            uri,
+            version_11,
+            headers,
+            body,
+            client_ip: IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+        },
+        consumed: body_start + body_len,
+    })
+}
+
+/// Parses an HTTP response from `input`.
+pub fn parse_response(input: &[u8]) -> Result<ParseOutcome<Response>> {
+    let head = match find_head(input)? {
+        Some(h) => h,
+        None => return Ok(ParseOutcome::Partial),
+    };
+    let text = std::str::from_utf8(&input[..head])
+        .map_err(|_| HttpError::MalformedHeader("non-utf8 header block".to_string()))?;
+    let mut lines = text.split("\r\n");
+    let start = lines
+        .next()
+        .ok_or_else(|| HttpError::MalformedStartLine("empty".to_string()))?;
+    let mut parts = start.splitn(3, ' ');
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::MalformedStartLine(start.to_string()))?;
+    let version_11 = parse_version(version)?;
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| HttpError::MalformedStartLine(start.to_string()))?;
+    let status = StatusCode::new(code)?;
+    let headers = parse_headers(lines)?;
+
+    let body_start = head + 4;
+    let (body, _) = parse_body(&input[body_start..], &headers, &Method::Get)?;
+    let (body, body_len) = match body {
+        Some(b) => b,
+        None => return Ok(ParseOutcome::Partial),
+    };
+    Ok(ParseOutcome::Complete {
+        message: Response {
+            status,
+            version_11,
+            headers,
+            body,
+        },
+        consumed: body_start + body_len,
+    })
+}
+
+/// Locates the end of the header block (`\r\n\r\n`), enforcing
+/// [`MAX_HEADER_BYTES`].
+fn find_head(input: &[u8]) -> Result<Option<usize>> {
+    let limit = input.len().min(MAX_HEADER_BYTES + 4);
+    if let Some(pos) = window_find(&input[..limit], b"\r\n\r\n") {
+        Ok(Some(pos))
+    } else if input.len() > MAX_HEADER_BYTES {
+        Err(HttpError::BodyTooLarge {
+            limit: MAX_HEADER_BYTES,
+        })
+    } else {
+        Ok(None)
+    }
+}
+
+fn window_find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if haystack.len() < needle.len() {
+        return None;
+    }
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+}
+
+fn parse_version(v: &str) -> Result<bool> {
+    match v {
+        "HTTP/1.1" => Ok(true),
+        "HTTP/1.0" => Ok(false),
+        other => Err(HttpError::UnsupportedVersion(other.to_string())),
+    }
+}
+
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers> {
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let idx = line
+            .find(':')
+            .ok_or_else(|| HttpError::MalformedHeader(line.to_string()))?;
+        let name = line[..idx].trim();
+        if name.is_empty() {
+            return Err(HttpError::MalformedHeader(line.to_string()));
+        }
+        headers.append(name, line[idx + 1..].trim());
+    }
+    Ok(headers)
+}
+
+fn resolve_request_uri(target: &str, headers: &Headers) -> Result<Uri> {
+    if target.starts_with('/') {
+        let host = headers.get("host").unwrap_or("");
+        if host.is_empty() {
+            Uri::parse(target)
+        } else {
+            Uri::parse(&format!("http://{host}{target}"))
+        }
+    } else {
+        Uri::parse(target)
+    }
+}
+
+/// Parses the message body.  Returns `Ok((None, 0))` when more data is needed,
+/// otherwise the body and the number of body bytes consumed.
+#[allow(clippy::type_complexity)]
+fn parse_body(
+    input: &[u8],
+    headers: &Headers,
+    method: &Method,
+) -> Result<(Option<(Body, usize)>, usize)> {
+    if headers.is_chunked() {
+        return match parse_chunked(input)? {
+            Some((body, used)) => Ok((Some((body, used)), used)),
+            None => Ok((None, 0)),
+        };
+    }
+    let len = match headers.content_length() {
+        Some(n) => n,
+        None => {
+            if headers.contains("content-length") {
+                return Err(HttpError::InvalidContentLength(
+                    headers.get("content-length").unwrap_or("").to_string(),
+                ));
+            }
+            // No body expected for requests / responses without
+            // Content-Length; bodies terminated by connection close are
+            // handled at the transport layer, not here.
+            let _ = method;
+            0
+        }
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge {
+            limit: MAX_BODY_BYTES,
+        });
+    }
+    if input.len() < len {
+        return Ok((None, 0));
+    }
+    let body = Body::from_bytes(Bytes::copy_from_slice(&input[..len]));
+    Ok((Some((body, len)), len))
+}
+
+/// Parses a chunked body; returns `None` when incomplete.
+fn parse_chunked(input: &[u8]) -> Result<Option<(Body, usize)>> {
+    let mut chunks = Vec::new();
+    let mut pos = 0usize;
+    let mut total = 0usize;
+    loop {
+        let line_end = match window_find(&input[pos..], b"\r\n") {
+            Some(i) => pos + i,
+            None => return Ok(None),
+        };
+        let size_str = std::str::from_utf8(&input[pos..line_end])
+            .map_err(|_| HttpError::MalformedChunk("non-utf8 size".to_string()))?;
+        let size_str = size_str.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| HttpError::MalformedChunk(size_str.to_string()))?;
+        pos = line_end + 2;
+        if size == 0 {
+            // Trailer section: skip until the final CRLF CRLF (we accept the
+            // common bare "\r\n" terminator too).
+            let rest = &input[pos..];
+            if rest.len() >= 2 && &rest[..2] == b"\r\n" {
+                return Ok(Some((Body::from_chunks(chunks), pos + 2)));
+            }
+            match window_find(rest, b"\r\n\r\n") {
+                Some(i) => return Ok(Some((Body::from_chunks(chunks), pos + i + 4))),
+                None => return Ok(None),
+            }
+        }
+        total += size;
+        if total > MAX_BODY_BYTES {
+            return Err(HttpError::BodyTooLarge {
+                limit: MAX_BODY_BYTES,
+            });
+        }
+        if input.len() < pos + size + 2 {
+            return Ok(None);
+        }
+        chunks.push(Bytes::copy_from_slice(&input[pos..pos + size]));
+        if &input[pos + size..pos + size + 2] != b"\r\n" {
+            return Err(HttpError::MalformedChunk("missing chunk CRLF".to_string()));
+        }
+        pos += size + 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete<T>(o: ParseOutcome<T>) -> (T, usize) {
+        match o {
+            ParseOutcome::Complete { message, consumed } => (message, consumed),
+            ParseOutcome::Partial => panic!("expected complete message"),
+        }
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let raw = b"GET /index.html HTTP/1.1\r\nHost: www.google.com\r\nUser-Agent: nakika\r\n\r\n";
+        let (req, consumed) = complete(parse_request(raw).unwrap());
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.uri.host, "www.google.com");
+        assert_eq!(req.uri.path, "/index.html");
+        assert!(req.version_11);
+        assert_eq!(req.headers.get("user-agent"), Some("nakika"));
+    }
+
+    #[test]
+    fn parses_absolute_form_request() {
+        let raw = b"GET http://med.nyu.edu/simm/1 HTTP/1.0\r\n\r\n";
+        let (req, _) = complete(parse_request(raw).unwrap());
+        assert_eq!(req.uri.host, "med.nyu.edu");
+        assert!(!req.version_11);
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /submit HTTP/1.1\r\nHost: a\r\nContent-Length: 5\r\n\r\nhello";
+        let (req, consumed) = complete(parse_request(raw).unwrap());
+        assert_eq!(req.body.to_text(), "hello");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn partial_until_body_arrives() {
+        let raw = b"POST /s HTTP/1.1\r\nHost: a\r\nContent-Length: 5\r\n\r\nhel";
+        assert_eq!(parse_request(raw).unwrap(), ParseOutcome::Partial);
+        let raw = b"GET / HTTP/1.1\r\nHost: a\r\n";
+        assert_eq!(parse_request(raw).unwrap(), ParseOutcome::Partial);
+    }
+
+    #[test]
+    fn consumed_excludes_pipelined_data() {
+        let raw = b"GET / HTTP/1.1\r\nHost: a\r\n\r\nGET /next HTTP/1.1\r\n";
+        let (_, consumed) = complete(parse_request(raw).unwrap());
+        assert_eq!(&raw[consumed..], b"GET /next HTTP/1.1\r\n");
+    }
+
+    #[test]
+    fn parses_response_with_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: 4\r\n\r\nbody";
+        let (resp, consumed) = complete(parse_response(raw).unwrap());
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.body.to_text(), "body");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn parses_chunked_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        let (resp, consumed) = complete(parse_response(raw).unwrap());
+        assert_eq!(resp.body.to_text(), "Wikipedia");
+        assert_eq!(resp.body.chunks().len(), 2);
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn chunked_partial_and_malformed() {
+        let partial = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWik";
+        assert_eq!(parse_response(partial).unwrap(), ParseOutcome::Partial);
+        let bad = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n\r\n";
+        assert!(parse_response(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_messages() {
+        assert!(parse_request(b"NOT A REQUEST\r\n\r\n").is_err());
+        assert!(parse_request(b"GET / HTTP/2.0\r\n\r\n").is_err());
+        assert!(parse_request(b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n").is_err());
+        assert!(parse_response(b"HTTP/1.1 999 Weird\r\n\r\n").is_err());
+        assert!(
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: many\r\n\r\n").is_err(),
+            "non-numeric content length"
+        );
+    }
+
+    #[test]
+    fn header_block_size_limit() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat(b'a').take(MAX_HEADER_BYTES + 10));
+        assert!(matches!(
+            parse_request(&raw),
+            Err(HttpError::BodyTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn response_without_length_has_empty_body() {
+        let raw = b"HTTP/1.1 204 No Content\r\n\r\n";
+        let (resp, _) = complete(parse_response(raw).unwrap());
+        assert!(resp.body.is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Serialization of HTTP messages back to their wire format.
+
+use crate::message::{Request, Response};
+
+/// Serializes a request in origin-form (path on the request line, `Host`
+/// header carrying the authority), which is what a proxy forwards upstream.
+pub fn serialize_request(req: &Request) -> Vec<u8> {
+    serialize_request_with_form(req, false)
+}
+
+/// Serializes a request in absolute-form (full URI on the request line),
+/// which is what a client sends to an explicitly configured proxy.
+pub fn serialize_request_absolute(req: &Request) -> Vec<u8> {
+    serialize_request_with_form(req, true)
+}
+
+fn serialize_request_with_form(req: &Request, absolute: bool) -> Vec<u8> {
+    let version = if req.version_11 { "HTTP/1.1" } else { "HTTP/1.0" };
+    let target = if absolute {
+        req.uri.to_string()
+    } else {
+        req.uri.path_and_query()
+    };
+    let mut out = Vec::with_capacity(128 + req.body.len());
+    out.extend_from_slice(format!("{} {} {}\r\n", req.method, target, version).as_bytes());
+    if !req.headers.contains("host") && !req.uri.host.is_empty() {
+        out.extend_from_slice(format!("Host: {}\r\n", req.uri.authority()).as_bytes());
+    }
+    let body_len = req.body.len();
+    let mut wrote_length = false;
+    for (name, value) in req.headers.iter() {
+        if name.eq_ignore_ascii_case("content-length") {
+            // Always emit a Content-Length consistent with the actual body, a
+            // script may have rewritten the body without fixing the header.
+            out.extend_from_slice(format!("Content-Length: {body_len}\r\n").as_bytes());
+            wrote_length = true;
+        } else {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+    }
+    if !wrote_length && body_len > 0 {
+        out.extend_from_slice(format!("Content-Length: {body_len}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    for chunk in req.body.chunks() {
+        out.extend_from_slice(chunk);
+    }
+    out
+}
+
+/// Serializes a response to its wire format.  Chunked transfer encoding is
+/// never emitted: the body length is always declared explicitly, because Na
+/// Kika scripts operate on complete instances (paper §3.1).
+pub fn serialize_response(resp: &Response) -> Vec<u8> {
+    let version = if resp.version_11 { "HTTP/1.1" } else { "HTTP/1.0" };
+    let mut out = Vec::with_capacity(128 + resp.body.len());
+    out.extend_from_slice(
+        format!(
+            "{} {} {}\r\n",
+            version,
+            resp.status.as_u16(),
+            resp.status.reason()
+        )
+        .as_bytes(),
+    );
+    let body_len = resp.body.len();
+    let mut wrote_length = false;
+    for (name, value) in resp.headers.iter() {
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            continue;
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            out.extend_from_slice(format!("Content-Length: {body_len}\r\n").as_bytes());
+            wrote_length = true;
+        } else {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+    }
+    if !wrote_length {
+        out.extend_from_slice(format!("Content-Length: {body_len}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    for chunk in resp.body.chunks() {
+        out.extend_from_slice(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Request;
+    use crate::parse::{parse_request, parse_response, ParseOutcome};
+    use crate::status::StatusCode;
+    use crate::Response;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::get("http://med.nyu.edu/simm/1?s=9")
+            .with_header("User-Agent", "nakika-test")
+            .with_body("payload");
+        let raw = serialize_request(&req);
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("GET /simm/1?s=9 HTTP/1.1\r\n"));
+        assert!(text.contains("Host: med.nyu.edu\r\n"));
+        match parse_request(&raw).unwrap() {
+            ParseOutcome::Complete { message, .. } => {
+                assert_eq!(message.body.to_text(), "payload");
+                assert_eq!(message.uri.path, "/simm/1");
+            }
+            ParseOutcome::Partial => panic!("round trip incomplete"),
+        }
+    }
+
+    #[test]
+    fn absolute_form_for_proxies() {
+        let req = Request::get("http://a.com/x");
+        let raw = serialize_request_absolute(&req);
+        assert!(String::from_utf8_lossy(&raw).starts_with("GET http://a.com/x HTTP/1.1"));
+    }
+
+    #[test]
+    fn response_round_trip_and_length_fixup() {
+        let mut resp = Response::ok("text/html", "abc");
+        // Simulate a script that changed the body without fixing the header.
+        resp.body = "abcdef".into();
+        let raw = serialize_response(&resp);
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.contains("Content-Length: 6\r\n"));
+        match parse_response(&raw).unwrap() {
+            ParseOutcome::Complete { message, .. } => {
+                assert_eq!(message.status, StatusCode::OK);
+                assert_eq!(message.body.to_text(), "abcdef");
+            }
+            ParseOutcome::Partial => panic!("round trip incomplete"),
+        }
+    }
+
+    #[test]
+    fn chunked_header_is_dropped_on_output() {
+        let mut resp = Response::ok("text/plain", "data");
+        resp.headers.set("Transfer-Encoding", "chunked");
+        let raw = serialize_response(&resp);
+        let text = String::from_utf8_lossy(&raw);
+        assert!(!text.to_ascii_lowercase().contains("transfer-encoding"));
+        assert!(text.contains("Content-Length: 4"));
+    }
+
+    #[test]
+    fn empty_body_still_emits_length() {
+        let resp = Response::new(StatusCode::NO_CONTENT);
+        let raw = serialize_response(&resp);
+        assert!(String::from_utf8_lossy(&raw).contains("Content-Length: 0"));
+    }
+}

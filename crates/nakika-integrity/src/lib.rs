@@ -1,0 +1,45 @@
+//! Content integrity for Na Kika (paper §6).
+//!
+//! Na Kika trusts edge-side nodes to cache and process content faithfully; to
+//! relax that assumption the paper describes two mechanisms, both implemented
+//! here:
+//!
+//! 1. **Static content integrity** — origin servers attach an
+//!    `X-Content-SHA256` header (hash of the body) and an `X-Signature`
+//!    header (keyed signature over the hash *and* the cache-control
+//!    metadata), and switch to *absolute* expiration times so untrusted nodes
+//!    need not be trusted to decrement relative lifetimes.
+//! 2. **Probabilistic verification of processed content** — a trusted
+//!    registry tracks membership; clients forward a fraction of received
+//!    content to another proxy which re-executes the processing; mismatches
+//!    are reported and repeat offenders are evicted.
+//!
+//! The signature is an HMAC-style keyed hash rather than a public-key
+//! signature (see DESIGN.md for the substitution rationale); the protocol
+//! structure — what is covered by the signature and how verification and
+//! eviction proceed — follows the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod sha256;
+pub mod sign;
+
+pub use registry::{NodeStatus, VerificationRegistry};
+pub use sha256::{sha256, sha256_hex};
+pub use sign::{sign_response, verify_response, SigningKey, VerifyError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nakika_http::Response;
+
+    #[test]
+    fn end_to_end_sign_and_verify() {
+        let key = SigningKey::new(b"origin-secret");
+        let mut resp = Response::ok("text/html", "<p>medical study results</p>");
+        sign_response(&mut resp, &key, 1_000, 3_600);
+        assert!(verify_response(&resp, &key, 2_000).is_ok());
+    }
+}

@@ -1,0 +1,175 @@
+//! Probabilistic verification of processed content (paper §6).
+//!
+//! A trusted registry maintains Na Kika membership.  Clients forward a
+//! fraction of the content they receive to a *different* proxy, which repeats
+//! the processing; if the two results differ, the original proxy is reported.
+//! The registry evicts nodes whose mismatch reports cross a threshold.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Membership status of an edge node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// The node is a member in good standing.
+    Active,
+    /// The node has been evicted for serving content that failed
+    /// re-execution checks.
+    Evicted,
+    /// The node is not known to the registry.
+    Unknown,
+}
+
+#[derive(Debug, Clone, Default)]
+struct NodeRecord {
+    checks: u64,
+    mismatches: u64,
+    evicted: bool,
+}
+
+/// The trusted membership registry.
+pub struct VerificationRegistry {
+    nodes: RwLock<HashMap<String, NodeRecord>>,
+    /// A node is evicted once it accumulates at least `min_reports` mismatch
+    /// reports *and* its mismatch ratio exceeds `mismatch_threshold`.
+    mismatch_threshold: f64,
+    min_reports: u64,
+}
+
+impl VerificationRegistry {
+    /// Creates a registry with the given eviction policy.
+    pub fn new(mismatch_threshold: f64, min_reports: u64) -> VerificationRegistry {
+        VerificationRegistry {
+            nodes: RwLock::new(HashMap::new()),
+            mismatch_threshold,
+            min_reports,
+        }
+    }
+
+    /// Registers a node as a member.
+    pub fn join(&self, node: &str) {
+        self.nodes.write().entry(node.to_string()).or_default();
+    }
+
+    /// Current status of a node.
+    pub fn status(&self, node: &str) -> NodeStatus {
+        match self.nodes.read().get(node) {
+            None => NodeStatus::Unknown,
+            Some(r) if r.evicted => NodeStatus::Evicted,
+            Some(_) => NodeStatus::Active,
+        }
+    }
+
+    /// Records the outcome of one re-execution check against `node`:
+    /// `matched` is true when the re-processed content equalled what the node
+    /// served.  Returns the node's status after applying the eviction policy.
+    pub fn report_check(&self, node: &str, matched: bool) -> NodeStatus {
+        let mut nodes = self.nodes.write();
+        let record = nodes.entry(node.to_string()).or_default();
+        record.checks += 1;
+        if !matched {
+            record.mismatches += 1;
+        }
+        if !record.evicted
+            && record.mismatches >= self.min_reports
+            && (record.mismatches as f64 / record.checks as f64) > self.mismatch_threshold
+        {
+            record.evicted = true;
+        }
+        if record.evicted {
+            NodeStatus::Evicted
+        } else {
+            NodeStatus::Active
+        }
+    }
+
+    /// The fraction of checks against `node` that mismatched (0 when the node
+    /// has never been checked).
+    pub fn mismatch_ratio(&self, node: &str) -> f64 {
+        match self.nodes.read().get(node) {
+            Some(r) if r.checks > 0 => r.mismatches as f64 / r.checks as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// All currently active members.
+    pub fn active_members(&self) -> Vec<String> {
+        self.nodes
+            .read()
+            .iter()
+            .filter(|(_, r)| !r.evicted)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Decides (deterministically, from a per-request sample value in
+    /// `[0, 1)`) whether a client should forward this response for
+    /// verification, given the sampling fraction the deployment chose.
+    pub fn should_verify(sample: f64, fraction: f64) -> bool {
+        sample < fraction
+    }
+}
+
+impl Default for VerificationRegistry {
+    fn default() -> Self {
+        // Paper-spirit defaults: evict after repeated, predominantly
+        // mismatching checks.
+        VerificationRegistry::new(0.5, 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_lifecycle() {
+        let reg = VerificationRegistry::default();
+        assert_eq!(reg.status("edge-1"), NodeStatus::Unknown);
+        reg.join("edge-1");
+        assert_eq!(reg.status("edge-1"), NodeStatus::Active);
+        assert!(reg.active_members().contains(&"edge-1".to_string()));
+    }
+
+    #[test]
+    fn honest_node_survives_many_checks() {
+        let reg = VerificationRegistry::default();
+        reg.join("honest");
+        for _ in 0..1000 {
+            assert_eq!(reg.report_check("honest", true), NodeStatus::Active);
+        }
+        assert_eq!(reg.mismatch_ratio("honest"), 0.0);
+    }
+
+    #[test]
+    fn misbehaving_node_is_evicted() {
+        let reg = VerificationRegistry::default();
+        reg.join("tamperer");
+        // Three mismatches in a row exceed both the count and ratio bars.
+        reg.report_check("tamperer", false);
+        reg.report_check("tamperer", false);
+        let status = reg.report_check("tamperer", false);
+        assert_eq!(status, NodeStatus::Evicted);
+        assert_eq!(reg.status("tamperer"), NodeStatus::Evicted);
+        assert!(!reg.active_members().contains(&"tamperer".to_string()));
+    }
+
+    #[test]
+    fn occasional_mismatch_below_ratio_is_tolerated() {
+        // e.g. legitimately different processing output due to racing cache
+        // refreshes should not evict a node that is mostly correct.
+        let reg = VerificationRegistry::new(0.5, 3);
+        reg.join("mostly-good");
+        for i in 0..100 {
+            reg.report_check("mostly-good", i % 10 != 0);
+        }
+        assert_eq!(reg.status("mostly-good"), NodeStatus::Active);
+        assert!(reg.mismatch_ratio("mostly-good") < 0.2);
+    }
+
+    #[test]
+    fn sampling_decision() {
+        assert!(VerificationRegistry::should_verify(0.01, 0.05));
+        assert!(!VerificationRegistry::should_verify(0.9, 0.05));
+    }
+}

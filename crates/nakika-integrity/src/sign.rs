@@ -1,0 +1,232 @@
+//! Signing and verifying responses with `X-Content-SHA256` / `X-Signature`.
+
+use crate::sha256::{sha256, sha256_hex, to_hex};
+use nakika_http::{cache_control, Response};
+use std::time::Duration;
+
+/// Header carrying the body hash (paper §6).
+pub const HASH_HEADER: &str = "X-Content-SHA256";
+/// Header carrying the keyed signature over hash + cache metadata.
+pub const SIGNATURE_HEADER: &str = "X-Signature";
+
+/// A shared signing key held by the origin server (and by verifiers).
+///
+/// HMAC-SHA256 construction: `H((K ⊕ opad) || H((K ⊕ ipad) || m))`.
+#[derive(Clone)]
+pub struct SigningKey {
+    key: [u8; 64],
+}
+
+impl SigningKey {
+    /// Derives a signing key from arbitrary key material.
+    pub fn new(material: &[u8]) -> SigningKey {
+        let mut key = [0u8; 64];
+        if material.len() <= 64 {
+            key[..material.len()].copy_from_slice(material);
+        } else {
+            let digest = sha256(material);
+            key[..32].copy_from_slice(&digest);
+        }
+        SigningKey { key }
+    }
+
+    /// Computes the HMAC-SHA256 of `message`.
+    pub fn mac(&self, message: &[u8]) -> [u8; 32] {
+        let mut ipad = [0x36u8; 64];
+        let mut opad = [0x5cu8; 64];
+        for i in 0..64 {
+            ipad[i] ^= self.key[i];
+            opad[i] ^= self.key[i];
+        }
+        let mut inner = ipad.to_vec();
+        inner.extend_from_slice(message);
+        let inner_digest = sha256(&inner);
+        let mut outer = opad.to_vec();
+        outer.extend_from_slice(&inner_digest);
+        sha256(&outer)
+    }
+}
+
+/// Reasons a response fails integrity verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The hash or signature header is missing.
+    MissingHeaders,
+    /// The body does not match `X-Content-SHA256`.
+    BodyMismatch,
+    /// The signature does not cover the presented hash and cache metadata.
+    BadSignature,
+    /// The absolute expiration time lies in the past (stale content replayed
+    /// by a misbehaving node).
+    Expired,
+    /// The response lacks the absolute expiration metadata the scheme
+    /// requires.
+    MissingExpiry,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            VerifyError::MissingHeaders => "integrity headers missing",
+            VerifyError::BodyMismatch => "body hash mismatch",
+            VerifyError::BadSignature => "signature invalid",
+            VerifyError::Expired => "absolute expiration in the past",
+            VerifyError::MissingExpiry => "absolute expiration missing",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The byte string covered by the signature: body hash plus the absolute
+/// cache expiration metadata (so a malicious node can neither alter the body
+/// nor extend the content's lifetime).
+fn signed_payload(hash_hex: &str, date_secs: &str, expires_secs: &str) -> Vec<u8> {
+    format!("{hash_hex}\n{date_secs}\n{expires_secs}").into_bytes()
+}
+
+/// Signs a response: rewrites its cache metadata to absolute times
+/// (`now_secs` + `lifetime_secs`) and attaches the hash and signature
+/// headers.  Origins call this; the hash may be precomputed offline exactly
+/// as the paper notes.
+pub fn sign_response(resp: &mut Response, key: &SigningKey, now_secs: u64, lifetime_secs: u64) {
+    cache_control::set_absolute_expiry(resp, now_secs, Duration::from_secs(lifetime_secs));
+    let hash = sha256_hex(&resp.body.to_bytes());
+    let date = resp.headers.get("date-seconds").unwrap_or("0").to_string();
+    let expires = resp.headers.get("expires-seconds").unwrap_or("0").to_string();
+    let signature = to_hex(&key.mac(&signed_payload(&hash, &date, &expires)));
+    resp.headers.set(HASH_HEADER, hash);
+    resp.headers.set(SIGNATURE_HEADER, signature);
+}
+
+/// Verifies a response received from an untrusted cache: the body must match
+/// the hash, the signature must cover the hash and expiry metadata, and the
+/// absolute expiration must still lie in the future at `now_secs`.
+pub fn verify_response(resp: &Response, key: &SigningKey, now_secs: u64) -> Result<(), VerifyError> {
+    let hash = resp
+        .headers
+        .get(HASH_HEADER)
+        .ok_or(VerifyError::MissingHeaders)?
+        .to_string();
+    let signature = resp
+        .headers
+        .get(SIGNATURE_HEADER)
+        .ok_or(VerifyError::MissingHeaders)?
+        .to_string();
+    let date = resp
+        .headers
+        .get("date-seconds")
+        .ok_or(VerifyError::MissingExpiry)?
+        .to_string();
+    let expires = resp
+        .headers
+        .get("expires-seconds")
+        .ok_or(VerifyError::MissingExpiry)?
+        .to_string();
+
+    if sha256_hex(&resp.body.to_bytes()) != hash {
+        return Err(VerifyError::BodyMismatch);
+    }
+    let expected = to_hex(&key.mac(&signed_payload(&hash, &date, &expires)));
+    if !constant_time_eq(expected.as_bytes(), signature.as_bytes()) {
+        return Err(VerifyError::BadSignature);
+    }
+    let expires_at: u64 = expires.parse().map_err(|_| VerifyError::MissingExpiry)?;
+    if expires_at < now_secs {
+        return Err(VerifyError::Expired);
+    }
+    Ok(())
+}
+
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nakika_http::Response;
+
+    // RFC 4231 test case 2 for HMAC-SHA256.
+    #[test]
+    fn hmac_test_vector() {
+        let key = SigningKey::new(b"Jefe");
+        let mac = key.mac(b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    fn signed() -> (Response, SigningKey) {
+        let key = SigningKey::new(b"secret");
+        let mut resp = Response::ok("text/html", "<p>study</p>");
+        sign_response(&mut resp, &key, 1_000, 600);
+        (resp, key)
+    }
+
+    #[test]
+    fn valid_signature_passes() {
+        let (resp, key) = signed();
+        assert!(verify_response(&resp, &key, 1_500).is_ok());
+        assert!(resp.headers.contains(HASH_HEADER));
+        assert!(resp.headers.contains(SIGNATURE_HEADER));
+        // Absolute, not relative, expiry.
+        assert_eq!(resp.headers.get("expires-seconds"), Some("1600"));
+        assert!(!resp.headers.contains("cache-control"));
+    }
+
+    #[test]
+    fn tampered_body_is_detected() {
+        let (mut resp, key) = signed();
+        resp.set_body("<p>falsified study</p>");
+        assert_eq!(verify_response(&resp, &key, 1_500), Err(VerifyError::BodyMismatch));
+    }
+
+    #[test]
+    fn extended_lifetime_is_detected() {
+        let (mut resp, key) = signed();
+        // A malicious node tries to keep the content alive longer.
+        resp.headers.set("Expires-Seconds", "999999");
+        assert_eq!(verify_response(&resp, &key, 1_500), Err(VerifyError::BadSignature));
+    }
+
+    #[test]
+    fn stale_replay_is_detected() {
+        let (resp, key) = signed();
+        assert_eq!(verify_response(&resp, &key, 5_000), Err(VerifyError::Expired));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let (resp, _) = signed();
+        let other = SigningKey::new(b"not the key");
+        assert_eq!(verify_response(&resp, &other, 1_100), Err(VerifyError::BadSignature));
+    }
+
+    #[test]
+    fn unsigned_response_is_rejected() {
+        let resp = Response::ok("text/html", "x");
+        let key = SigningKey::new(b"secret");
+        assert_eq!(
+            verify_response(&resp, &key, 1_000),
+            Err(VerifyError::MissingHeaders)
+        );
+    }
+
+    #[test]
+    fn long_key_material_is_hashed() {
+        let key = SigningKey::new(&vec![7u8; 200]);
+        let mut resp = Response::ok("text/plain", "x");
+        sign_response(&mut resp, &key, 0, 10);
+        assert!(verify_response(&resp, &key, 5).is_ok());
+    }
+}

@@ -1,0 +1,28 @@
+//! Structured overlay network for Na Kika (paper §3.4).
+//!
+//! Na Kika treats its overlay largely as a black box provided by an existing
+//! DHT and builds on Coral, which offers three properties the architecture
+//! needs: (1) *sloppy* soft-state storage keyed by URL so that one cached
+//! copy anywhere in the network is enough to avoid an origin access, (2)
+//! hierarchical locality clusters so lookups prefer nearby nodes, and (3)
+//! DNS redirection of clients to nearby edge nodes.
+//!
+//! This crate implements that substrate from scratch: XOR-metric key-based
+//! routing, TTL'd sloppy storage with per-key value limits, Coral-style
+//! locality clusters, and a latency-aware redirector.  It runs in-process
+//! (the simulator provides latencies); the interface is deliberately the
+//! small `put / get / nodes_for_key / redirect` surface the rest of Na Kika
+//! consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod dht;
+pub mod id;
+pub mod redirect;
+
+pub use cluster::{ClusterLevel, Location};
+pub use dht::{Overlay, OverlayConfig, OverlayStats, StoredValue};
+pub use id::{key_for, NodeId};
+pub use redirect::Redirector;

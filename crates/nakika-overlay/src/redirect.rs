@@ -1,0 +1,89 @@
+//! DNS-style redirection of clients to nearby edge nodes.
+//!
+//! The paper appends `.nakika.net` to URLs so Na Kika's name servers can
+//! answer DNS queries with the address of an edge proxy near the client
+//! (§3).  Coral provides this as optional functionality; here the redirector
+//! sits on top of the overlay's node registry and picks among the closest
+//! live nodes, spreading load across the candidate set rather than pinning
+//! every client of a region onto one proxy.
+
+use crate::cluster::Location;
+use crate::dht::Overlay;
+use crate::id::NodeId;
+use parking_lot::Mutex;
+
+/// Chooses an edge node for each client request.
+pub struct Redirector<'o> {
+    overlay: &'o Overlay,
+    /// How many nearby candidates to rotate across.
+    candidates: usize,
+    round_robin: Mutex<usize>,
+}
+
+impl<'o> Redirector<'o> {
+    /// Creates a redirector that rotates across the `candidates` nearest
+    /// nodes (the paper directs clients "to randomly chosen, but close-by
+    /// proxies from a preconfigured list").
+    pub fn new(overlay: &'o Overlay, candidates: usize) -> Redirector<'o> {
+        Redirector {
+            overlay,
+            candidates: candidates.max(1),
+            round_robin: Mutex::new(0),
+        }
+    }
+
+    /// Picks an edge node for a client at `location`; `None` when the overlay
+    /// is empty (clients then fall back to the origin server directly).
+    pub fn redirect(&self, location: &Location) -> Option<(NodeId, Location)> {
+        let nearest = self.overlay.nearest_nodes(location, self.candidates);
+        if nearest.is_empty() {
+            return None;
+        }
+        let mut counter = self.round_robin.lock();
+        let choice = nearest[*counter % nearest.len()];
+        *counter = counter.wrapping_add(1);
+        Some(choice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::sites;
+    use crate::dht::Overlay;
+
+    #[test]
+    fn redirects_to_a_nearby_node() {
+        let overlay = Overlay::with_defaults();
+        overlay.join(NodeId(1), sites::US_EAST);
+        overlay.join(NodeId(2), sites::US_WEST);
+        overlay.join(NodeId(3), sites::ASIA);
+        let redirector = Redirector::new(&overlay, 1);
+        let (id, _) = redirector.redirect(&sites::ASIA).unwrap();
+        assert_eq!(id, NodeId(3));
+        let (id, _) = redirector.redirect(&sites::US_EAST_LAN).unwrap();
+        assert_eq!(id, NodeId(1));
+    }
+
+    #[test]
+    fn rotates_across_candidates_for_load_balancing() {
+        let overlay = Overlay::with_defaults();
+        overlay.join(NodeId(1), sites::US_EAST);
+        overlay.join(NodeId(2), sites::US_EAST_LAN);
+        overlay.join(NodeId(3), sites::ASIA);
+        let redirector = Redirector::new(&overlay, 2);
+        let picks: Vec<NodeId> = (0..4)
+            .map(|_| redirector.redirect(&sites::US_EAST).unwrap().0)
+            .collect();
+        assert!(picks.contains(&NodeId(1)));
+        assert!(picks.contains(&NodeId(2)));
+        assert!(!picks.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn empty_overlay_yields_none() {
+        let overlay = Overlay::with_defaults();
+        let redirector = Redirector::new(&overlay, 3);
+        assert!(redirector.redirect(&sites::US_EAST).is_none());
+    }
+}

@@ -1,0 +1,925 @@
+//! Recursive-descent parser producing the NkScript AST.
+
+use crate::ast::*;
+use crate::error::ScriptError;
+use crate::lexer::{tokenize, Keyword, Punct, Token, TokenKind};
+use std::sync::Arc;
+
+/// Parses a complete program from source text.
+pub fn parse_program(source: &str) -> Result<Program, ScriptError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut body = Vec::new();
+    while !parser.at_eof() {
+        body.push(parser.statement()?);
+    }
+    Ok(Program { body })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error(&self, message: impl Into<String>) -> ScriptError {
+        ScriptError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == &TokenKind::Punct(p) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), ScriptError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}, found {:?}", p, self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek() == &TokenKind::Keyword(k) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ScriptError> {
+        match self.advance() {
+            TokenKind::Ident(name) => Ok(name),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_semicolons(&mut self) {
+        while self.eat_punct(Punct::Semicolon) {}
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Stmt, ScriptError> {
+        let stmt = match self.peek().clone() {
+            TokenKind::Punct(Punct::Semicolon) => {
+                self.advance();
+                return Ok(Stmt::Empty);
+            }
+            TokenKind::Punct(Punct::LBrace) => {
+                self.advance();
+                let body = self.block_body()?;
+                return Ok(Stmt::Block(body));
+            }
+            TokenKind::Keyword(Keyword::Var) => {
+                self.advance();
+                self.var_decl()?
+            }
+            TokenKind::Keyword(Keyword::Function) => {
+                // Could be a declaration (function name(...)) or the start of
+                // an expression statement (rare); we treat a following
+                // identifier as a declaration.
+                if matches!(&self.tokens[self.pos + 1].kind, TokenKind::Ident(_)) {
+                    self.advance();
+                    let name = self.expect_ident()?;
+                    let func = self.function_rest(Some(name.clone()))?;
+                    Stmt::FunctionDecl {
+                        name,
+                        func: Arc::new(func),
+                    }
+                } else {
+                    let expr = self.expression()?;
+                    Stmt::Expr(expr)
+                }
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                self.advance();
+                if matches!(
+                    self.peek(),
+                    TokenKind::Punct(Punct::Semicolon) | TokenKind::Punct(Punct::RBrace) | TokenKind::Eof
+                ) {
+                    Stmt::Return(None)
+                } else {
+                    Stmt::Return(Some(self.expression()?))
+                }
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.advance();
+                return self.if_statement();
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.advance();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expression()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.statement_as_block()?;
+                return Ok(Stmt::While { cond, body });
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.advance();
+                return self.for_statement();
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                self.advance();
+                Stmt::Break
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.advance();
+                Stmt::Continue
+            }
+            TokenKind::Keyword(Keyword::Throw) => {
+                self.advance();
+                Stmt::Throw(self.expression()?)
+            }
+            TokenKind::Keyword(Keyword::Try) => {
+                self.advance();
+                return self.try_statement();
+            }
+            _ => Stmt::Expr(self.expression()?),
+        };
+        self.eat_semicolons();
+        Ok(stmt)
+    }
+
+    fn var_decl(&mut self) -> Result<Stmt, ScriptError> {
+        let name = self.expect_ident()?;
+        let init = if self.eat_punct(Punct::Assign) {
+            Some(self.expression()?)
+        } else {
+            None
+        };
+        // Multiple declarators (`var a = 1, b = 2`) desugar into a block.
+        if self.eat_punct(Punct::Comma) {
+            let mut decls = vec![Stmt::VarDecl { name, init }];
+            loop {
+                let name = self.expect_ident()?;
+                let init = if self.eat_punct(Punct::Assign) {
+                    Some(self.expression()?)
+                } else {
+                    None
+                };
+                decls.push(Stmt::VarDecl { name, init });
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            return Ok(Stmt::Block(decls));
+        }
+        Ok(Stmt::VarDecl { name, init })
+    }
+
+    fn if_statement(&mut self) -> Result<Stmt, ScriptError> {
+        self.expect_punct(Punct::LParen)?;
+        let cond = self.expression()?;
+        self.expect_punct(Punct::RParen)?;
+        let then_branch = self.statement_as_block()?;
+        let else_branch = if self.eat_keyword(Keyword::Else) {
+            self.statement_as_block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    fn for_statement(&mut self) -> Result<Stmt, ScriptError> {
+        self.expect_punct(Punct::LParen)?;
+        // for-in form: `for (var k in obj)` or `for (k in obj)`
+        let checkpoint = self.pos;
+        let had_var = self.eat_keyword(Keyword::Var);
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if self.tokens[self.pos + 1].kind == TokenKind::Keyword(Keyword::In) {
+                self.advance(); // ident
+                self.advance(); // in
+                let object = self.expression()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.statement_as_block()?;
+                return Ok(Stmt::ForIn {
+                    var: name,
+                    object,
+                    body,
+                });
+            }
+        }
+        self.pos = checkpoint;
+        let _ = had_var;
+
+        let init = if self.eat_punct(Punct::Semicolon) {
+            None
+        } else {
+            let stmt = if self.eat_keyword(Keyword::Var) {
+                self.var_decl()?
+            } else {
+                Stmt::Expr(self.expression()?)
+            };
+            self.expect_punct(Punct::Semicolon)?;
+            Some(Box::new(stmt))
+        };
+        let cond = if self.peek() == &TokenKind::Punct(Punct::Semicolon) {
+            None
+        } else {
+            Some(self.expression()?)
+        };
+        self.expect_punct(Punct::Semicolon)?;
+        let update = if self.peek() == &TokenKind::Punct(Punct::RParen) {
+            None
+        } else {
+            Some(self.expression()?)
+        };
+        self.expect_punct(Punct::RParen)?;
+        let body = self.statement_as_block()?;
+        Ok(Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        })
+    }
+
+    fn try_statement(&mut self) -> Result<Stmt, ScriptError> {
+        self.expect_punct(Punct::LBrace)?;
+        let body = self.block_body()?;
+        let mut catch_name = None;
+        let mut catch_body = Vec::new();
+        let mut finally_body = Vec::new();
+        if self.eat_keyword(Keyword::Catch) {
+            if self.eat_punct(Punct::LParen) {
+                catch_name = Some(self.expect_ident()?);
+                self.expect_punct(Punct::RParen)?;
+            } else {
+                catch_name = Some("$error".to_string());
+            }
+            self.expect_punct(Punct::LBrace)?;
+            catch_body = self.block_body()?;
+        }
+        if self.eat_keyword(Keyword::Finally) {
+            self.expect_punct(Punct::LBrace)?;
+            finally_body = self.block_body()?;
+        }
+        if catch_name.is_none() && finally_body.is_empty() {
+            return Err(self.error("try without catch or finally"));
+        }
+        Ok(Stmt::Try {
+            body,
+            catch_name,
+            catch_body,
+            finally_body,
+        })
+    }
+
+    /// Parses `{ ... }` bodies or a single statement, always returning a list.
+    fn statement_as_block(&mut self) -> Result<Vec<Stmt>, ScriptError> {
+        if self.eat_punct(Punct::LBrace) {
+            self.block_body()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    /// Parses statements until the closing `}` (which it consumes).
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ScriptError> {
+        let mut body = Vec::new();
+        loop {
+            if self.eat_punct(Punct::RBrace) {
+                return Ok(body);
+            }
+            if self.at_eof() {
+                return Err(self.error("unexpected end of input inside block"));
+            }
+            body.push(self.statement()?);
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expression(&mut self) -> Result<Expr, ScriptError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ScriptError> {
+        let target = self.conditional()?;
+        let op = match self.peek() {
+            TokenKind::Punct(Punct::Assign) => Some(None),
+            TokenKind::Punct(Punct::PlusAssign) => Some(Some(BinaryOp::Add)),
+            TokenKind::Punct(Punct::MinusAssign) => Some(Some(BinaryOp::Sub)),
+            TokenKind::Punct(Punct::StarAssign) => Some(Some(BinaryOp::Mul)),
+            TokenKind::Punct(Punct::SlashAssign) => Some(Some(BinaryOp::Div)),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            if !matches!(target, Expr::Ident(_) | Expr::Member { .. } | Expr::Index { .. }) {
+                return Err(self.error("invalid assignment target"));
+            }
+            let value = self.assignment()?;
+            return Ok(Expr::Assign {
+                target: Box::new(target),
+                op,
+                value: Box::new(value),
+            });
+        }
+        Ok(target)
+    }
+
+    fn conditional(&mut self) -> Result<Expr, ScriptError> {
+        let cond = self.logical_or()?;
+        if self.eat_punct(Punct::Question) {
+            let then = self.assignment()?;
+            self.expect_punct(Punct::Colon)?;
+            let otherwise = self.assignment()?;
+            return Ok(Expr::Conditional {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                otherwise: Box::new(otherwise),
+            });
+        }
+        Ok(cond)
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, ScriptError> {
+        let mut left = self.logical_and()?;
+        while self.eat_punct(Punct::OrOr) {
+            let right = self.logical_and()?;
+            left = Expr::Logical {
+                is_and: false,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, ScriptError> {
+        let mut left = self.equality()?;
+        while self.eat_punct(Punct::AndAnd) {
+            let right = self.equality()?;
+            left = Expr::Logical {
+                is_and: true,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ScriptError> {
+        let mut left = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Punct(Punct::Eq) => BinaryOp::Eq,
+                TokenKind::Punct(Punct::NotEq) => BinaryOp::NotEq,
+                TokenKind::Punct(Punct::StrictEq) => BinaryOp::StrictEq,
+                TokenKind::Punct(Punct::StrictNotEq) => BinaryOp::StrictNotEq,
+                _ => break,
+            };
+            self.advance();
+            let right = self.relational()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ScriptError> {
+        let mut left = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Punct(Punct::Lt) => BinaryOp::Lt,
+                TokenKind::Punct(Punct::Gt) => BinaryOp::Gt,
+                TokenKind::Punct(Punct::Le) => BinaryOp::Le,
+                TokenKind::Punct(Punct::Ge) => BinaryOp::Ge,
+                TokenKind::Keyword(Keyword::In) => BinaryOp::In,
+                _ => break,
+            };
+            self.advance();
+            let right = self.additive()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ScriptError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Punct(Punct::Plus) => BinaryOp::Add,
+                TokenKind::Punct(Punct::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ScriptError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Punct(Punct::Star) => BinaryOp::Mul,
+                TokenKind::Punct(Punct::Slash) => BinaryOp::Div,
+                TokenKind::Punct(Punct::Percent) => BinaryOp::Rem,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ScriptError> {
+        match self.peek().clone() {
+            TokenKind::Punct(Punct::Minus) => {
+                self.advance();
+                Ok(Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            TokenKind::Punct(Punct::Plus) => {
+                self.advance();
+                Ok(Expr::Unary {
+                    op: UnaryOp::Plus,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            TokenKind::Punct(Punct::Not) => {
+                self.advance();
+                Ok(Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            TokenKind::Keyword(Keyword::Typeof) => {
+                self.advance();
+                Ok(Expr::Typeof(Box::new(self.unary()?)))
+            }
+            TokenKind::Keyword(Keyword::Delete) => {
+                self.advance();
+                Ok(Expr::Delete(Box::new(self.unary()?)))
+            }
+            TokenKind::Keyword(Keyword::New) => {
+                self.advance();
+                let base = self.primary_for_new()?;
+                let callee = self.member_chain(base)?;
+                // The argument list is part of `new`.
+                let args = if self.eat_punct(Punct::LParen) {
+                    self.argument_list()?
+                } else {
+                    Vec::new()
+                };
+                let expr = Expr::New {
+                    callee: Box::new(callee),
+                    args,
+                };
+                self.call_tail(expr)
+            }
+            TokenKind::Punct(Punct::PlusPlus) => {
+                self.advance();
+                let target = self.unary()?;
+                Ok(Expr::Update {
+                    target: Box::new(target),
+                    delta: 1.0,
+                    prefix: true,
+                })
+            }
+            TokenKind::Punct(Punct::MinusMinus) => {
+                self.advance();
+                let target = self.unary()?;
+                Ok(Expr::Update {
+                    target: Box::new(target),
+                    delta: -1.0,
+                    prefix: true,
+                })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    /// For `new Foo.Bar(...)`: parse the primary without consuming call
+    /// parentheses (those belong to `new`).
+    fn primary_for_new(&mut self) -> Result<Expr, ScriptError> {
+        match self.advance() {
+            TokenKind::Ident(name) => Ok(Expr::Ident(name)),
+            other => Err(self.error(format!("expected constructor name after new, found {other:?}"))),
+        }
+    }
+
+    /// Member accesses only (no calls) — used when parsing `new` targets.
+    fn member_chain(&mut self, mut expr: Expr) -> Result<Expr, ScriptError> {
+        loop {
+            if self.eat_punct(Punct::Dot) {
+                let property = self.property_name()?;
+                expr = Expr::Member {
+                    object: Box::new(expr),
+                    property,
+                };
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ScriptError> {
+        let expr = self.primary()?;
+        let expr = self.call_tail(expr)?;
+        match self.peek() {
+            TokenKind::Punct(Punct::PlusPlus) => {
+                self.advance();
+                Ok(Expr::Update {
+                    target: Box::new(expr),
+                    delta: 1.0,
+                    prefix: false,
+                })
+            }
+            TokenKind::Punct(Punct::MinusMinus) => {
+                self.advance();
+                Ok(Expr::Update {
+                    target: Box::new(expr),
+                    delta: -1.0,
+                    prefix: false,
+                })
+            }
+            _ => Ok(expr),
+        }
+    }
+
+    /// Parses chains of `.prop`, `[index]`, and `(args)` after a primary.
+    fn call_tail(&mut self, mut expr: Expr) -> Result<Expr, ScriptError> {
+        loop {
+            if self.eat_punct(Punct::Dot) {
+                let property = self.property_name()?;
+                expr = Expr::Member {
+                    object: Box::new(expr),
+                    property,
+                };
+            } else if self.eat_punct(Punct::LBracket) {
+                let index = self.expression()?;
+                self.expect_punct(Punct::RBracket)?;
+                expr = Expr::Index {
+                    object: Box::new(expr),
+                    index: Box::new(index),
+                };
+            } else if self.eat_punct(Punct::LParen) {
+                let args = self.argument_list()?;
+                expr = Expr::Call {
+                    callee: Box::new(expr),
+                    args,
+                };
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    /// Property names after `.` may be identifiers or keywords (`obj.delete`).
+    fn property_name(&mut self) -> Result<String, ScriptError> {
+        match self.advance() {
+            TokenKind::Ident(name) => Ok(name),
+            TokenKind::Keyword(k) => Ok(format!("{k:?}").to_ascii_lowercase()),
+            other => Err(self.error(format!("expected property name, found {other:?}"))),
+        }
+    }
+
+    fn argument_list(&mut self) -> Result<Vec<Expr>, ScriptError> {
+        let mut args = Vec::new();
+        if self.eat_punct(Punct::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.assignment()?);
+            if self.eat_punct(Punct::Comma) {
+                continue;
+            }
+            self.expect_punct(Punct::RParen)?;
+            return Ok(args);
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ScriptError> {
+        match self.advance() {
+            TokenKind::Number(n) => Ok(Expr::Number(n)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::Keyword(Keyword::True) => Ok(Expr::Bool(true)),
+            TokenKind::Keyword(Keyword::False) => Ok(Expr::Bool(false)),
+            TokenKind::Keyword(Keyword::Null) => Ok(Expr::Null),
+            TokenKind::Keyword(Keyword::Undefined) => Ok(Expr::Undefined),
+            TokenKind::Ident(name) => Ok(Expr::Ident(name)),
+            TokenKind::Keyword(Keyword::Function) => {
+                let name = if let TokenKind::Ident(n) = self.peek().clone() {
+                    self.advance();
+                    Some(n)
+                } else {
+                    None
+                };
+                Ok(Expr::Function(Arc::new(self.function_rest(name)?)))
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                let expr = self.expression()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(expr)
+            }
+            TokenKind::Punct(Punct::LBracket) => {
+                let mut items = Vec::new();
+                if self.eat_punct(Punct::RBracket) {
+                    return Ok(Expr::Array(items));
+                }
+                loop {
+                    items.push(self.assignment()?);
+                    if self.eat_punct(Punct::Comma) {
+                        if self.eat_punct(Punct::RBracket) {
+                            return Ok(Expr::Array(items));
+                        }
+                        continue;
+                    }
+                    self.expect_punct(Punct::RBracket)?;
+                    return Ok(Expr::Array(items));
+                }
+            }
+            TokenKind::Punct(Punct::LBrace) => {
+                let mut props = Vec::new();
+                if self.eat_punct(Punct::RBrace) {
+                    return Ok(Expr::Object(props));
+                }
+                loop {
+                    let key = match self.advance() {
+                        TokenKind::Ident(name) => name,
+                        TokenKind::Str(s) => s,
+                        TokenKind::Number(n) => crate::value::number_to_string(n),
+                        TokenKind::Keyword(k) => format!("{k:?}").to_ascii_lowercase(),
+                        other => {
+                            return Err(self.error(format!("expected property key, found {other:?}")))
+                        }
+                    };
+                    self.expect_punct(Punct::Colon)?;
+                    let value = self.assignment()?;
+                    props.push((key, value));
+                    if self.eat_punct(Punct::Comma) {
+                        if self.eat_punct(Punct::RBrace) {
+                            return Ok(Expr::Object(props));
+                        }
+                        continue;
+                    }
+                    self.expect_punct(Punct::RBrace)?;
+                    return Ok(Expr::Object(props));
+                }
+            }
+            other => Err(self.error(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    /// Parses `(params) { body }` for function declarations and expressions.
+    fn function_rest(&mut self, name: Option<String>) -> Result<FunctionLiteral, ScriptError> {
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                params.push(self.expect_ident()?);
+                if self.eat_punct(Punct::Comma) {
+                    continue;
+                }
+                self.expect_punct(Punct::RParen)?;
+                break;
+            }
+        }
+        self.expect_punct(Punct::LBrace)?;
+        let body = self.block_body()?;
+        Ok(FunctionLiteral { params, body, name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_var_and_expression() {
+        let p = parse_program("var x = 1 + 2 * 3;").unwrap();
+        assert_eq!(p.body.len(), 1);
+        match &p.body[0] {
+            Stmt::VarDecl { name, init } => {
+                assert_eq!(name, "x");
+                assert!(init.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multiple_declarators() {
+        let p = parse_program("var buff = null, body = 1;").unwrap();
+        match &p.body[0] {
+            Stmt::Block(decls) => assert_eq!(decls.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_function_declaration_and_expression() {
+        let p = parse_program("function f(a, b) { return a + b; } var g = function() { };").unwrap();
+        assert!(matches!(p.body[0], Stmt::FunctionDecl { .. }));
+        match &p.body[1] {
+            Stmt::VarDecl { init: Some(Expr::Function(f)), .. } => assert!(f.params.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_while_for() {
+        let src = "if (a > 1) { b = 1; } else b = 2; while (x) { x = x - 1; } for (var i = 0; i < 10; i++) { s += i; }";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.body.len(), 3);
+        assert!(matches!(p.body[0], Stmt::If { .. }));
+        assert!(matches!(p.body[1], Stmt::While { .. }));
+        assert!(matches!(p.body[2], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_for_in() {
+        let p = parse_program("for (var k in obj) { count++; }").unwrap();
+        assert!(matches!(&p.body[0], Stmt::ForIn { var, .. } if var == "k"));
+        let p = parse_program("for (k in obj) { }").unwrap();
+        assert!(matches!(&p.body[0], Stmt::ForIn { .. }));
+    }
+
+    #[test]
+    fn parses_member_index_call_chains() {
+        let p = parse_program("ImageTransformer.transform(body, type, 'jpeg', 176, dim.y/dim.x*208);").unwrap();
+        match &p.body[0] {
+            Stmt::Expr(Expr::Call { callee, args }) => {
+                assert!(matches!(**callee, Expr::Member { .. }));
+                assert_eq!(args.len(), 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let p = parse_program("a.b[c].d(1)(2);").unwrap();
+        assert!(matches!(&p.body[0], Stmt::Expr(Expr::Call { .. })));
+    }
+
+    #[test]
+    fn parses_new_and_object_literals() {
+        let p = parse_program("var p = new Policy(); p.url = ['a', 'b']; var o = { x: 1, 'y': 2 };").unwrap();
+        match &p.body[0] {
+            Stmt::VarDecl { init: Some(Expr::New { args, .. }), .. } => assert!(args.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p.body[2] {
+            Stmt::VarDecl { init: Some(Expr::Object(props)), .. } => assert_eq!(props.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_assignment_to_member() {
+        let p = parse_program("onResponse = function() { Response.write(img); };").unwrap();
+        assert!(matches!(&p.body[0], Stmt::Expr(Expr::Assign { .. })));
+    }
+
+    #[test]
+    fn parses_conditional_and_logical() {
+        let p = parse_program("var x = a > b ? a : b; var y = p && q || r;").unwrap();
+        assert!(matches!(
+            &p.body[0],
+            Stmt::VarDecl { init: Some(Expr::Conditional { .. }), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_try_catch_throw() {
+        let p = parse_program("try { risky(); } catch (e) { handle(e); } finally { done(); } throw 'x';").unwrap();
+        assert!(matches!(&p.body[0], Stmt::Try { catch_name: Some(_), .. }));
+        assert!(matches!(&p.body[1], Stmt::Throw(_)));
+        assert!(parse_program("try { x(); }").is_err());
+    }
+
+    #[test]
+    fn parses_update_expressions() {
+        let p = parse_program("i++; --j; a.count++;").unwrap();
+        assert!(matches!(&p.body[0], Stmt::Expr(Expr::Update { prefix: false, .. })));
+        assert!(matches!(&p.body[1], Stmt::Expr(Expr::Update { prefix: true, .. })));
+        assert!(matches!(&p.body[2], Stmt::Expr(Expr::Update { .. })));
+    }
+
+    #[test]
+    fn parses_typeof_delete_in() {
+        let p = parse_program("typeof x; delete o.k; 'k' in o;").unwrap();
+        assert!(matches!(&p.body[0], Stmt::Expr(Expr::Typeof(_))));
+        assert!(matches!(&p.body[1], Stmt::Expr(Expr::Delete(_))));
+        assert!(matches!(
+            &p.body[2],
+            Stmt::Expr(Expr::Binary { op: BinaryOp::In, .. })
+        ));
+    }
+
+    #[test]
+    fn reports_syntax_errors_with_lines() {
+        let err = parse_program("var ok = 1;\nvar x = ;").unwrap_err();
+        match err {
+            ScriptError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_program("function (a { }").is_err());
+        assert!(parse_program("if (x { }").is_err());
+        assert!(parse_program("{ unclosed").is_err());
+        assert!(parse_program("1 + = 2").is_err());
+    }
+
+    #[test]
+    fn parses_the_paper_figure_2_script() {
+        let src = r#"
+            onResponse = function() {
+                var buff = null, body = new ByteArray();
+                while (buff = Response.read()) {
+                    body.append(buff);
+                }
+                var type = ImageTransformer.type(Response.contentType);
+                var dim = ImageTransformer.dimensions(body, type);
+                if (dim.x > 176 || dim.y > 208) {
+                    var img;
+                    if (dim.x/176 > dim.y/208) {
+                        img = ImageTransformer.transform(body, type, "jpeg", 176, dim.y/dim.x*208);
+                    } else {
+                        img = ImageTransformer.transform(body, type, "jpeg", dim.x/dim.y*176, 208);
+                    }
+                    Response.setHeader("Content-Type", "image/jpeg");
+                    Response.setHeader("Content-Length", img.length);
+                    Response.write(img);
+                }
+            }
+        "#;
+        assert!(parse_program(src).is_ok());
+    }
+
+    #[test]
+    fn parses_the_paper_figure_3_and_5_policies() {
+        let fig3 = r#"
+            p = new Policy();
+            p.url = [ "med.nyu.edu", "medschool.pitt.edu" ];
+            p.client = [ "nyu.edu", "pitt.edu" ];
+            p.onResponse = function() { return 1; }
+            p.register();
+        "#;
+        assert!(parse_program(fig3).is_ok());
+        let fig5 = r#"
+            bmj = "bmj.bmjjournals.com/cgi/reprint";
+            nejm = "content.nejm.org/cgi/reprint";
+            p = new Policy();
+            p.url = [ bmj, nejm ];
+            p.onRequest = function() {
+                if (! System.isLocal(Request.clientIP)) {
+                    Request.terminate(401);
+                }
+            }
+            p.register();
+        "#;
+        assert!(parse_program(fig5).is_ok());
+    }
+}

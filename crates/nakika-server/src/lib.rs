@@ -1,0 +1,326 @@
+//! Real-socket front-ends for Na Kika: a blocking, thread-per-connection HTTP
+//! origin server and proxy, so the examples run end-to-end over localhost TCP
+//! exactly as a small deployment would (the paper's prototype embeds the same
+//! logic in Apache's prefork worker processes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nakika_core::node::{NaKikaNode, OriginFetch};
+use nakika_http::{parse_request, serialize_request, serialize_response, ParseOutcome};
+use nakika_http::{Request, Response, StatusCode};
+use std::io::{Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// A handler invoked for every request an [`HttpServer`] receives.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A minimal blocking HTTP/1.1 server: one thread per connection, suitable
+/// for origin servers in examples and tests.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl HttpServer {
+    /// Starts a server on `127.0.0.1:port` (port 0 picks a free port) and
+    /// serves `handler` until the value is dropped.
+    pub fn start(port: u16, handler: Handler) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = shutdown.clone();
+        listener.set_nonblocking(true)?;
+        std::thread::spawn(move || {
+            while !shutdown_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        let handler = handler.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, peer.ip(), &|req| handler(req));
+                        });
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(HttpServer { addr, shutdown })
+    }
+
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's base URL (`http://127.0.0.1:port`).
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A Na Kika proxy listening on a real socket: every accepted request is
+/// handed to the wrapped [`NaKikaNode`], which fetches whatever it needs over
+/// outbound TCP connections.
+pub struct ProxyServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ProxyServer {
+    /// Starts the proxy on `127.0.0.1:port` in front of `node`.
+    pub fn start(port: u16, node: Arc<NaKikaNode>) -> std::io::Result<ProxyServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = shutdown.clone();
+        listener.set_nonblocking(true)?;
+        let origin: Arc<dyn OriginFetch> = Arc::new(TcpOrigin);
+        std::thread::spawn(move || {
+            while !shutdown_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        let node = node.clone();
+                        let origin = origin.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, peer.ip(), &move |req| {
+                                node.handle_request(req.clone(), unix_now(), &origin)
+                            });
+                        });
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(ProxyServer { addr, shutdown })
+    }
+
+    /// The address the proxy listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ProxyServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Seconds since the Unix epoch, the wall-clock "now" used by the real
+/// servers (the simulator uses virtual time instead).
+pub fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// An [`OriginFetch`] that performs real outbound HTTP/1.1 requests over TCP.
+pub struct TcpOrigin;
+
+impl OriginFetch for TcpOrigin {
+    fn fetch_origin(&self, request: &Request) -> Response {
+        match http_fetch(request) {
+            Ok(response) => response,
+            Err(_) => Response::error(StatusCode::BAD_GATEWAY),
+        }
+    }
+}
+
+/// Performs a blocking HTTP request to the host named in `request`'s URI.
+pub fn http_fetch(request: &Request) -> std::io::Result<Response> {
+    let uri = request.uri.to_origin();
+    let mut stream = TcpStream::connect((uri.host.as_str(), uri.port))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut outbound = request.clone();
+    outbound.uri = uri;
+    outbound.headers.set("Connection", "close");
+    stream.write_all(&serialize_request(&outbound))?;
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buffer.extend_from_slice(&chunk[..n]);
+                if let Ok(ParseOutcome::Complete { .. }) = nakika_http::parse_response(&buffer) {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    match nakika_http::parse_response(&buffer) {
+        Ok(ParseOutcome::Complete { message, .. }) => Ok(message),
+        _ => Ok(Response::error(StatusCode::BAD_GATEWAY)),
+    }
+}
+
+/// Issues a plain GET to `url` (used by examples and tests as a tiny client).
+pub fn http_get(url: &str) -> std::io::Result<Response> {
+    http_fetch(&Request::get(url))
+}
+
+/// Issues a GET for `url` through the proxy at `proxy` (absolute-form request
+/// line, as a browser configured with an explicit proxy would send).
+pub fn http_get_via_proxy(proxy: SocketAddr, url: &str) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(proxy)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut request = Request::get(url);
+    request.headers.set("Connection", "close");
+    stream.write_all(&nakika_http::serialize::serialize_request_absolute(&request))?;
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buffer.extend_from_slice(&chunk[..n]);
+                if let Ok(ParseOutcome::Complete { .. }) = nakika_http::parse_response(&buffer) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    match nakika_http::parse_response(&buffer) {
+        Ok(ParseOutcome::Complete { message, .. }) => Ok(message),
+        _ => Ok(Response::error(StatusCode::BAD_GATEWAY)),
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    peer: IpAddr,
+    handler: &dyn Fn(&Request) -> Response,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        let request = loop {
+            match parse_request(&buffer) {
+                Ok(ParseOutcome::Complete { message, consumed }) => {
+                    buffer.drain(..consumed);
+                    break Some(message);
+                }
+                Ok(ParseOutcome::Partial) => {}
+                Err(_) => {
+                    let _ = stream.write_all(&serialize_response(&Response::error(
+                        StatusCode::BAD_REQUEST,
+                    )));
+                    return Ok(());
+                }
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => break None,
+                Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+                Err(_) => break None,
+            }
+        };
+        let Some(mut request) = request else {
+            return Ok(());
+        };
+        request.client_ip = peer;
+        let keep_alive = request.headers.keep_alive(request.version_11);
+        let response = handler(&request);
+        stream.write_all(&serialize_response(&response))?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nakika_core::node::NodeConfig;
+
+    fn origin_handler() -> Handler {
+        Arc::new(|request: &Request| {
+            if request.uri.path.ends_with(".js") {
+                return Response::error(StatusCode::NOT_FOUND);
+            }
+            Response::ok("text/html", format!("hello from origin: {}", request.uri.path))
+                .with_header("Cache-Control", "max-age=60")
+        })
+    }
+
+    #[test]
+    fn http_server_round_trip() {
+        let server = HttpServer::start(0, origin_handler()).unwrap();
+        let response = http_get(&format!("{}/index.html", server.base_url())).unwrap();
+        assert_eq!(response.status, StatusCode::OK);
+        assert!(response.body.to_text().contains("/index.html"));
+    }
+
+    #[test]
+    fn proxy_serves_and_caches_over_real_sockets() {
+        let origin = HttpServer::start(0, origin_handler()).unwrap();
+        let node = Arc::new(NaKikaNode::new(
+            NodeConfig::plain_proxy("tcp-edge").without_resource_controls(),
+        ));
+        let proxy = ProxyServer::start(0, node.clone()).unwrap();
+
+        let url = format!("{}/page.html", origin.base_url());
+        let first = http_get_via_proxy(proxy.addr(), &url).unwrap();
+        assert_eq!(first.status, StatusCode::OK);
+        assert!(first.body.to_text().contains("hello from origin"));
+        let second = http_get_via_proxy(proxy.addr(), &url).unwrap();
+        assert_eq!(second.body.to_text(), first.body.to_text());
+        assert!(node.cache_stats().hits >= 1, "second request hits the cache");
+    }
+
+    #[test]
+    fn keep_alive_connections_serve_multiple_requests() {
+        let server = HttpServer::start(0, origin_handler()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        for i in 0..3 {
+            let req = Request::get(&format!("http://{}/r{i}", server.addr()));
+            stream.write_all(&serialize_request(&req)).unwrap();
+            let mut buffer = Vec::new();
+            let mut chunk = [0u8; 4096];
+            loop {
+                let n = stream.read(&mut chunk).unwrap();
+                buffer.extend_from_slice(&chunk[..n]);
+                if let Ok(ParseOutcome::Complete { message, .. }) =
+                    nakika_http::parse_response(&buffer)
+                {
+                    assert!(message.body.to_text().contains(&format!("/r{i}")));
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_requests_get_a_400() {
+        let server = HttpServer::start(0, origin_handler()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NOT A VALID REQUEST\r\n\r\n").unwrap();
+        let mut buffer = Vec::new();
+        let mut chunk = [0u8; 1024];
+        while let Ok(n) = stream.read(&mut chunk) {
+            if n == 0 {
+                break;
+            }
+            buffer.extend_from_slice(&chunk[..n]);
+        }
+        assert!(String::from_utf8_lossy(&buffer).starts_with("HTTP/1.1 400"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Hard state for Na Kika (paper §3.3).
+//!
+//! The web's expiration-based consistency is enough for most edge-side
+//! content, but a complete platform also needs *hard state*: edge-side
+//! access logs posted back to content producers, and replicated application
+//! state (such as the SPECweb99 user registrations in the paper's
+//! evaluation).  Na Kika builds its replication out of three pieces, all
+//! reproduced here:
+//!
+//! * a per-site partitioned local store with a storage quota
+//!   ([`store::SiteStore`], the MySQL substitute),
+//! * a reliable, ordered messaging service for propagating updates between
+//!   nodes ([`messaging::MessageBus`], the JORAM substitute), and
+//! * a replication manager that applies updates locally and forwards them —
+//!   the update-processing logic itself belongs to site scripts, so the
+//!   manager exposes exactly the accept/apply/propagate hooks those scripts
+//!   drive ([`replication::ReplicationManager`]).
+//!
+//! Access logging ([`logging::AccessLog`]) batches per-site entries and
+//! periodically posts them to the URL the site's script configured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod logging;
+pub mod messaging;
+pub mod replication;
+pub mod store;
+
+pub use logging::{AccessLog, LogEntry};
+pub use messaging::{Message, MessageBus, Subscription};
+pub use replication::{ReplicationManager, ReplicationStrategy, Update};
+pub use store::{SiteStore, StoreError};

@@ -1,0 +1,220 @@
+//! A reliable, ordered messaging service between Na Kika nodes.
+//!
+//! The paper's prototype uses the JORAM JMS broker to propagate hard-state
+//! updates.  This module provides the equivalent primitive: named topics to
+//! which nodes subscribe, per-subscriber FIFO queues, and at-least-once
+//! delivery with acknowledgements (an unacknowledged message is redelivered).
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A message published to a topic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Monotonically increasing per-topic sequence number.
+    pub sequence: u64,
+    /// The site on whose behalf the update travels.
+    pub site: String,
+    /// Opaque payload (site scripts define the format).
+    pub payload: String,
+    /// Identifier of the publishing node.
+    pub from: String,
+}
+
+#[derive(Default)]
+struct SubscriberQueue {
+    pending: VecDeque<Message>,
+    /// Messages delivered but not yet acknowledged, keyed by sequence.
+    unacked: HashMap<u64, Message>,
+}
+
+#[derive(Default)]
+struct TopicState {
+    next_sequence: u64,
+    subscribers: HashMap<String, SubscriberQueue>,
+}
+
+/// The in-process message broker shared by the nodes of a deployment.
+#[derive(Default, Clone)]
+pub struct MessageBus {
+    topics: Arc<Mutex<HashMap<String, TopicState>>>,
+}
+
+/// A handle identifying one subscriber on one topic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subscription {
+    /// Topic name.
+    pub topic: String,
+    /// Subscriber (node) identifier.
+    pub subscriber: String,
+}
+
+impl MessageBus {
+    /// Creates an empty bus.
+    pub fn new() -> MessageBus {
+        MessageBus::default()
+    }
+
+    /// Subscribes `subscriber` to `topic`; messages published after this call
+    /// are queued for it.
+    pub fn subscribe(&self, topic: &str, subscriber: &str) -> Subscription {
+        let mut topics = self.topics.lock();
+        topics
+            .entry(topic.to_string())
+            .or_default()
+            .subscribers
+            .entry(subscriber.to_string())
+            .or_default();
+        Subscription {
+            topic: topic.to_string(),
+            subscriber: subscriber.to_string(),
+        }
+    }
+
+    /// Publishes a payload on a topic on behalf of a site.  Returns the
+    /// sequence number assigned, or `None` if nobody is subscribed (the
+    /// message is then dropped — there is no durable dead-letter store).
+    pub fn publish(&self, topic: &str, site: &str, from: &str, payload: &str) -> Option<u64> {
+        let mut topics = self.topics.lock();
+        let state = topics.get_mut(topic)?;
+        if state.subscribers.is_empty() {
+            return None;
+        }
+        let sequence = state.next_sequence;
+        state.next_sequence += 1;
+        let message = Message {
+            sequence,
+            site: site.to_string(),
+            payload: payload.to_string(),
+            from: from.to_string(),
+        };
+        for (name, queue) in state.subscribers.iter_mut() {
+            // The publisher does not receive its own update back.
+            if name != from {
+                queue.pending.push_back(message.clone());
+            }
+        }
+        Some(sequence)
+    }
+
+    /// Delivers the next pending message for a subscription, moving it to the
+    /// unacknowledged set.  Returns `None` when the queue is empty.
+    pub fn receive(&self, sub: &Subscription) -> Option<Message> {
+        let mut topics = self.topics.lock();
+        let queue = topics
+            .get_mut(&sub.topic)?
+            .subscribers
+            .get_mut(&sub.subscriber)?;
+        let message = queue.pending.pop_front()?;
+        queue.unacked.insert(message.sequence, message.clone());
+        Some(message)
+    }
+
+    /// Acknowledges a delivered message; returns true if it was outstanding.
+    pub fn ack(&self, sub: &Subscription, sequence: u64) -> bool {
+        let mut topics = self.topics.lock();
+        topics
+            .get_mut(&sub.topic)
+            .and_then(|t| t.subscribers.get_mut(&sub.subscriber))
+            .map(|q| q.unacked.remove(&sequence).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Requeues every unacknowledged message for redelivery (at-least-once:
+    /// called when a consumer crashes or times out).
+    pub fn redeliver_unacked(&self, sub: &Subscription) -> usize {
+        let mut topics = self.topics.lock();
+        let Some(queue) = topics
+            .get_mut(&sub.topic)
+            .and_then(|t| t.subscribers.get_mut(&sub.subscriber))
+        else {
+            return 0;
+        };
+        let mut seqs: Vec<u64> = queue.unacked.keys().copied().collect();
+        seqs.sort_unstable();
+        let count = seqs.len();
+        for seq in seqs.into_iter().rev() {
+            if let Some(m) = queue.unacked.remove(&seq) {
+                queue.pending.push_front(m);
+            }
+        }
+        count
+    }
+
+    /// Number of messages waiting for a subscription.
+    pub fn pending_count(&self, sub: &Subscription) -> usize {
+        self.topics
+            .lock()
+            .get(&sub.topic)
+            .and_then(|t| t.subscribers.get(&sub.subscriber))
+            .map(|q| q.pending.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_receive_in_order() {
+        let bus = MessageBus::new();
+        let sub = bus.subscribe("updates/spec.org", "node-b");
+        bus.publish("updates/spec.org", "spec.org", "node-a", "u1");
+        bus.publish("updates/spec.org", "spec.org", "node-a", "u2");
+        let m1 = bus.receive(&sub).unwrap();
+        let m2 = bus.receive(&sub).unwrap();
+        assert_eq!(m1.payload, "u1");
+        assert_eq!(m2.payload, "u2");
+        assert!(m1.sequence < m2.sequence);
+        assert!(bus.receive(&sub).is_none());
+    }
+
+    #[test]
+    fn publisher_does_not_receive_its_own_updates() {
+        let bus = MessageBus::new();
+        let sub_a = bus.subscribe("t", "node-a");
+        let sub_b = bus.subscribe("t", "node-b");
+        bus.publish("t", "site", "node-a", "update");
+        assert!(bus.receive(&sub_a).is_none());
+        assert!(bus.receive(&sub_b).is_some());
+    }
+
+    #[test]
+    fn fan_out_to_all_other_subscribers() {
+        let bus = MessageBus::new();
+        let subs: Vec<Subscription> = (0..5)
+            .map(|i| bus.subscribe("t", &format!("node-{i}")))
+            .collect();
+        bus.publish("t", "site", "node-0", "u");
+        for (i, sub) in subs.iter().enumerate() {
+            if i == 0 {
+                assert_eq!(bus.pending_count(sub), 0);
+            } else {
+                assert_eq!(bus.pending_count(sub), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn unsubscribed_topic_drops_messages() {
+        let bus = MessageBus::new();
+        assert!(bus.publish("nobody-listens", "site", "node-a", "u").is_none());
+    }
+
+    #[test]
+    fn at_least_once_redelivery() {
+        let bus = MessageBus::new();
+        let sub = bus.subscribe("t", "node-b");
+        bus.publish("t", "site", "node-a", "u1");
+        let m = bus.receive(&sub).unwrap();
+        // Consumer crashes before acking.
+        assert_eq!(bus.redeliver_unacked(&sub), 1);
+        let again = bus.receive(&sub).unwrap();
+        assert_eq!(again, m);
+        assert!(bus.ack(&sub, again.sequence));
+        assert_eq!(bus.redeliver_unacked(&sub), 0);
+        assert!(!bus.ack(&sub, again.sequence), "double ack is rejected");
+    }
+}

@@ -1,0 +1,301 @@
+//! Script-driven replication of hard state across edge nodes.
+//!
+//! In Na Kika the *policy* of replication — where updates go, how conflicts
+//! resolve — is written by content producers as ordinary scripts; the
+//! platform supplies local storage and reliable messaging (paper §3.3,
+//! following Gao et al.'s application-specific distributed objects).  The
+//! [`ReplicationManager`] here is that platform piece: it accepts updates,
+//! applies them to the local [`SiteStore`], and propagates them via the
+//! [`MessageBus`] according to a per-site [`ReplicationStrategy`] that site
+//! scripts select.  Conflict resolution is last-writer-wins by update
+//! timestamp unless the optimistic strategy's merge hook decides otherwise.
+
+use crate::messaging::{MessageBus, Subscription};
+use crate::store::{SiteStore, StoreError};
+use std::sync::Arc;
+
+/// How a site wants its updates propagated (the trade-offs of Gao et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationStrategy {
+    /// Updates go only to the origin server's node, which serialises them
+    /// (strong consistency, lower availability).
+    PrimaryOnly,
+    /// Updates propagate to every node (optimistic, maximum availability,
+    /// last-writer-wins conflict resolution).
+    AllNodes,
+}
+
+/// A single hard-state update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Update {
+    /// The site whose state is updated.
+    pub site: String,
+    /// Key within the site's partition.
+    pub key: String,
+    /// New value.
+    pub value: String,
+    /// Logical timestamp used for last-writer-wins resolution.
+    pub timestamp: u64,
+}
+
+impl Update {
+    fn encode(&self) -> String {
+        format!(
+            "{}\u{1f}{}\u{1f}{}\u{1f}{}",
+            self.timestamp, self.site, self.key, self.value
+        )
+    }
+
+    fn decode(payload: &str) -> Option<Update> {
+        let mut parts = payload.splitn(4, '\u{1f}');
+        let timestamp = parts.next()?.parse().ok()?;
+        let site = parts.next()?.to_string();
+        let key = parts.next()?.to_string();
+        let value = parts.next()?.to_string();
+        Some(Update {
+            site,
+            key,
+            value,
+            timestamp,
+        })
+    }
+
+    /// The storage key under which the update's timestamp is remembered so
+    /// that stale updates arriving later can be rejected.
+    fn version_key(&self) -> String {
+        format!("__ts__:{}", self.key)
+    }
+}
+
+/// The replication endpoint running on one Na Kika node.
+pub struct ReplicationManager {
+    node_id: String,
+    store: Arc<SiteStore>,
+    bus: MessageBus,
+    subscription: Subscription,
+    strategy: ReplicationStrategy,
+    /// Identifier of the node designated primary for `PrimaryOnly` sites.
+    primary_node: String,
+}
+
+/// Topic carrying hard-state updates for a site.
+fn topic_for(site: &str) -> String {
+    format!("nakika/state/{site}")
+}
+
+impl ReplicationManager {
+    /// Creates a manager for `site` on node `node_id`, wiring it to the
+    /// shared bus and local store.
+    pub fn new(
+        node_id: &str,
+        site: &str,
+        store: Arc<SiteStore>,
+        bus: MessageBus,
+        strategy: ReplicationStrategy,
+        primary_node: &str,
+    ) -> ReplicationManager {
+        let subscription = bus.subscribe(&topic_for(site), node_id);
+        ReplicationManager {
+            node_id: node_id.to_string(),
+            store,
+            bus,
+            subscription,
+            strategy,
+            primary_node: primary_node.to_string(),
+        }
+    }
+
+    /// The node this manager runs on.
+    pub fn node_id(&self) -> &str {
+        &self.node_id
+    }
+
+    /// Accepts an update originating at this node (e.g. a user registration
+    /// POST handled by a site script): applies it locally and propagates it.
+    pub fn accept_local_update(&self, update: &Update) -> Result<(), StoreError> {
+        match self.strategy {
+            ReplicationStrategy::PrimaryOnly => {
+                // Only the primary applies; everyone forwards to it.
+                if self.node_id == self.primary_node {
+                    self.apply_if_newer(update)?;
+                } else {
+                    self.bus.publish(
+                        &topic_for(&update.site),
+                        &update.site,
+                        &self.node_id,
+                        &update.encode(),
+                    );
+                    return Ok(());
+                }
+            }
+            ReplicationStrategy::AllNodes => {
+                self.apply_if_newer(update)?;
+            }
+        }
+        self.bus.publish(
+            &topic_for(&update.site),
+            &update.site,
+            &self.node_id,
+            &update.encode(),
+        );
+        Ok(())
+    }
+
+    /// Drains pending replication messages, applying each (the paper's
+    /// "regular script processes the message and applies the update").
+    /// Returns how many updates were applied.
+    pub fn process_incoming(&self) -> usize {
+        let mut applied = 0;
+        while let Some(message) = self.bus.receive(&self.subscription) {
+            if let Some(update) = Update::decode(&message.payload) {
+                let relevant = match self.strategy {
+                    ReplicationStrategy::AllNodes => true,
+                    ReplicationStrategy::PrimaryOnly => self.node_id == self.primary_node,
+                };
+                if relevant && self.apply_if_newer(&update).is_ok() {
+                    applied += 1;
+                }
+            }
+            self.bus.ack(&self.subscription, message.sequence);
+        }
+        applied
+    }
+
+    /// Reads replicated state from the local partition.
+    pub fn get(&self, site: &str, key: &str) -> Option<String> {
+        self.store.get(site, key)
+    }
+
+    /// Applies an update unless a newer timestamp is already recorded
+    /// (last-writer-wins conflict resolution).
+    fn apply_if_newer(&self, update: &Update) -> Result<(), StoreError> {
+        let current: u64 = self
+            .store
+            .get(&update.site, &update.version_key())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if update.timestamp < current {
+            return Ok(()); // stale, silently dropped
+        }
+        self.store.put(&update.site, &update.key, &update.value)?;
+        self.store.put(
+            &update.site,
+            &update.version_key(),
+            &update.timestamp.to_string(),
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(key: &str, value: &str, ts: u64) -> Update {
+        Update {
+            site: "spec.org".to_string(),
+            key: key.to_string(),
+            value: value.to_string(),
+            timestamp: ts,
+        }
+    }
+
+    fn cluster(strategy: ReplicationStrategy, n: usize) -> (Vec<ReplicationManager>, MessageBus) {
+        let bus = MessageBus::new();
+        let managers = (0..n)
+            .map(|i| {
+                ReplicationManager::new(
+                    &format!("node-{i}"),
+                    "spec.org",
+                    Arc::new(SiteStore::new(1 << 20)),
+                    bus.clone(),
+                    strategy,
+                    "node-0",
+                )
+            })
+            .collect();
+        (managers, bus)
+    }
+
+    #[test]
+    fn all_nodes_strategy_replicates_everywhere() {
+        let (managers, _) = cluster(ReplicationStrategy::AllNodes, 3);
+        managers[1]
+            .accept_local_update(&update("user:42", "alice", 10))
+            .unwrap();
+        for m in &managers {
+            m.process_incoming();
+        }
+        for m in &managers {
+            assert_eq!(m.get("spec.org", "user:42").as_deref(), Some("alice"));
+        }
+    }
+
+    #[test]
+    fn primary_only_strategy_serialises_at_the_primary() {
+        let (managers, _) = cluster(ReplicationStrategy::PrimaryOnly, 3);
+        // An edge node accepts a POST and forwards it instead of applying.
+        managers[2]
+            .accept_local_update(&update("user:7", "bob", 5))
+            .unwrap();
+        assert!(managers[2].get("spec.org", "user:7").is_none());
+        for m in &managers {
+            m.process_incoming();
+        }
+        assert_eq!(managers[0].get("spec.org", "user:7").as_deref(), Some("bob"));
+        // Replicas do not hold the value under PrimaryOnly.
+        assert!(managers[1].get("spec.org", "user:7").is_none());
+    }
+
+    #[test]
+    fn last_writer_wins_on_conflicts() {
+        let (managers, _) = cluster(ReplicationStrategy::AllNodes, 2);
+        managers[0]
+            .accept_local_update(&update("profile", "old", 100))
+            .unwrap();
+        managers[1]
+            .accept_local_update(&update("profile", "new", 200))
+            .unwrap();
+        for _ in 0..2 {
+            for m in &managers {
+                m.process_incoming();
+            }
+        }
+        for m in &managers {
+            assert_eq!(m.get("spec.org", "profile").as_deref(), Some("new"));
+        }
+        // A stale update arriving later does not clobber the newer value.
+        managers[0]
+            .accept_local_update(&update("profile", "stale", 150))
+            .unwrap();
+        for m in &managers {
+            m.process_incoming();
+        }
+        for m in &managers {
+            assert_eq!(m.get("spec.org", "profile").as_deref(), Some("new"));
+        }
+    }
+
+    #[test]
+    fn update_encoding_round_trips() {
+        let u = update("key with spaces", "value\nwith newline", 42);
+        assert_eq!(Update::decode(&u.encode()).unwrap(), u);
+        assert!(Update::decode("garbage").is_none());
+    }
+
+    #[test]
+    fn replication_respects_storage_quota() {
+        let bus = MessageBus::new();
+        let tiny = Arc::new(SiteStore::new(16));
+        let manager = ReplicationManager::new(
+            "node-0",
+            "spec.org",
+            tiny,
+            bus,
+            ReplicationStrategy::AllNodes,
+            "node-0",
+        );
+        let big = update("k", &"x".repeat(100), 1);
+        assert!(manager.accept_local_update(&big).is_err());
+    }
+}

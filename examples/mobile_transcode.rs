@@ -1,0 +1,63 @@
+//! The §5.4 cell-phone extension: transcode images on the edge so they fit a
+//! Nokia phone's 176x208 screen, selected by the `User-Agent` header and
+//! caching the transformed content (the paper's Figure 2 generalised).
+//!
+//! ```text
+//! cargo run --example mobile_transcode
+//! ```
+
+use nakika_core::node::{origin_from_fn, NaKikaNode, NodeConfig};
+use nakika_core::scripts;
+use nakika_core::vocab::make_image;
+use nakika_http::{Request, Response, StatusCode};
+
+fn main() {
+    // The photo site's origin: large PNG "photos" plus a nakika.js carrying
+    // the transcoding extension.
+    let origin = origin_from_fn(|request: &Request| match request.uri.path.as_str() {
+        "/nakika.js" => Response::ok("application/javascript", scripts::IMAGE_TRANSCODER)
+            .with_header("Cache-Control", "max-age=300"),
+        path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
+        _ => Response::ok("image/png", make_image("png", 1600, 1200))
+            .with_header("Cache-Control", "max-age=600"),
+    });
+
+    let node = NaKikaNode::new(NodeConfig::scripted("photo-edge"));
+
+    // A desktop browser gets the original image untouched.
+    let desktop = Request::get("http://photos.example.org/vacation.png")
+        .with_header("User-Agent", "Mozilla/5.0 (X11; Linux x86_64)");
+    let full = node.handle_request(desktop, 10, &origin);
+    println!(
+        "desktop  -> {} {} ({} bytes)",
+        full.status,
+        full.content_type(),
+        full.body.len()
+    );
+    assert_eq!(full.content_type(), "image/png");
+
+    // A Nokia phone gets a scaled-down JPEG.
+    let phone = Request::get("http://photos.example.org/vacation.png")
+        .with_header("User-Agent", "Nokia6600/1.0 (Series60)");
+    let small = node.handle_request(phone.clone(), 20, &origin);
+    println!(
+        "phone    -> {} {} ({} bytes)",
+        small.status,
+        small.content_type(),
+        small.body.len()
+    );
+    assert_eq!(small.content_type(), "image/jpeg");
+    assert!(small.body.len() < full.body.len(), "transcoded image is smaller");
+
+    // The transformed content was cached by the script, so a second phone
+    // request does not re-transcode.
+    let again = node.handle_request(phone, 30, &origin);
+    assert_eq!(again.content_type(), "image/jpeg");
+    println!(
+        "cached   -> {} {} ({} bytes)",
+        again.status,
+        again.content_type(),
+        again.body.len()
+    );
+    println!("\nstats: {:?}", node.stats());
+}

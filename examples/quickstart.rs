@@ -1,0 +1,59 @@
+//! Quickstart: run a single Na Kika edge node entirely in memory.
+//!
+//! A content producer publishes a `nakika.js` on its site; the edge node
+//! fetches it, lets its policies process every exchange, and caches results.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use nakika_core::node::{origin_from_fn, NaKikaNode, NodeConfig};
+use nakika_http::{Request, Response, StatusCode};
+
+fn main() {
+    // 1. The origin server: one HTML page plus the site's Na Kika script,
+    //    which stamps every response processed at the edge.
+    let site_script = r#"
+        p = new Policy();
+        p.url = ["example.org"];
+        p.onResponse = function() {
+            Response.setHeader('X-Processed-By', 'nakika-edge');
+            Response.setHeader('X-Congestion', System.congestion('cpu'));
+        };
+        p.register();
+    "#
+    .to_string();
+    let origin = origin_from_fn(move |request: &Request| {
+        match request.uri.path.as_str() {
+            "/nakika.js" => Response::ok("application/javascript", site_script.as_str())
+                .with_header("Cache-Control", "max-age=300"),
+            path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
+            path => Response::ok("text/html", format!("<html><body>content of {path}</body></html>"))
+                .with_header("Cache-Control", "max-age=120"),
+        }
+    });
+
+    // 2. The edge node.
+    let node = NaKikaNode::new(NodeConfig::scripted("quickstart-edge"));
+
+    // 3. Clients access the site through the edge (in a deployment they are
+    //    redirected by appending `.nakika.net` to the hostname).
+    for (t, path) in ["/welcome.html", "/welcome.html", "/other.html"].iter().enumerate() {
+        let request = Request::get(&format!("http://example.org.nakika.net{path}"));
+        let response = node.handle_request(request, 100 + t as u64, &origin);
+        println!(
+            "GET {path:<14} -> {} ({} bytes), X-Processed-By: {}",
+            response.status,
+            response.body.len(),
+            response.headers.get("X-Processed-By").unwrap_or("-")
+        );
+    }
+
+    let stats = node.stats();
+    println!(
+        "\nnode stats: {} requests, {} cache hits, {} origin fetches",
+        stats.requests, stats.cache_hits, stats.origin_fetches
+    );
+    assert_eq!(stats.requests, 3);
+    assert!(stats.cache_hits >= 1, "the repeated page is served from cache");
+}

@@ -1,0 +1,255 @@
+//! Workspace integration tests spanning crates: a whole Na Kika deployment
+//! (overlay + several nodes + hard state + integrity) exercised through the
+//! public APIs, plus the paper's three §5.4 extensions composed end to end.
+
+use nakika_core::node::{origin_from_fn, NaKikaNode, NodeConfig, OriginFetch};
+use nakika_core::scripts;
+use nakika_core::vocab::make_image;
+use nakika_http::pattern::Cidr;
+use nakika_http::{Request, Response, StatusCode};
+use nakika_integrity::{sign_response, verify_response, SigningKey};
+use nakika_overlay::{key_for, Location, Overlay};
+use nakika_state::{MessageBus, ReplicationManager, ReplicationStrategy, SiteStore, Update};
+use std::sync::Arc;
+
+fn scripted_origin(site_script: &'static str) -> Arc<dyn OriginFetch> {
+    origin_from_fn(move |request: &Request| match request.uri.path.as_str() {
+        "/nakika.js" => Response::ok("application/javascript", site_script)
+            .with_header("Cache-Control", "max-age=300"),
+        path if path.ends_with("wall.js") => Response::ok("application/javascript", scripts::EMPTY_WALL)
+            .with_header("Cache-Control", "max-age=300"),
+        path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
+        path if path.ends_with(".png") => Response::ok("image/png", make_image("png", 800, 600))
+            .with_header("Cache-Control", "max-age=600"),
+        path => Response::ok("text/html", format!("<html><body>{path}</body></html>"))
+            .with_header("Cache-Control", "max-age=120"),
+    })
+}
+
+#[test]
+fn multi_node_deployment_shares_cached_content_through_the_overlay() {
+    let overlay = Arc::new(Overlay::with_defaults());
+    let origin = scripted_origin(scripts::EMPTY_WALL);
+    let mut nodes = Vec::new();
+    for i in 0..4 {
+        let id = key_for(&format!("edge-{i}"));
+        overlay.join(id, Location::new(i as f64, 0.0));
+        let mut node = NaKikaNode::new(NodeConfig::proxy_with_dht(&format!("edge-{i}")));
+        node.attach_overlay(overlay.clone(), id);
+        nodes.push(node);
+    }
+    // A flash crowd for one URL hits every node.
+    for round in 0..3u64 {
+        for node in &nodes {
+            let resp = node.handle_request(
+                Request::get("http://hot.example.org/slashdotted.html"),
+                10 + round,
+                &origin,
+            );
+            assert_eq!(resp.status, StatusCode::OK);
+        }
+    }
+    let total_origin: u64 = nodes.iter().map(|n| n.stats().origin_fetches).sum();
+    let total_peer: u64 = nodes.iter().map(|n| n.stats().peer_hits).sum();
+    assert_eq!(
+        total_origin, 1,
+        "one cached copy anywhere avoids further origin accesses (got {total_origin})"
+    );
+    assert!(total_peer >= 1, "later nodes fetched from peers");
+}
+
+#[test]
+fn annotation_service_interposes_on_the_simms_as_in_the_paper() {
+    // The paper's §5.4 annotations extension: a site *outside* the medical
+    // school interposes on the SIMMs by rewriting the request URL to the
+    // original content and scheduling the SIMMs' own stage after itself; its
+    // onResponse then runs last and injects the annotation widget into the
+    // HTML the SIMM stage rendered.
+    const NOTES_SITE: &str = r#"
+        p = new Policy();
+        p.url = ["notes.example.org"];
+        p.nextStages = ["http://simms.med.nyu.edu/nakika.js"];
+        p.onRequest = function() {
+            Request.setUrl('http://simms.med.nyu.edu' + Request.path);
+        };
+        p.onResponse = function() {
+            var buff = null, body = new ByteArray();
+            while (buff = Response.read()) { body.append(buff); }
+            var html = body.toString().replace('</body>',
+                '<div class="nakika-annotations">No annotations yet.</div></body>');
+            Response.setHeader('Content-Length', html.length);
+            Response.write(html);
+        };
+        p.register();
+    "#;
+    const SIMM_SITE: &str = r#"
+        p = new Policy();
+        p.url = ["simms.med.nyu.edu"];
+        p.onResponse = function() {
+            if (Response.contentType != 'text/xml') { return; }
+            var buff = null, body = new ByteArray();
+            while (buff = Response.read()) { body.append(buff); }
+            var html = '<html><body>' + Xml.textOf(body.toString(), 'title') + '</body></html>';
+            Response.setHeader('Content-Type', 'text/html');
+            Response.write(html);
+        };
+        p.register();
+    "#;
+    let origin = origin_from_fn(move |request: &Request| {
+        match (request.uri.host.as_str(), request.uri.path.as_str()) {
+            ("notes.example.org", "/nakika.js") => {
+                Response::ok("application/javascript", NOTES_SITE)
+                    .with_header("Cache-Control", "max-age=300")
+            }
+            ("simms.med.nyu.edu", "/nakika.js") => {
+                Response::ok("application/javascript", SIMM_SITE)
+                    .with_header("Cache-Control", "max-age=300")
+            }
+            (_, path) if path.ends_with("wall.js") => {
+                Response::ok("application/javascript", scripts::EMPTY_WALL)
+                    .with_header("Cache-Control", "max-age=300")
+            }
+            (_, path) if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
+            _ => Response::ok("text/xml", "<lecture><title>Hernia repair</title></lecture>")
+                .with_header("Cache-Control", "max-age=30"),
+        }
+    });
+    let node = NaKikaNode::new(NodeConfig::scripted("edge"));
+    let resp = node.handle_request(
+        Request::get("http://notes.example.org/module1/lecture1"),
+        10,
+        &origin,
+    );
+    let body = resp.body.to_text();
+    assert!(body.contains("Hernia repair"), "SIMM stage rendered the XML: {body}");
+    assert!(
+        body.contains("nakika-annotations"),
+        "annotation stage wrapped the rendered page: {body}"
+    );
+}
+
+#[test]
+fn security_policies_and_resource_controls_protect_a_node() {
+    let mut config = NodeConfig::scripted("edge");
+    config.local_networks = vec![Cidr::parse("10.0.0.0/8").unwrap()];
+    config.control_period_secs = 1;
+    let node = NaKikaNode::new(config);
+    let wall: &'static str = scripts::DIGITAL_LIBRARY_POLICY;
+    let origin = origin_from_fn(move |request: &Request| match request.uri.path.as_str() {
+        "/clientwall.js" => Response::ok("application/javascript", wall)
+            .with_header("Cache-Control", "max-age=300"),
+        path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
+        _ => Response::ok("text/html", "article").with_header("Cache-Control", "max-age=60"),
+    });
+    let blocked = node.handle_request(
+        Request::get("http://content.nejm.org/cgi/reprint/x").with_client_ip("198.51.100.7".parse().unwrap()),
+        10,
+        &origin,
+    );
+    assert_eq!(blocked.status, StatusCode::UNAUTHORIZED);
+    let allowed = node.handle_request(
+        Request::get("http://content.nejm.org/cgi/reprint/x").with_client_ip("10.3.2.1".parse().unwrap()),
+        11,
+        &origin,
+    );
+    assert_eq!(allowed.status, StatusCode::OK);
+}
+
+#[test]
+fn hard_state_replicates_across_nodes_and_survives_conflicts() {
+    let bus = MessageBus::new();
+    let managers: Vec<ReplicationManager> = (0..3)
+        .map(|i| {
+            ReplicationManager::new(
+                &format!("edge-{i}"),
+                "spec.example.org",
+                Arc::new(SiteStore::new(1 << 20)),
+                bus.clone(),
+                ReplicationStrategy::AllNodes,
+                "edge-0",
+            )
+        })
+        .collect();
+    managers[0]
+        .accept_local_update(&Update {
+            site: "spec.example.org".into(),
+            key: "user:alice".into(),
+            value: "profile-v1".into(),
+            timestamp: 10,
+        })
+        .unwrap();
+    managers[2]
+        .accept_local_update(&Update {
+            site: "spec.example.org".into(),
+            key: "user:alice".into(),
+            value: "profile-v2".into(),
+            timestamp: 20,
+        })
+        .unwrap();
+    for _ in 0..2 {
+        for m in &managers {
+            m.process_incoming();
+        }
+    }
+    for m in &managers {
+        assert_eq!(
+            m.get("spec.example.org", "user:alice").as_deref(),
+            Some("profile-v2"),
+            "last writer wins everywhere"
+        );
+    }
+}
+
+#[test]
+fn content_integrity_protects_against_a_tampering_cache() {
+    let key = SigningKey::new(b"med-school-origin-key");
+    let mut response = Response::ok("text/html", "<p>study: treatment works</p>");
+    sign_response(&mut response, &key, 1_000, 3_600);
+    // An honest edge node forwards the response unchanged.
+    assert!(verify_response(&response, &key, 2_000).is_ok());
+    // A malicious node falsifies the study results.
+    let mut tampered = response.clone();
+    tampered.set_body("<p>study: treatment is useless</p>");
+    assert!(verify_response(&tampered, &key, 2_000).is_err());
+    // Stale replay after expiration is also caught.
+    assert!(verify_response(&response, &key, 10_000).is_err());
+}
+
+#[test]
+fn na_kika_pages_run_with_hard_state_on_the_edge() {
+    const GUESTBOOK: &str = r#"
+        p = new Policy();
+        p.url = ["guestbook.example.org/sign"];
+        p.onRequest = function() {
+            var name = Request.query('name');
+            HardState.put('entry:' + name, name);
+            Request.respond('text/html', '<p>thanks, ' + name + '</p>');
+        };
+        p.register();
+    "#;
+    let origin = origin_from_fn(move |request: &Request| match request.uri.path.as_str() {
+        "/nakika.js" => Response::ok("application/javascript", GUESTBOOK)
+            .with_header("Cache-Control", "max-age=300"),
+        path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
+        "/view.nkp" => Response::ok(
+            "text/nkp",
+            "<ul><?nkp var names = HardState.keys('entry:'); \
+             for (var i = 0; i < names.length; i++) { echo('<li>' + names[i] + '</li>'); } ?></ul>",
+        )
+        .with_header("Cache-Control", "no-store"),
+        _ => Response::error(StatusCode::NOT_FOUND),
+    });
+    let node = NaKikaNode::new(NodeConfig::scripted("edge"));
+    for name in ["ada", "grace"] {
+        let resp = node.handle_request(
+            Request::get(&format!("http://guestbook.example.org/sign?name={name}")),
+            10,
+            &origin,
+        );
+        assert_eq!(resp.status, StatusCode::OK);
+    }
+    let view = node.handle_request(Request::get("http://guestbook.example.org/view.nkp"), 20, &origin);
+    let body = view.body.to_text();
+    assert!(body.contains("<li>entry:ada</li>") && body.contains("<li>entry:grace</li>"), "{body}");
+    assert_eq!(view.headers.content_type(), Some("text/html"));
+}

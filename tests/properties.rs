@@ -1,0 +1,177 @@
+//! Property-based tests over the core data structures and invariants:
+//! HTTP message round-trips, URI rewriting, policy-matcher agreement, cache
+//! accounting, overlay lookups, the script engine's sandbox, and SHA-256.
+
+use nakika_core::policy::{LinearMatcher, Matcher, Policy, PolicySet};
+use nakika_core::ProxyCache;
+use nakika_http::{parse_request, parse_response, serialize_request, serialize_response};
+use nakika_http::{Method, ParseOutcome, Request, Response, Uri};
+use nakika_overlay::{key_for, Location, Overlay};
+use nakika_script::{Context, Interpreter, Value};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn header_value() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 ;=/_.-]{0,40}"
+}
+
+fn path_segment() -> impl Strategy<Value = String> {
+    "[a-z0-9_-]{1,12}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_serialization_round_trips(
+        segs in prop::collection::vec(path_segment(), 1..4),
+        host in "[a-z]{1,10}(\\.[a-z]{2,6}){1,2}",
+        body in prop::collection::vec(any::<u8>(), 0..256),
+        header in header_value(),
+    ) {
+        let uri = format!("http://{host}/{}", segs.join("/"));
+        let request = Request::get(&uri)
+            .with_header("X-Test", header.trim())
+            .with_body(body.clone());
+        let wire = serialize_request(&request);
+        match parse_request(&wire).unwrap() {
+            ParseOutcome::Complete { message, consumed } => {
+                prop_assert_eq!(consumed, wire.len());
+                prop_assert_eq!(message.uri.path, request.uri.path);
+                prop_assert_eq!(message.body.to_bytes().to_vec(), body);
+            }
+            ParseOutcome::Partial => prop_assert!(false, "round trip incomplete"),
+        }
+    }
+
+    #[test]
+    fn response_serialization_round_trips(
+        status in 200u16..599,
+        body in prop::collection::vec(any::<u8>(), 0..512),
+        ctype in "[a-z]{2,8}/[a-z]{2,8}",
+    ) {
+        let mut response = Response::ok(&ctype, body.clone());
+        response.status = nakika_http::StatusCode::new(status).unwrap();
+        let wire = serialize_response(&response);
+        match parse_response(&wire).unwrap() {
+            ParseOutcome::Complete { message, consumed } => {
+                prop_assert_eq!(consumed, wire.len());
+                prop_assert_eq!(message.status.as_u16(), status);
+                prop_assert_eq!(message.body.to_bytes().to_vec(), body);
+            }
+            ParseOutcome::Partial => prop_assert!(false, "round trip incomplete"),
+        }
+    }
+
+    #[test]
+    fn nakika_url_rewriting_is_reversible(
+        host in "[a-z]{1,10}(\\.[a-z]{2,6}){1,2}",
+        segs in prop::collection::vec(path_segment(), 0..4),
+    ) {
+        let uri = Uri::parse(&format!("http://{host}/{}", segs.join("/"))).unwrap();
+        let rewritten = uri.to_nakika();
+        prop_assert!(rewritten.is_nakika());
+        prop_assert_eq!(rewritten.to_origin(), uri.clone());
+        // Rewriting is idempotent.
+        prop_assert_eq!(rewritten.to_nakika(), rewritten);
+    }
+
+    #[test]
+    fn decision_tree_and_linear_matcher_always_agree(
+        hosts in prop::collection::vec("[a-z]{1,8}\\.(com|org|edu)", 1..20),
+        query_host in "[a-z]{1,8}\\.(com|org|edu)",
+    ) {
+        let mut set = PolicySet::new();
+        for (i, host) in hosts.iter().enumerate() {
+            let mut policy = Policy::catch_all();
+            policy.url = vec![host.clone()];
+            policy.on_request = Some(Value::Number(i as f64));
+            set.push(policy);
+        }
+        let tree = set.compile();
+        let linear = LinearMatcher::build(&set);
+        let request = Request::get(&format!("http://{query_host}/page"));
+        let a = tree.find_closest_match(&request).map(|p| p.on_request.clone());
+        let b = linear.find_closest_match(&request).map(|p| p.on_request.clone());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_usage_never_exceeds_capacity(
+        inserts in prop::collection::vec((path_segment(), 1usize..4000), 1..30),
+    ) {
+        let capacity = 16 * 1024;
+        let cache = ProxyCache::new(capacity, Duration::from_secs(60));
+        for (i, (name, size)) in inserts.iter().enumerate() {
+            let response = Response::ok("text/plain", vec![b'x'; *size])
+                .with_header("Cache-Control", "max-age=600");
+            cache.put(&format!("http://a.com/{name}{i}"), &Method::Get, &response, i as u64);
+            prop_assert!(cache.used_bytes() <= capacity,
+                "used {} exceeds capacity {capacity}", cache.used_bytes());
+        }
+    }
+
+    #[test]
+    fn overlay_lookup_finds_fresh_announcements(
+        urls in prop::collection::vec("[a-z]{1,10}", 1..10),
+        ttl in 10u64..1000,
+    ) {
+        let overlay = Overlay::with_defaults();
+        let writer = key_for("writer");
+        let reader = key_for("reader");
+        overlay.join(writer, Location::new(0.0, 0.0));
+        overlay.join(reader, Location::new(1.0, 0.0));
+        for url in &urls {
+            let key = format!("http://site.example/{url}");
+            overlay.put(writer, &key, "writer", ttl);
+            let values = overlay.get(reader, &key, ttl - 1);
+            prop_assert!(values.iter().any(|v| v.payload == "writer"));
+            prop_assert!(overlay.get(reader, &key, ttl + 1).is_empty());
+        }
+    }
+
+    #[test]
+    fn arithmetic_in_the_script_engine_matches_rust(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000i64..1_000,
+    ) {
+        let src = format!("{a} + {b} * 2 - ({a} - {b})");
+        let expected = (a + b * 2 - (a - b)) as f64;
+        prop_assert_eq!(nakika_script::eval(&src).unwrap(), Value::Number(expected));
+    }
+
+    #[test]
+    fn script_sandbox_always_terminates_within_its_fuel_budget(
+        iterations in 1u64..10_000,
+    ) {
+        // Whatever the loop bound, the interpreter either finishes or stops at
+        // the fuel limit — it never runs away.
+        let ctx = Context::with_limits(20_000, 1 << 20);
+        nakika_script::stdlib::install(&ctx);
+        let program = nakika_script::parse_program(
+            &format!("var s = 0; for (var i = 0; i < {iterations}; i++) {{ s = s + i; }} s"),
+        ).unwrap();
+        let mut interp = Interpreter::new(&ctx);
+        let result = interp.run(&program);
+        prop_assert!(interp.fuel_used() <= 20_000 + 16);
+        match result {
+            Ok(Value::Number(_)) => {}
+            Err(nakika_script::ScriptError::FuelExhausted) => {}
+            other => prop_assert!(false, "unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_sensitive(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let a = nakika_integrity::sha256_hex(&data);
+        let b = nakika_integrity::sha256_hex(&data);
+        prop_assert_eq!(&a, &b);
+        let mut flipped = data.clone();
+        if let Some(first) = flipped.first_mut() {
+            *first ^= 0x01;
+            prop_assert_ne!(a, nakika_integrity::sha256_hex(&flipped));
+        }
+    }
+}
