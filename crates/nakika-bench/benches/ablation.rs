@@ -17,7 +17,9 @@ use std::time::Duration;
 
 fn bench_matcher_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_matcher");
-    group.measurement_time(Duration::from_millis(800)).sample_size(30);
+    group
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(30);
     for n in [10usize, 100, 500] {
         let stage = CompiledStage::compile(
             "bench.js",
@@ -40,7 +42,9 @@ fn bench_matcher_ablation(c: &mut Criterion) {
 
 fn bench_context_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_context");
-    group.measurement_time(Duration::from_millis(800)).sample_size(30);
+    group
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(30);
     group.bench_function("fresh_context_per_handler", |b| {
         b.iter(|| {
             let ctx = Context::new();
@@ -60,7 +64,9 @@ fn bench_context_ablation(c: &mut Criterion) {
 
 fn bench_cooperative_caching_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_coop_cache");
-    group.measurement_time(Duration::from_millis(800)).sample_size(20);
+    group
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20);
 
     // A flash crowd for one URL spread over 4 proxies: with the overlay, one
     // origin fetch seeds every node; without it, each node goes to the origin.

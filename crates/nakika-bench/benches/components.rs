@@ -22,7 +22,9 @@ fn quick(c: &mut Criterion) -> &mut Criterion {
 
 fn bench_script_engine(c: &mut Criterion) {
     let mut group = quick(c).benchmark_group("script_engine");
-    group.measurement_time(Duration::from_millis(800)).sample_size(30);
+    group
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(30);
 
     let source = scripts::IMAGE_TRANSCODER;
     group.bench_function("parse_transcoder_script", |b| {
@@ -59,7 +61,9 @@ fn bench_script_engine(c: &mut Criterion) {
 
 fn bench_policy_matching(c: &mut Criterion) {
     let mut group = quick(c).benchmark_group("policy_matching");
-    group.measurement_time(Duration::from_millis(800)).sample_size(30);
+    group
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(30);
 
     for n in [1usize, 10, 100] {
         let source = scripts::pred_n_stage(n);
@@ -94,11 +98,14 @@ fn bench_policy_matching(c: &mut Criterion) {
 
 fn bench_cache_and_requests(c: &mut Criterion) {
     let mut group = quick(c).benchmark_group("node_request");
-    group.measurement_time(Duration::from_millis(800)).sample_size(30);
+    group
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(30);
 
     // Paper: retrieving a resource from Apache's cache takes ~1.1 ms.
     let cache = ProxyCache::with_defaults();
-    let response = Response::ok("text/html", vec![b'x'; 2096]).with_header("Cache-Control", "max-age=600");
+    let response =
+        Response::ok("text/html", vec![b'x'; 2096]).with_header("Cache-Control", "max-age=600");
     cache.put("http://www.google.com/", &Method::Get, &response, 0);
     group.bench_function("proxy_cache_hit", |b| {
         b.iter(|| cache.get("http://www.google.com/", 1).unwrap())
@@ -137,11 +144,11 @@ fn bench_cache_and_requests(c: &mut Criterion) {
 
 fn bench_integrity(c: &mut Criterion) {
     let mut group = quick(c).benchmark_group("integrity");
-    group.measurement_time(Duration::from_millis(800)).sample_size(30);
+    group
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(30);
     let body = vec![0xABu8; 64 * 1024];
-    group.bench_function("sha256_64k", |b| {
-        b.iter(|| nakika_integrity::sha256(&body))
-    });
+    group.bench_function("sha256_64k", |b| b.iter(|| nakika_integrity::sha256(&body)));
     group.finish();
 }
 

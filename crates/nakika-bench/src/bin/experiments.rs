@@ -38,7 +38,9 @@ fn main() {
     );
 
     println!("== §5.1 congestion-based resource controls under a flash crowd ==");
-    println!("(paper: 30 gens 294->396 rps, 90 gens 229->356 rps, +misbehaving script 47 vs 382 rps;");
+    println!(
+        "(paper: 30 gens 294->396 rps, 90 gens 229->356 rps, +misbehaving script 47 vs 382 rps;"
+    );
     println!(" rejects <0.55%, drops <0.08%)\n");
     let rows = experiments::resource_controls(flash_requests);
     println!("{}", format_resource_controls(&rows));

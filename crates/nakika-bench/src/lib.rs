@@ -60,7 +60,8 @@ pub fn format_simm(rows: &[SimmResult]) -> String {
 
 /// Formats the SPECweb99-like results (§5.3).
 pub fn format_spec(rows: &[SpecResult]) -> String {
-    let mut out = String::from("Configuration                mean response (ms)     throughput (rps)\n");
+    let mut out =
+        String::from("Configuration                mean response (ms)     throughput (rps)\n");
     for row in rows {
         out.push_str(&format!(
             "{:<28} {:>18.1} {:>20.1}\n",

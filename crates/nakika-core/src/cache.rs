@@ -193,8 +193,7 @@ mod tests {
     use nakika_http::{Response, StatusCode};
 
     fn cacheable(body: &str, max_age: u64) -> Response {
-        Response::ok("text/html", body)
-            .with_header("Cache-Control", &format!("max-age={max_age}"))
+        Response::ok("text/html", body).with_header("Cache-Control", &format!("max-age={max_age}"))
     }
 
     #[test]

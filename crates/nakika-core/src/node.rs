@@ -9,13 +9,13 @@
 //! server, unit tests and the benchmarks.
 
 use crate::cache::{CacheStats, ProxyCache};
+use crate::pages;
 use crate::pipeline::{
     CompiledStage, PipelineOutcome, PipelineRunner, StageCache, StageLoader, StageLookup,
     CLIENT_WALL_URL, SERVER_WALL_URL,
 };
 use crate::resource::{Admission, ResourceKind, ResourceManager, ResourceManagerConfig};
 use crate::vocab::VocabHooks;
-use crate::pages;
 use nakika_http::cache_control::{freshness, Freshness};
 use nakika_http::pattern::Cidr;
 use nakika_http::{Method, Request, Response, StatusCode};
@@ -455,8 +455,11 @@ impl NaKikaNode {
             ResourceKind::Bandwidth,
             outcome.response.body.len() as f64,
         );
-        self.resource
-            .record(site, ResourceKind::RunningTime, 1.0 + meter.steps() as f64 / 100_000.0);
+        self.resource.record(
+            site,
+            ResourceKind::RunningTime,
+            1.0 + meter.steps() as f64 / 100_000.0,
+        );
 
         {
             let mut stats = self.stats.lock();
@@ -679,8 +682,11 @@ mod tests {
         let node = NaKikaNode::new(NodeConfig::scripted("edge-1"));
         let origin = TestOrigin::new(None);
         let dyn_origin = as_origin(&origin);
-        let resp =
-            node.handle_request(Request::get("http://site.example/hello.nkp"), 10, &dyn_origin);
+        let resp = node.handle_request(
+            Request::get("http://site.example/hello.nkp"),
+            10,
+            &dyn_origin,
+        );
         assert_eq!(resp.body.to_text(), "<p>42</p>");
         assert_eq!(resp.headers.content_type(), Some("text/html"));
         assert_eq!(node.stats().pages_rendered, 1);

@@ -74,7 +74,9 @@ pub fn render_page(page: &str) -> Result<String, ScriptError> {
 /// URL extension and/or content type (paper: the `nkp` extension or the
 /// `text/nkp` MIME type).
 pub fn is_nkp(extension: Option<&str>, content_type: Option<&str>) -> bool {
-    extension.map(|e| e.eq_ignore_ascii_case("nkp")).unwrap_or(false)
+    extension
+        .map(|e| e.eq_ignore_ascii_case("nkp"))
+        .unwrap_or(false)
         || content_type
             .map(|c| c.eq_ignore_ascii_case("text/nkp"))
             .unwrap_or(false)
@@ -86,14 +88,20 @@ mod tests {
 
     #[test]
     fn static_pages_pass_through() {
-        assert_eq!(render_page("<html><body>plain</body></html>").unwrap(), "<html><body>plain</body></html>");
+        assert_eq!(
+            render_page("<html><body>plain</body></html>").unwrap(),
+            "<html><body>plain</body></html>"
+        );
         assert_eq!(render_page("").unwrap(), "");
     }
 
     #[test]
     fn code_blocks_emit_via_echo() {
         let page = "<ul><?nkp for (var i = 1; i <= 3; i++) { echo('<li>' + i + '</li>'); } ?></ul>";
-        assert_eq!(render_page(page).unwrap(), "<ul><li>1</li><li>2</li><li>3</li></ul>");
+        assert_eq!(
+            render_page(page).unwrap(),
+            "<ul><li>1</li><li>2</li><li>3</li></ul>"
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@
 use crate::policy::{DecisionTree, Matcher, Policy, PolicySet};
 use crate::vocab::{self, Exchange, VocabHooks};
 use nakika_http::{Request, Response, StatusCode};
-use nakika_script::{parse_program, stdlib, Context, ContextPool, ResourceMeter, ScriptError, Value};
+use nakika_script::{
+    parse_program, stdlib, Context, ContextPool, ResourceMeter, ScriptError, Value,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -47,7 +49,11 @@ pub struct CompiledStage {
 impl CompiledStage {
     /// Compiles a stage from script source.  The script runs once, in a
     /// sandboxed context with a throwaway exchange, to register its policies.
-    pub fn compile(url: &str, source: &str, hooks: &VocabHooks) -> Result<CompiledStage, ScriptError> {
+    pub fn compile(
+        url: &str,
+        source: &str,
+        hooks: &VocabHooks,
+    ) -> Result<CompiledStage, ScriptError> {
         let ctx = Context::new();
         stdlib::install(&ctx);
         let load_exchange = vocab::new_exchange(Request::get(url), 0);
@@ -428,9 +434,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stage.policies.len(), 2);
-        let m = stage.find_closest_match(&Request::get("http://a.com/admin/panel")).unwrap();
+        let m = stage
+            .find_closest_match(&Request::get("http://a.com/admin/panel"))
+            .unwrap();
         assert!(m.on_request.is_some());
-        let m = stage.find_closest_match(&Request::get("http://a.com/page")).unwrap();
+        let m = stage
+            .find_closest_match(&Request::get("http://a.com/page"))
+            .unwrap();
         assert!(m.on_request.is_none());
     }
 
@@ -443,15 +453,27 @@ mod tests {
     #[test]
     fn stage_cache_hits_misses_and_negative_entries() {
         let cache = StageCache::new();
-        assert!(matches!(cache.get("http://a.com/nakika.js", 10), StageLookup::Miss));
+        assert!(matches!(
+            cache.get("http://a.com/nakika.js", 10),
+            StageLookup::Miss
+        ));
         let stage =
             CompiledStage::compile("http://a.com/nakika.js", EMPTY_WALL, &VocabHooks::default())
                 .unwrap();
         cache.put("http://a.com/nakika.js", Arc::new(stage), 100);
-        assert!(matches!(cache.get("http://a.com/nakika.js", 50), StageLookup::Hit(_)));
-        assert!(matches!(cache.get("http://a.com/nakika.js", 150), StageLookup::Miss));
+        assert!(matches!(
+            cache.get("http://a.com/nakika.js", 50),
+            StageLookup::Hit(_)
+        ));
+        assert!(matches!(
+            cache.get("http://a.com/nakika.js", 150),
+            StageLookup::Miss
+        ));
         cache.put_absent("http://nosite.com/nakika.js", 100);
-        assert!(matches!(cache.get("http://nosite.com/nakika.js", 50), StageLookup::KnownAbsent));
+        assert!(matches!(
+            cache.get("http://nosite.com/nakika.js", 50),
+            StageLookup::KnownAbsent
+        ));
         let (hits, misses) = cache.counters();
         assert_eq!(hits, 2);
         assert_eq!(misses, 2);
@@ -504,7 +526,10 @@ mod tests {
         );
         assert!(outcome.generated_by_script);
         assert_eq!(outcome.response.status, StatusCode::UNAUTHORIZED);
-        assert!(!fetched.load(std::sync::atomic::Ordering::SeqCst), "origin never contacted");
+        assert!(
+            !fetched.load(std::sync::atomic::Ordering::SeqCst),
+            "origin never contacted"
+        );
     }
 
     #[test]
@@ -582,10 +607,7 @@ mod tests {
         );
         // onResponse order: annotation stage (scheduled later, runs later on
         // request side → earlier on response side)… then the site stage wraps.
-        assert_eq!(
-            outcome.response.body.to_text(),
-            "site(annotated(original))"
-        );
+        assert_eq!(outcome.response.body.to_text(), "site(annotated(original))");
         assert_eq!(outcome.stages_executed, 2);
     }
 

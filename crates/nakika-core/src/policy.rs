@@ -74,10 +74,7 @@ impl Policy {
         }
 
         if !self.client.is_empty() {
-            let domain = request
-                .headers
-                .get("x-client-domain")
-                .map(str::to_string);
+            let domain = request.headers.get("x-client-domain").map(str::to_string);
             let best = self
                 .client
                 .iter()
@@ -354,7 +351,10 @@ mod tests {
     #[test]
     fn null_properties_are_true() {
         let p = Policy::catch_all();
-        assert_eq!(p.matches(&req("http://anything.example/")), Some(Specificity::default()));
+        assert_eq!(
+            p.matches(&req("http://anything.example/")),
+            Some(Specificity::default())
+        );
         assert!(p.is_inert());
     }
 
@@ -389,12 +389,25 @@ mod tests {
 
     #[test]
     fn precedence_url_over_client_over_method() {
-        let url_only = Specificity { url: 10, ..Default::default() };
-        let client_only = Specificity { client: 33, ..Default::default() };
-        let method_only = Specificity { method: 1, headers: 5, ..Default::default() };
+        let url_only = Specificity {
+            url: 10,
+            ..Default::default()
+        };
+        let client_only = Specificity {
+            client: 33,
+            ..Default::default()
+        };
+        let method_only = Specificity {
+            method: 1,
+            headers: 5,
+            ..Default::default()
+        };
         assert!(url_only > client_only);
         assert!(client_only > method_only);
-        let longer_url = Specificity { url: 20, ..Default::default() };
+        let longer_url = Specificity {
+            url: 20,
+            ..Default::default()
+        };
         assert!(longer_url > url_only);
     }
 
@@ -469,7 +482,10 @@ mod tests {
         second.on_request = Some(Value::Number(2.0));
         set.push(first);
         set.push(second);
-        let m = set.compile().find_closest_match(&req("http://a.com/")).unwrap();
+        let m = set
+            .compile()
+            .find_closest_match(&req("http://a.com/"))
+            .unwrap();
         assert_eq!(m.on_request, Some(Value::Number(1.0)));
     }
 

@@ -15,7 +15,6 @@ use nakika_script::ResourceMeter;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
-
 /// The resources the manager tracks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceKind {
@@ -305,8 +304,7 @@ impl ResourceManager {
                 for state in sites.values_mut() {
                     let current = *state.current.get(&kind).unwrap_or(&0.0);
                     let avg = state.average.entry(kind).or_insert(0.0);
-                    *avg = (1.0 - self.config.ewma_alpha) * *avg
-                        + self.config.ewma_alpha * current;
+                    *avg = (1.0 - self.config.ewma_alpha) * *avg + self.config.ewma_alpha * current;
                 }
             }
 
@@ -447,9 +445,15 @@ mod tests {
         manager.control();
         let hog = manager.site_usage("hog.com").reject_fraction;
         let bystander = manager.site_usage("bystander.org").reject_fraction;
-        assert!(hog > bystander, "hog {hog} should be throttled harder than {bystander}");
+        assert!(
+            hog > bystander,
+            "hog {hog} should be throttled harder than {bystander}"
+        );
         assert!(hog > 0.5);
-        assert!(!manager.site_usage("hog.com").terminated, "no kill on first round");
+        assert!(
+            !manager.site_usage("hog.com").terminated,
+            "no kill on first round"
+        );
 
         // Throttled admission rejects roughly the configured fraction.
         let mut rejected = 0;
@@ -477,7 +481,10 @@ mod tests {
         manager.control();
         assert!(manager.site_usage("hog.com").terminated);
         assert!(!manager.site_usage("small.org").terminated);
-        assert!(meter.is_killed(), "running pipelines of the offender are killed");
+        assert!(
+            meter.is_killed(),
+            "running pipelines of the offender are killed"
+        );
         assert_eq!(manager.admit("hog.com"), Admission::Terminate);
         assert_eq!(manager.admit("small.org"), Admission::Accept);
         assert_eq!(manager.stats().kills, 1);
@@ -513,7 +520,11 @@ mod tests {
         manager.record("a.com", ResourceKind::Cpu, 2_000.0);
         assert!((manager.congestion_level(ResourceKind::Cpu) - 2.0).abs() < 1e-9);
         manager.control();
-        assert_eq!(manager.congestion_level(ResourceKind::Cpu), 0.0, "new period");
+        assert_eq!(
+            manager.congestion_level(ResourceKind::Cpu),
+            0.0,
+            "new period"
+        );
     }
 
     #[test]

@@ -204,7 +204,13 @@ mod tests {
         assert_eq!(compiles(&pred_n_stage(10)), 10);
         assert_eq!(compiles(&pred_n_stage(100)), 100);
         assert_eq!(compiles(&match_1_stage("www.google.com")), 1);
-        assert_eq!(compiles(&blacklist_stage(&["bad.example.com", "worse.example.net/illegal"])), 2);
+        assert_eq!(
+            compiles(&blacklist_stage(&[
+                "bad.example.com",
+                "worse.example.net/illegal"
+            ])),
+            2
+        );
     }
 
     #[test]

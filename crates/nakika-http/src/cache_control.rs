@@ -39,7 +39,10 @@ impl CacheControl {
             for directive in value.split(',') {
                 let directive = directive.trim().to_ascii_lowercase();
                 let (name, arg) = match directive.find('=') {
-                    Some(idx) => (&directive[..idx], Some(directive[idx + 1..].trim_matches('"').to_string())),
+                    Some(idx) => (
+                        &directive[..idx],
+                        Some(directive[idx + 1..].trim_matches('"').to_string()),
+                    ),
                     None => (directive.as_str(), None),
                 };
                 match name {
@@ -60,9 +63,7 @@ impl CacheControl {
     /// The effective freshness lifetime for a shared cache, if any directive
     /// specifies one.
     pub fn shared_max_age(&self) -> Option<Duration> {
-        self.s_maxage
-            .or(self.max_age)
-            .map(Duration::from_secs)
+        self.s_maxage.or(self.max_age).map(Duration::from_secs)
     }
 }
 
@@ -137,8 +138,10 @@ fn seconds_header(headers: &Headers, name: &str) -> Option<u64> {
 pub fn set_absolute_expiry(resp: &mut Response, now_secs: u64, lifetime: Duration) {
     resp.headers.remove("cache-control");
     resp.headers.set("Date-Seconds", now_secs.to_string());
-    resp.headers
-        .set("Expires-Seconds", (now_secs + lifetime.as_secs()).to_string());
+    resp.headers.set(
+        "Expires-Seconds",
+        (now_secs + lifetime.as_secs()).to_string(),
+    );
 }
 
 #[cfg(test)]
@@ -243,7 +246,8 @@ mod tests {
 
     #[test]
     fn legacy_expires_header_means_revalidate() {
-        let r = Response::ok("text/html", "x").with_header("Expires", "Thu, 01 Dec 1994 16:00:00 GMT");
+        let r =
+            Response::ok("text/html", "x").with_header("Expires", "Thu, 01 Dec 1994 16:00:00 GMT");
         assert_eq!(
             freshness(&Method::Get, &r, Duration::from_secs(60)),
             Freshness::Revalidate

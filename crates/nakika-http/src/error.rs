@@ -78,7 +78,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: HttpError = io.into();
         assert!(matches!(e, HttpError::Io(_)));
     }

@@ -86,13 +86,16 @@ impl Headers {
 
     /// Iterates over `(name, value)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.entries.iter().map(|e| (e.name.as_str(), e.value.as_str()))
+        self.entries
+            .iter()
+            .map(|e| (e.name.as_str(), e.value.as_str()))
     }
 
     /// Returns the value of `Content-Length` parsed as an integer, if present
     /// and valid.
     pub fn content_length(&self) -> Option<usize> {
-        self.get("content-length").and_then(|v| v.trim().parse().ok())
+        self.get("content-length")
+            .and_then(|v| v.trim().parse().ok())
     }
 
     /// Returns the value of `Content-Type`, if present (without parameters).
@@ -128,7 +131,10 @@ impl Headers {
             for pair in value.split(';') {
                 let pair = pair.trim();
                 if let Some(eq) = pair.find('=') {
-                    out.push((pair[..eq].trim().to_string(), pair[eq + 1..].trim().to_string()));
+                    out.push((
+                        pair[..eq].trim().to_string(),
+                        pair[eq + 1..].trim().to_string(),
+                    ));
                 } else if !pair.is_empty() {
                     out.push((pair.to_string(), String::new()));
                 }

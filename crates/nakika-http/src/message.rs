@@ -174,7 +174,8 @@ impl Request {
     /// Builder-style helper setting the body and Content-Length.
     pub fn with_body(mut self, body: impl Into<Body>) -> Request {
         self.body = body.into();
-        self.headers.set("Content-Length", self.body.len().to_string());
+        self.headers
+            .set("Content-Length", self.body.len().to_string());
         self
     }
 
@@ -254,7 +255,8 @@ impl Response {
     /// Replaces the body and fixes up Content-Length.
     pub fn set_body(&mut self, body: impl Into<Body>) {
         self.body = body.into();
-        self.headers.set("Content-Length", self.body.len().to_string());
+        self.headers
+            .set("Content-Length", self.body.len().to_string());
     }
 
     /// Content type without parameters, defaulting to

@@ -139,9 +139,7 @@ fn window_find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     if haystack.len() < needle.len() {
         return None;
     }
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 fn parse_version(v: &str) -> Result<bool> {
@@ -364,7 +362,7 @@ mod tests {
     #[test]
     fn header_block_size_limit() {
         let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
-        raw.extend(std::iter::repeat(b'a').take(MAX_HEADER_BYTES + 10));
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + 10));
         assert!(matches!(
             parse_request(&raw),
             Err(HttpError::BodyTooLarge { .. })

@@ -102,7 +102,9 @@ impl ClientPattern {
     pub fn parse(s: &str) -> Result<ClientPattern> {
         let s = s.trim();
         if s.is_empty() {
-            return Err(HttpError::InvalidPattern("empty client pattern".to_string()));
+            return Err(HttpError::InvalidPattern(
+                "empty client pattern".to_string(),
+            ));
         }
         match Cidr::parse(s) {
             Ok(cidr) => Ok(ClientPattern::Cidr(cidr)),
@@ -145,7 +147,10 @@ pub struct Regex {
 enum Node {
     Literal(char),
     Any,
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
     Group(Vec<Vec<Node>>),
     Star(Box<Node>),
     Plus(Box<Node>),
@@ -229,7 +234,10 @@ fn char_to_byte(text: &str, char_idx: usize) -> usize {
         .unwrap_or(text.len())
 }
 
-fn parse_alternatives(chars: &[char], pos: &mut usize) -> std::result::Result<Vec<Vec<Node>>, String> {
+fn parse_alternatives(
+    chars: &[char],
+    pos: &mut usize,
+) -> std::result::Result<Vec<Vec<Node>>, String> {
     let mut alternatives = Vec::new();
     let mut current = Vec::new();
     while *pos < chars.len() {
@@ -288,7 +296,10 @@ fn parse_atom(chars: &[char], pos: &mut usize) -> std::result::Result<Node, Stri
             let escaped = chars[*pos];
             *pos += 1;
             match escaped {
-                'd' => Ok(Node::Class { negated: false, ranges: vec![('0', '9')] }),
+                'd' => Ok(Node::Class {
+                    negated: false,
+                    ranges: vec![('0', '9')],
+                }),
                 'w' => Ok(Node::Class {
                     negated: false,
                     ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],

@@ -15,7 +15,11 @@ pub fn serialize_request_absolute(req: &Request) -> Vec<u8> {
 }
 
 fn serialize_request_with_form(req: &Request, absolute: bool) -> Vec<u8> {
-    let version = if req.version_11 { "HTTP/1.1" } else { "HTTP/1.0" };
+    let version = if req.version_11 {
+        "HTTP/1.1"
+    } else {
+        "HTTP/1.0"
+    };
     let target = if absolute {
         req.uri.to_string()
     } else {
@@ -52,7 +56,11 @@ fn serialize_request_with_form(req: &Request, absolute: bool) -> Vec<u8> {
 /// never emitted: the body length is always declared explicitly, because Na
 /// Kika scripts operate on complete instances (paper §3.1).
 pub fn serialize_response(resp: &Response) -> Vec<u8> {
-    let version = if resp.version_11 { "HTTP/1.1" } else { "HTTP/1.0" };
+    let version = if resp.version_11 {
+        "HTTP/1.1"
+    } else {
+        "HTTP/1.0"
+    };
     let mut out = Vec::with_capacity(128 + resp.body.len());
     out.extend_from_slice(
         format!(

@@ -4,7 +4,9 @@ use crate::error::{HttpError, Result};
 use std::fmt;
 
 /// An HTTP response status code (100..=599).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct StatusCode(u16);
 
 impl StatusCode {
@@ -81,7 +83,10 @@ impl StatusCode {
     /// True if responses with this status are cacheable by default
     /// (RFC 7231 §6.1 heuristic set).
     pub fn is_cacheable_by_default(&self) -> bool {
-        matches!(self.0, 200 | 203 | 204 | 206 | 300 | 301 | 404 | 405 | 410 | 414 | 501)
+        matches!(
+            self.0,
+            200 | 203 | 204 | 206 | 300 | 301 | 404 | 405 | 410 | 414 | 501
+        )
     }
 
     /// The canonical reason phrase for this status.

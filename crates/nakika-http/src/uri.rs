@@ -49,7 +49,9 @@ impl Uri {
             None => ("http".to_string(), input),
         };
         if scheme != "http" && scheme != "https" {
-            return Err(HttpError::InvalidUri(format!("unsupported scheme: {scheme}")));
+            return Err(HttpError::InvalidUri(format!(
+                "unsupported scheme: {scheme}"
+            )));
         }
         let default_port = if scheme == "https" { 443 } else { 80 };
         let (authority, path_and_query) = match rest.find('/') {
@@ -191,9 +193,8 @@ impl Uri {
         // Host matches exactly or as a domain suffix ("nyu.edu" matches
         // "med.nyu.edu"); the comparison ignores any .nakika.net rewriting.
         let host = self.to_origin().host;
-        let host_ok = host == host_part
-            || host.ends_with(&format!(".{host_part}"))
-            || host_part.is_empty();
+        let host_ok =
+            host == host_part || host.ends_with(&format!(".{host_part}")) || host_part.is_empty();
         if !host_ok {
             return false;
         }

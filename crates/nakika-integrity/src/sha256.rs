@@ -150,9 +150,9 @@ mod tests {
     fn padding_boundaries() {
         // Lengths straddling the 55/56/64-byte padding edge cases must all
         // produce distinct, stable digests.
-        let d55 = sha256_hex(&vec![0u8; 55]);
-        let d56 = sha256_hex(&vec![0u8; 56]);
-        let d64 = sha256_hex(&vec![0u8; 64]);
+        let d55 = sha256_hex(&[0u8; 55]);
+        let d56 = sha256_hex(&[0u8; 56]);
+        let d64 = sha256_hex(&[0u8; 64]);
         assert_ne!(d55, d56);
         assert_ne!(d56, d64);
         assert_eq!(d55.len(), 64);

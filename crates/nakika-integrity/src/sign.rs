@@ -94,7 +94,11 @@ pub fn sign_response(resp: &mut Response, key: &SigningKey, now_secs: u64, lifet
     cache_control::set_absolute_expiry(resp, now_secs, Duration::from_secs(lifetime_secs));
     let hash = sha256_hex(&resp.body.to_bytes());
     let date = resp.headers.get("date-seconds").unwrap_or("0").to_string();
-    let expires = resp.headers.get("expires-seconds").unwrap_or("0").to_string();
+    let expires = resp
+        .headers
+        .get("expires-seconds")
+        .unwrap_or("0")
+        .to_string();
     let signature = to_hex(&key.mac(&signed_payload(&hash, &date, &expires)));
     resp.headers.set(HASH_HEADER, hash);
     resp.headers.set(SIGNATURE_HEADER, signature);
@@ -103,7 +107,11 @@ pub fn sign_response(resp: &mut Response, key: &SigningKey, now_secs: u64, lifet
 /// Verifies a response received from an untrusted cache: the body must match
 /// the hash, the signature must cover the hash and expiry metadata, and the
 /// absolute expiration must still lie in the future at `now_secs`.
-pub fn verify_response(resp: &Response, key: &SigningKey, now_secs: u64) -> Result<(), VerifyError> {
+pub fn verify_response(
+    resp: &Response,
+    key: &SigningKey,
+    now_secs: u64,
+) -> Result<(), VerifyError> {
     let hash = resp
         .headers
         .get(HASH_HEADER)
@@ -188,7 +196,10 @@ mod tests {
     fn tampered_body_is_detected() {
         let (mut resp, key) = signed();
         resp.set_body("<p>falsified study</p>");
-        assert_eq!(verify_response(&resp, &key, 1_500), Err(VerifyError::BodyMismatch));
+        assert_eq!(
+            verify_response(&resp, &key, 1_500),
+            Err(VerifyError::BodyMismatch)
+        );
     }
 
     #[test]
@@ -196,20 +207,29 @@ mod tests {
         let (mut resp, key) = signed();
         // A malicious node tries to keep the content alive longer.
         resp.headers.set("Expires-Seconds", "999999");
-        assert_eq!(verify_response(&resp, &key, 1_500), Err(VerifyError::BadSignature));
+        assert_eq!(
+            verify_response(&resp, &key, 1_500),
+            Err(VerifyError::BadSignature)
+        );
     }
 
     #[test]
     fn stale_replay_is_detected() {
         let (resp, key) = signed();
-        assert_eq!(verify_response(&resp, &key, 5_000), Err(VerifyError::Expired));
+        assert_eq!(
+            verify_response(&resp, &key, 5_000),
+            Err(VerifyError::Expired)
+        );
     }
 
     #[test]
     fn wrong_key_fails() {
         let (resp, _) = signed();
         let other = SigningKey::new(b"not the key");
-        assert_eq!(verify_response(&resp, &other, 1_100), Err(VerifyError::BadSignature));
+        assert_eq!(
+            verify_response(&resp, &other, 1_100),
+            Err(VerifyError::BadSignature)
+        );
     }
 
     #[test]
@@ -224,7 +244,7 @@ mod tests {
 
     #[test]
     fn long_key_material_is_hashed() {
-        let key = SigningKey::new(&vec![7u8; 200]);
+        let key = SigningKey::new(&[7u8; 200]);
         let mut resp = Response::ok("text/plain", "x");
         sign_response(&mut resp, &key, 0, 10);
         assert!(verify_response(&resp, &key, 5).is_ok());

@@ -154,7 +154,11 @@ impl Overlay {
                 )
             })
             .collect();
-        order.sort_by(|a, b| cluster_rank(a.1).cmp(&cluster_rank(b.1)).then(a.2.cmp(&b.2)));
+        order.sort_by(|a, b| {
+            cluster_rank(a.1)
+                .cmp(&cluster_rank(b.1))
+                .then(a.2.cmp(&b.2))
+        });
 
         let mut written = 0usize;
         let mut hops = 0u64;
@@ -374,7 +378,10 @@ mod tests {
             .map(|n| n.store.values().map(|v| v.len()).max().unwrap_or(0))
             .max()
             .unwrap();
-        assert!(max_per_node <= 2, "sloppiness bound respected, saw {max_per_node}");
+        assert!(
+            max_per_node <= 2,
+            "sloppiness bound respected, saw {max_per_node}"
+        );
     }
 
     #[test]

@@ -58,7 +58,9 @@ impl<'c> Interpreter<'c> {
     /// resource manager sees the full consumption of a handler execution.
     pub fn flush_meter(&mut self) {
         if self.fuel_used > self.fuel_reported {
-            self.ctx.meter.add_steps(self.fuel_used - self.fuel_reported);
+            self.ctx
+                .meter
+                .add_steps(self.fuel_used - self.fuel_reported);
             self.fuel_reported = self.fuel_used;
         }
     }
@@ -401,7 +403,11 @@ impl<'c> Interpreter<'c> {
                 let r = self.eval(right, scope)?;
                 self.binary(*op, l, r)
             }
-            Expr::Logical { is_and, left, right } => {
+            Expr::Logical {
+                is_and,
+                left,
+                right,
+            } => {
                 let l = self.eval(left, scope)?;
                 if *is_and {
                     if !l.truthy() {
@@ -478,7 +484,8 @@ impl<'c> Interpreter<'c> {
                         // Native constructors receive a tagged empty object as
                         // `this` and may return their own value; if they return
                         // undefined the tagged object is the result.
-                        let this = Value::Object(Arc::new(RwLock::new(ObjectData::with_class(&class))));
+                        let this =
+                            Value::Object(Arc::new(RwLock::new(ObjectData::with_class(&class))));
                         self.account_alloc(&this)?;
                         let result = f(&this, &arg_values)?;
                         Ok(match result {
@@ -487,7 +494,8 @@ impl<'c> Interpreter<'c> {
                         })
                     }
                     Value::Function(_) => {
-                        let this = Value::Object(Arc::new(RwLock::new(ObjectData::with_class(&class))));
+                        let this =
+                            Value::Object(Arc::new(RwLock::new(ObjectData::with_class(&class))));
                         self.account_alloc(&this)?;
                         let result = self.call_function(&ctor, &this, &arg_values)?;
                         Ok(match result {
@@ -635,7 +643,9 @@ impl<'c> Interpreter<'c> {
             BinaryOp::StrictNotEq => Value::Bool(!l.strict_equals(&r)),
             BinaryOp::Lt | BinaryOp::Gt | BinaryOp::Le | BinaryOp::Ge => {
                 let out = match (&l, &r) {
-                    (Value::Str(a), Value::Str(b)) => compare(op, a.as_ref().cmp(b.as_ref()) as i8 as f64, 0.0),
+                    (Value::Str(a), Value::Str(b)) => {
+                        compare(op, a.as_ref().cmp(b.as_ref()) as i8 as f64, 0.0)
+                    }
                     _ => compare(op, l.to_number(), r.to_number()),
                 };
                 Value::Bool(out)
@@ -702,7 +712,10 @@ mod tests {
     #[test]
     fn variables_and_assignment() {
         assert_eq!(run_ok("var x = 5; x += 3; x"), Value::Number(8.0));
-        assert_eq!(run_ok("var x = 5; x *= 2; x -= 1; x /= 3; x"), Value::Number(3.0));
+        assert_eq!(
+            run_ok("var x = 5; x *= 2; x -= 1; x /= 3; x"),
+            Value::Number(3.0)
+        );
         assert_eq!(run_ok("y = 7; y"), Value::Number(7.0)); // sloppy global
     }
 
@@ -744,7 +757,10 @@ mod tests {
             Value::Number(3.0)
         );
         // function hoisting
-        assert_eq!(run_ok("var v = f(); function f() { return 9; } v"), Value::Number(9.0));
+        assert_eq!(
+            run_ok("var v = f(); function f() { return 9; } v"),
+            Value::Number(9.0)
+        );
     }
 
     #[test]
@@ -761,13 +777,18 @@ mod tests {
             run_ok("var o = {}; o.x = 5; o['y'] = 6; o.x + o.y"),
             Value::Number(11.0)
         );
-        assert_eq!(run_ok("var o = {a: 1}; delete o.a; typeof o.a"), Value::string("undefined"));
+        assert_eq!(
+            run_ok("var o = {a: 1}; delete o.a; typeof o.a"),
+            Value::string("undefined")
+        );
     }
 
     #[test]
     fn for_in_iterates_keys() {
         assert_eq!(
-            run_ok("var o = {a: 1, b: 2, c: 3}; var keys = ''; for (var k in o) { keys += k; } keys"),
+            run_ok(
+                "var o = {a: 1, b: 2, c: 3}; var keys = ''; for (var k in o) { keys += k; } keys"
+            ),
             Value::string("abc")
         );
         assert_eq!(
@@ -808,7 +829,10 @@ mod tests {
     fn typeof_and_equality() {
         assert_eq!(run_ok("typeof 1"), Value::string("number"));
         assert_eq!(run_ok("typeof 'a'"), Value::string("string"));
-        assert_eq!(run_ok("typeof undefinedVariable"), Value::string("undefined"));
+        assert_eq!(
+            run_ok("typeof undefinedVariable"),
+            Value::string("undefined")
+        );
         assert_eq!(run_ok("typeof function(){}"), Value::string("function"));
         assert_eq!(run_ok("1 == '1'"), Value::Bool(true));
         assert_eq!(run_ok("1 === '1'"), Value::Bool(false));
@@ -847,7 +871,10 @@ mod tests {
     fn reference_errors() {
         assert!(matches!(run("missing + 1"), Err(ScriptError::Reference(_))));
         assert!(matches!(run("5()"), Err(ScriptError::Type(_))));
-        assert!(matches!(run("var o = {}; o.nothing()"), Err(ScriptError::Type(_))));
+        assert!(matches!(
+            run("var o = {}; o.nothing()"),
+            Err(ScriptError::Type(_))
+        ));
     }
 
     #[test]
@@ -923,7 +950,8 @@ mod tests {
     fn meter_observes_consumption() {
         let ctx = Context::new();
         stdlib::install(&ctx);
-        let program = parse_program("var s = 0; for (var i = 0; i < 1000; i++) { s += i; } s").unwrap();
+        let program =
+            parse_program("var s = 0; for (var i = 0; i < 1000; i++) { s += i; } s").unwrap();
         let mut interp = Interpreter::new(&ctx);
         interp.run(&program).unwrap();
         assert!(interp.fuel_used() > 1000);

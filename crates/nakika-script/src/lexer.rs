@@ -215,7 +215,9 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ScriptError> {
             c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
                 let start = pos;
                 while pos < chars.len()
-                    && (chars[pos].is_ascii_alphanumeric() || chars[pos] == '_' || chars[pos] == '$')
+                    && (chars[pos].is_ascii_alphanumeric()
+                        || chars[pos] == '_'
+                        || chars[pos] == '$')
                 {
                     pos += 1;
                 }
@@ -263,10 +265,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ScriptError> {
         // Numbers and strings advanced `pos` themselves except in the digit
         // branch, which leaves pos at the end already; whitespace/comments
         // also handled.  Nothing more to do here.
-        if matches!(
-            tokens.last().map(|t| &t.kind),
-            Some(TokenKind::Str(_))
-        ) {
+        if matches!(tokens.last().map(|t| &t.kind), Some(TokenKind::Str(_))) {
             // string already advanced pos
         }
     }
@@ -401,7 +400,11 @@ mod tests {
         let toks = kinds("1 // line comment\n/* block\ncomment */ 2");
         assert_eq!(
             toks,
-            vec![TokenKind::Number(1.0), TokenKind::Number(2.0), TokenKind::Eof]
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.0),
+                TokenKind::Eof
+            ]
         );
     }
 

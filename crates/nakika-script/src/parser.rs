@@ -124,7 +124,9 @@ impl Parser {
                 self.advance();
                 if matches!(
                     self.peek(),
-                    TokenKind::Punct(Punct::Semicolon) | TokenKind::Punct(Punct::RBrace) | TokenKind::Eof
+                    TokenKind::Punct(Punct::Semicolon)
+                        | TokenKind::Punct(Punct::RBrace)
+                        | TokenKind::Eof
                 ) {
                     Stmt::Return(None)
                 } else {
@@ -339,7 +341,10 @@ impl Parser {
         };
         if let Some(op) = op {
             self.advance();
-            if !matches!(target, Expr::Ident(_) | Expr::Member { .. } | Expr::Index { .. }) {
+            if !matches!(
+                target,
+                Expr::Ident(_) | Expr::Member { .. } | Expr::Index { .. }
+            ) {
                 return Err(self.error("invalid assignment target"));
             }
             let value = self.assignment()?;
@@ -549,7 +554,9 @@ impl Parser {
     fn primary_for_new(&mut self) -> Result<Expr, ScriptError> {
         match self.advance() {
             TokenKind::Ident(name) => Ok(Expr::Ident(name)),
-            other => Err(self.error(format!("expected constructor name after new, found {other:?}"))),
+            other => Err(self.error(format!(
+                "expected constructor name after new, found {other:?}"
+            ))),
         }
     }
 
@@ -696,7 +703,9 @@ impl Parser {
                         TokenKind::Number(n) => crate::value::number_to_string(n),
                         TokenKind::Keyword(k) => format!("{k:?}").to_ascii_lowercase(),
                         other => {
-                            return Err(self.error(format!("expected property key, found {other:?}")))
+                            return Err(
+                                self.error(format!("expected property key, found {other:?}"))
+                            )
                         }
                     };
                     self.expect_punct(Punct::Colon)?;
@@ -764,10 +773,14 @@ mod tests {
 
     #[test]
     fn parses_function_declaration_and_expression() {
-        let p = parse_program("function f(a, b) { return a + b; } var g = function() { };").unwrap();
+        let p =
+            parse_program("function f(a, b) { return a + b; } var g = function() { };").unwrap();
         assert!(matches!(p.body[0], Stmt::FunctionDecl { .. }));
         match &p.body[1] {
-            Stmt::VarDecl { init: Some(Expr::Function(f)), .. } => assert!(f.params.is_empty()),
+            Stmt::VarDecl {
+                init: Some(Expr::Function(f)),
+                ..
+            } => assert!(f.params.is_empty()),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -792,7 +805,9 @@ mod tests {
 
     #[test]
     fn parses_member_index_call_chains() {
-        let p = parse_program("ImageTransformer.transform(body, type, 'jpeg', 176, dim.y/dim.x*208);").unwrap();
+        let p =
+            parse_program("ImageTransformer.transform(body, type, 'jpeg', 176, dim.y/dim.x*208);")
+                .unwrap();
         match &p.body[0] {
             Stmt::Expr(Expr::Call { callee, args }) => {
                 assert!(matches!(**callee, Expr::Member { .. }));
@@ -806,13 +821,21 @@ mod tests {
 
     #[test]
     fn parses_new_and_object_literals() {
-        let p = parse_program("var p = new Policy(); p.url = ['a', 'b']; var o = { x: 1, 'y': 2 };").unwrap();
+        let p =
+            parse_program("var p = new Policy(); p.url = ['a', 'b']; var o = { x: 1, 'y': 2 };")
+                .unwrap();
         match &p.body[0] {
-            Stmt::VarDecl { init: Some(Expr::New { args, .. }), .. } => assert!(args.is_empty()),
+            Stmt::VarDecl {
+                init: Some(Expr::New { args, .. }),
+                ..
+            } => assert!(args.is_empty()),
             other => panic!("unexpected {other:?}"),
         }
         match &p.body[2] {
-            Stmt::VarDecl { init: Some(Expr::Object(props)), .. } => assert_eq!(props.len(), 2),
+            Stmt::VarDecl {
+                init: Some(Expr::Object(props)),
+                ..
+            } => assert_eq!(props.len(), 2),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -828,14 +851,26 @@ mod tests {
         let p = parse_program("var x = a > b ? a : b; var y = p && q || r;").unwrap();
         assert!(matches!(
             &p.body[0],
-            Stmt::VarDecl { init: Some(Expr::Conditional { .. }), .. }
+            Stmt::VarDecl {
+                init: Some(Expr::Conditional { .. }),
+                ..
+            }
         ));
     }
 
     #[test]
     fn parses_try_catch_throw() {
-        let p = parse_program("try { risky(); } catch (e) { handle(e); } finally { done(); } throw 'x';").unwrap();
-        assert!(matches!(&p.body[0], Stmt::Try { catch_name: Some(_), .. }));
+        let p = parse_program(
+            "try { risky(); } catch (e) { handle(e); } finally { done(); } throw 'x';",
+        )
+        .unwrap();
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Try {
+                catch_name: Some(_),
+                ..
+            }
+        ));
         assert!(matches!(&p.body[1], Stmt::Throw(_)));
         assert!(parse_program("try { x(); }").is_err());
     }
@@ -843,8 +878,14 @@ mod tests {
     #[test]
     fn parses_update_expressions() {
         let p = parse_program("i++; --j; a.count++;").unwrap();
-        assert!(matches!(&p.body[0], Stmt::Expr(Expr::Update { prefix: false, .. })));
-        assert!(matches!(&p.body[1], Stmt::Expr(Expr::Update { prefix: true, .. })));
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Expr(Expr::Update { prefix: false, .. })
+        ));
+        assert!(matches!(
+            &p.body[1],
+            Stmt::Expr(Expr::Update { prefix: true, .. })
+        ));
         assert!(matches!(&p.body[2], Stmt::Expr(Expr::Update { .. })));
     }
 
@@ -855,7 +896,10 @@ mod tests {
         assert!(matches!(&p.body[1], Stmt::Expr(Expr::Delete(_))));
         assert!(matches!(
             &p.body[2],
-            Stmt::Expr(Expr::Binary { op: BinaryOp::In, .. })
+            Stmt::Expr(Expr::Binary {
+                op: BinaryOp::In,
+                ..
+            })
         ));
     }
 

@@ -56,9 +56,7 @@ pub fn install(ctx: &Context) {
             let end = t
                 .char_indices()
                 .take_while(|(i, c)| {
-                    c.is_ascii_digit()
-                        || *c == '.'
-                        || ((*c == '-' || *c == '+') && *i == 0)
+                    c.is_ascii_digit() || *c == '.' || ((*c == '-' || *c == '+') && *i == 0)
                 })
                 .map(|(i, c)| i + c.len_utf8())
                 .last()
@@ -97,10 +95,15 @@ pub fn install(ctx: &Context) {
 
     // `new Object()` / `new Array()` for completeness.
     ctx.set_global("Object", Value::native(|_, _| Ok(Value::new_object())));
-    ctx.set_global("Array", Value::native(|_, args| Ok(Value::new_array(args.to_vec()))));
+    ctx.set_global(
+        "Array",
+        Value::native(|_, args| Ok(Value::new_array(args.to_vec()))),
+    );
 
     let math = Value::new_object();
-    let unary = |f: fn(f64) -> f64| Value::native(move |_, args| Ok(Value::Number(f(arg(args, 0).to_number()))));
+    let unary = |f: fn(f64) -> f64| {
+        Value::native(move |_, args| Ok(Value::Number(f(arg(args, 0).to_number()))))
+    };
     math.set_property("floor", unary(f64::floor)).unwrap();
     math.set_property("ceil", unary(f64::ceil)).unwrap();
     math.set_property("round", unary(f64::round)).unwrap();
@@ -109,36 +112,43 @@ pub fn install(ctx: &Context) {
     math.set_property("log", unary(f64::ln)).unwrap();
     math.set_property("exp", unary(f64::exp)).unwrap();
     math.set_property(
-            "pow",
-            Value::native(|_, args| {
-                Ok(Value::Number(arg(args, 0).to_number().powf(arg(args, 1).to_number())))
-            }),
-        )
-        .unwrap();
+        "pow",
+        Value::native(|_, args| {
+            Ok(Value::Number(
+                arg(args, 0).to_number().powf(arg(args, 1).to_number()),
+            ))
+        }),
+    )
+    .unwrap();
     math.set_property(
-            "min",
-            Value::native(|_, args| {
-                Ok(Value::Number(
-                    args.iter().map(|v| v.to_number()).fold(f64::INFINITY, f64::min),
-                ))
-            }),
-        )
-        .unwrap();
+        "min",
+        Value::native(|_, args| {
+            Ok(Value::Number(
+                args.iter()
+                    .map(|v| v.to_number())
+                    .fold(f64::INFINITY, f64::min),
+            ))
+        }),
+    )
+    .unwrap();
     math.set_property(
-            "max",
-            Value::native(|_, args| {
-                Ok(Value::Number(
-                    args.iter().map(|v| v.to_number()).fold(f64::NEG_INFINITY, f64::max),
-                ))
-            }),
-        )
-        .unwrap();
+        "max",
+        Value::native(|_, args| {
+            Ok(Value::Number(
+                args.iter()
+                    .map(|v| v.to_number())
+                    .fold(f64::NEG_INFINITY, f64::max),
+            ))
+        }),
+    )
+    .unwrap();
     math.set_property(
-            "random",
-            Value::native(|_, _| Ok(Value::Number(next_pseudo_random()))),
-        )
+        "random",
+        Value::native(|_, _| Ok(Value::Number(next_pseudo_random()))),
+    )
+    .unwrap();
+    math.set_property("PI", Value::Number(std::f64::consts::PI))
         .unwrap();
-    math.set_property("PI", Value::Number(std::f64::consts::PI)).unwrap();
     ctx.set_global("Math", math);
 }
 
@@ -213,7 +223,7 @@ fn string_method(s: &str, name: &str, args: &[Value]) -> Option<Result<Value, Sc
                 v => v.to_number(),
             };
             if name == "substr" {
-                end = start + end;
+                end += start;
             }
             if name == "slice" {
                 if start < 0.0 {
@@ -225,7 +235,11 @@ fn string_method(s: &str, name: &str, args: &[Value]) -> Option<Result<Value, Sc
             }
             let start = start.clamp(0.0, len) as usize;
             let end = end.clamp(0.0, len) as usize;
-            let (start, end) = if start <= end { (start, end) } else { (end, start) };
+            let (start, end) = if start <= end {
+                (start, end)
+            } else {
+                (end, start)
+            };
             Value::string(chars[start..end].iter().collect::<String>())
         }
         "toUpperCase" => Value::string(s.to_uppercase()),
@@ -329,7 +343,11 @@ fn array_method(this: &Value, name: &str, args: &[Value]) -> Option<Result<Value
         }
         "includes" | "contains" => {
             let target = arg(args, 0);
-            Value::Bool(arr.read().iter().any(|v| v.strict_equals(&target) || v.loose_equals(&target)))
+            Value::Bool(
+                arr.read()
+                    .iter()
+                    .any(|v| v.strict_equals(&target) || v.loose_equals(&target)),
+            )
         }
         "slice" => {
             let a = arr.read();
@@ -365,10 +383,7 @@ fn array_method(this: &Value, name: &str, args: &[Value]) -> Option<Result<Value
         }
         "sort" => {
             let mut a = arr.write();
-            a.sort_by(|x, y| {
-                x.to_display_string()
-                    .cmp(&y.to_display_string())
-            });
+            a.sort_by_key(|x| x.to_display_string());
             drop(a);
             this.clone()
         }
@@ -385,16 +400,14 @@ fn bytes_method(this: &Value, name: &str, args: &[Value]) -> Option<Result<Value
     };
     let result = match name {
         // `body.append(buff)` from the paper's Figure 2.
-        "append" | "push" => {
-            match arg(args, 0).as_bytes_vec() {
-                Ok(data) => {
-                    bytes.write().extend_from_slice(&data);
-                    Value::Number(bytes.read().len() as f64)
-                }
-                Err(e) => return Some(Err(e)),
+        "append" | "push" => match arg(args, 0).as_bytes_vec() {
+            Ok(data) => {
+                bytes.write().extend_from_slice(&data);
+                Value::Number(bytes.read().len() as f64)
             }
-        }
-        "toString" | "decode" => Value::string(String::from_utf8_lossy(&bytes.read()).into_owned()),
+            Err(e) => return Some(Err(e)),
+        },
+        "toString" | "decode" => Value::string(String::from_utf8_lossy(&bytes.read())),
         "slice" => {
             let b = bytes.read();
             let len = b.len() as f64;
@@ -442,13 +455,7 @@ fn object_method(this: &Value, name: &str, args: &[Value]) -> Option<Result<Valu
             let key = arg(args, 0).to_display_string();
             Value::Bool(obj.read().properties.contains_key(&key))
         }
-        "keys" => Value::new_array(
-            obj.read()
-                .properties
-                .keys()
-                .map(Value::string)
-                .collect(),
-        ),
+        "keys" => Value::new_array(obj.read().properties.keys().map(Value::string).collect()),
         "toString" => Value::string(this.to_display_string()),
         _ => return None,
     };
@@ -462,34 +469,76 @@ mod tests {
 
     #[test]
     fn string_methods() {
-        assert_eq!(eval("'hello world'.indexOf('world')").unwrap(), Value::Number(6.0));
+        assert_eq!(
+            eval("'hello world'.indexOf('world')").unwrap(),
+            Value::Number(6.0)
+        );
         assert_eq!(eval("'hello'.indexOf('x')").unwrap(), Value::Number(-1.0));
-        assert_eq!(eval("'Hello'.toUpperCase()").unwrap(), Value::string("HELLO"));
-        assert_eq!(eval("'Hello'.toLowerCase()").unwrap(), Value::string("hello"));
+        assert_eq!(
+            eval("'Hello'.toUpperCase()").unwrap(),
+            Value::string("HELLO")
+        );
+        assert_eq!(
+            eval("'Hello'.toLowerCase()").unwrap(),
+            Value::string("hello")
+        );
         assert_eq!(eval("'  x  '.trim()").unwrap(), Value::string("x"));
-        assert_eq!(eval("'abcdef'.substring(1, 3)").unwrap(), Value::string("bc"));
+        assert_eq!(
+            eval("'abcdef'.substring(1, 3)").unwrap(),
+            Value::string("bc")
+        );
         assert_eq!(eval("'abcdef'.slice(-2)").unwrap(), Value::string("ef"));
-        assert_eq!(eval("'a,b,c'.split(',').length").unwrap(), Value::Number(3.0));
-        assert_eq!(eval("'a-b-a'.replace('a', 'x')").unwrap(), Value::string("x-b-a"));
-        assert_eq!(eval("'a-b-a'.replaceAll('a', 'x')").unwrap(), Value::string("x-b-x"));
-        assert_eq!(eval("'image/png'.startsWith('image/')").unwrap(), Value::Bool(true));
-        assert_eq!(eval("'file.nkp'.endsWith('.nkp')").unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval("'a,b,c'.split(',').length").unwrap(),
+            Value::Number(3.0)
+        );
+        assert_eq!(
+            eval("'a-b-a'.replace('a', 'x')").unwrap(),
+            Value::string("x-b-a")
+        );
+        assert_eq!(
+            eval("'a-b-a'.replaceAll('a', 'x')").unwrap(),
+            Value::string("x-b-x")
+        );
+        assert_eq!(
+            eval("'image/png'.startsWith('image/')").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval("'file.nkp'.endsWith('.nkp')").unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval("'abc'.charAt(1)").unwrap(), Value::string("b"));
         assert_eq!(eval("'A'.charCodeAt(0)").unwrap(), Value::Number(65.0));
     }
 
     #[test]
     fn array_methods() {
-        assert_eq!(eval("var a = [1]; a.push(2, 3); a.length").unwrap(), Value::Number(3.0));
+        assert_eq!(
+            eval("var a = [1]; a.push(2, 3); a.length").unwrap(),
+            Value::Number(3.0)
+        );
         assert_eq!(eval("[1,2,3].pop()").unwrap(), Value::Number(3.0));
         assert_eq!(eval("[1,2,3].shift()").unwrap(), Value::Number(1.0));
         assert_eq!(eval("['a','b'].join('-')").unwrap(), Value::string("a-b"));
         assert_eq!(eval("[1,2,3].indexOf(2)").unwrap(), Value::Number(1.0));
         assert_eq!(eval("[1,2,3].indexOf(9)").unwrap(), Value::Number(-1.0));
-        assert_eq!(eval("[1,2,3,4].slice(1,3).join(',')").unwrap(), Value::string("2,3"));
-        assert_eq!(eval("[1,2].concat([3,4]).length").unwrap(), Value::Number(4.0));
-        assert_eq!(eval("[3,1,2].sort().join('')").unwrap(), Value::string("123"));
-        assert_eq!(eval("[1,2,3].reverse().join('')").unwrap(), Value::string("321"));
+        assert_eq!(
+            eval("[1,2,3,4].slice(1,3).join(',')").unwrap(),
+            Value::string("2,3")
+        );
+        assert_eq!(
+            eval("[1,2].concat([3,4]).length").unwrap(),
+            Value::Number(4.0)
+        );
+        assert_eq!(
+            eval("[3,1,2].sort().join('')").unwrap(),
+            Value::string("123")
+        );
+        assert_eq!(
+            eval("[1,2,3].reverse().join('')").unwrap(),
+            Value::string("321")
+        );
         assert_eq!(eval("[1,2].includes(2)").unwrap(), Value::Bool(true));
     }
 
@@ -507,7 +556,10 @@ mod tests {
             eval("new ByteArray('hello').indexOf('llo')").unwrap(),
             Value::Number(2.0)
         );
-        assert_eq!(eval("new ByteArray('xyz').length").unwrap(), Value::Number(3.0));
+        assert_eq!(
+            eval("new ByteArray('xyz').length").unwrap(),
+            Value::Number(3.0)
+        );
     }
 
     #[test]

@@ -492,7 +492,7 @@ mod tests {
     #[test]
     fn shallow_sizes_scale_with_content() {
         let small = Value::string("a");
-        let big = Value::string(&"a".repeat(1000));
+        let big = Value::string("a".repeat(1000));
         assert!(big.shallow_size() > small.shallow_size());
         assert!(Value::new_bytes(vec![0; 100]).shallow_size() >= 100);
     }
@@ -500,7 +500,10 @@ mod tests {
     #[test]
     fn bytes_extraction() {
         assert_eq!(Value::string("ab").as_bytes_vec().unwrap(), b"ab");
-        assert_eq!(Value::new_bytes(vec![1, 2]).as_bytes_vec().unwrap(), vec![1, 2]);
+        assert_eq!(
+            Value::new_bytes(vec![1, 2]).as_bytes_vec().unwrap(),
+            vec![1, 2]
+        );
         assert!(Value::Number(1.0).as_bytes_vec().is_err());
     }
 }

@@ -183,7 +183,9 @@ pub fn http_get_via_proxy(proxy: SocketAddr, url: &str) -> std::io::Result<Respo
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     let mut request = Request::get(url);
     request.headers.set("Connection", "close");
-    stream.write_all(&nakika_http::serialize::serialize_request_absolute(&request))?;
+    stream.write_all(&nakika_http::serialize::serialize_request_absolute(
+        &request,
+    ))?;
     let mut buffer = Vec::new();
     let mut chunk = [0u8; 8192];
     loop {
@@ -256,8 +258,11 @@ mod tests {
             if request.uri.path.ends_with(".js") {
                 return Response::error(StatusCode::NOT_FOUND);
             }
-            Response::ok("text/html", format!("hello from origin: {}", request.uri.path))
-                .with_header("Cache-Control", "max-age=60")
+            Response::ok(
+                "text/html",
+                format!("hello from origin: {}", request.uri.path),
+            )
+            .with_header("Cache-Control", "max-age=60")
         })
     }
 
@@ -283,7 +288,10 @@ mod tests {
         assert!(first.body.to_text().contains("hello from origin"));
         let second = http_get_via_proxy(proxy.addr(), &url).unwrap();
         assert_eq!(second.body.to_text(), first.body.to_text());
-        assert!(node.cache_stats().hits >= 1, "second request hits the cache");
+        assert!(
+            node.cache_stats().hits >= 1,
+            "second request hits the cache"
+        );
     }
 
     #[test]

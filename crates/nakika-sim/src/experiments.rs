@@ -137,7 +137,9 @@ pub fn table2(iterations: usize) -> Vec<MicroRow> {
                 // the scripting contexts are all reused.
                 let start = Instant::now();
                 node.handle_request(Request::get(MICRO_URL), 20 + i as u64, &origin);
-                warm.add(start.elapsed().as_secs_f64() * 1000.0 + lan.exchange_ms(400, MICRO_PAGE_BYTES));
+                warm.add(
+                    start.elapsed().as_secs_f64() * 1000.0 + lan.exchange_ms(400, MICRO_PAGE_BYTES),
+                );
             }
             MicroRow {
                 config: config.name(),
@@ -243,11 +245,7 @@ fn flash_crowd_origin(with_hog: bool) -> Arc<ScriptedOrigin> {
     Arc::new(origin)
 }
 
-fn run_flash_crowd(
-    controls: bool,
-    requests: usize,
-    hog_every: Option<usize>,
-) -> (f64, f64, f64) {
+fn run_flash_crowd(controls: bool, requests: usize, hog_every: Option<usize>) -> (f64, f64, f64) {
     let mut config = NodeConfig::scripted("edge");
     config.control_period_secs = 1;
     // Calibrate CPU/memory capacity per control period so a flash crowd of
@@ -271,7 +269,8 @@ fn run_flash_crowd(
             Some(every) if i % every == 0 => "http://hog.example.org/burn",
             _ => "http://www.google.com/",
         };
-        let response = node.handle_request(Request::get(url).with_client_ip(client_ip(i)), now, &origin);
+        let response =
+            node.handle_request(Request::get(url).with_client_ip(client_ip(i)), now, &origin);
         if response.status.is_success() {
             completed += 1;
         }
@@ -422,8 +421,7 @@ pub fn simm_single_server(scenario: &SimmScenario) -> SimmResult {
         + workload.video_bytes as f64 * workload.video_fraction;
     let base_transfer_ms =
         crate::net::transfer_ms(avg_bytes as usize, scenario.origin_link.bandwidth_bps);
-    let busy_ms =
-        html_model.service_ms + 2.0 * scenario.origin_link.latency_ms + base_transfer_ms;
+    let busy_ms = html_model.service_ms + 2.0 * scenario.origin_link.latency_ms + base_transfer_ms;
     let active = ((scenario.clients as f64) * busy_ms / (busy_ms + scenario.think_ms)).max(1.0);
     let shared_origin_link = LinkModel {
         latency_ms: scenario.origin_link.latency_ms,
@@ -491,7 +489,9 @@ pub fn simm_nakika(scenario: &SimmScenario, proxies: usize, warm: bool) -> SimmR
             location,
             client_link: scenario.client_link,
             origin_link: LinkModel {
-                latency_ms: location.latency_ms(&sites::US_EAST).max(scenario.origin_link.latency_ms),
+                latency_ms: location
+                    .latency_ms(&sites::US_EAST)
+                    .max(scenario.origin_link.latency_ms),
                 bandwidth_bps: scenario.origin_link.bandwidth_bps,
             },
             origin_model: ServerModel {
@@ -706,7 +706,10 @@ mod tests {
     #[test]
     fn capacity_gap_between_proxy_and_scripted_node() {
         let result = capacity(30, 50);
-        assert!(result.proxy_rps > result.match1_rps, "scripting costs throughput");
+        assert!(
+            result.proxy_rps > result.match1_rps,
+            "scripting costs throughput"
+        );
         assert!(result.proxy_at_load > 0.0 && result.match1_at_load > 0.0);
     }
 
@@ -723,7 +726,11 @@ mod tests {
             misbehaving.rps_without
         );
         for row in &rows {
-            assert!(row.reject_fraction <= 0.6, "rejections bounded: {}", row.reject_fraction);
+            assert!(
+                row.reject_fraction <= 0.6,
+                "rejections bounded: {}",
+                row.reject_fraction
+            );
             assert!(row.drop_fraction <= 0.2);
         }
     }
@@ -756,8 +763,18 @@ mod tests {
         let server = &results[0];
         let cold = &results[1];
         let warm = &results[2];
-        assert!(server.html_p90_ms > cold.html_p90_ms, "server {} vs cold {}", server.html_p90_ms, cold.html_p90_ms);
-        assert!(cold.html_p90_ms >= warm.html_p90_ms, "cold {} vs warm {}", cold.html_p90_ms, warm.html_p90_ms);
+        assert!(
+            server.html_p90_ms > cold.html_p90_ms,
+            "server {} vs cold {}",
+            server.html_p90_ms,
+            cold.html_p90_ms
+        );
+        assert!(
+            cold.html_p90_ms >= warm.html_p90_ms,
+            "cold {} vs warm {}",
+            cold.html_p90_ms,
+            warm.html_p90_ms
+        );
         assert!(warm.video_ok_fraction >= server.video_ok_fraction);
         assert!(server.video_failure_fraction >= warm.video_failure_fraction);
         assert!(!warm.html_cdf.steps.is_empty());

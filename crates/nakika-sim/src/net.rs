@@ -167,17 +167,21 @@ impl SimProxy {
         let origin_accesses = after.origin_fetches - before.origin_fetches;
         let peer_fetches = after.peer_hits - before.peer_hits;
         let cache_hits = after.cache_hits - before.cache_hits;
-        let rejected = (after.throttled + after.terminated) > (before.throttled + before.terminated);
+        let rejected =
+            (after.throttled + after.terminated) > (before.throttled + before.terminated);
 
-        let mut total_ms =
-            self.client_link.exchange_ms(request.body.len() + 400, response.body.len());
+        let mut total_ms = self
+            .client_link
+            .exchange_ms(request.body.len() + 400, response.body.len());
         if !rejected {
             total_ms += self.pipeline_overhead_ms;
             // Each origin access pays the wide-area link plus the origin's
             // (load-dependent) service time.
             let origin_response_ms = self.origin_model.response_ms(origin_load);
             total_ms += origin_accesses as f64
-                * (self.origin_link.exchange_ms(400, response.body.len().max(2048))
+                * (self
+                    .origin_link
+                    .exchange_ms(400, response.body.len().max(2048))
                     + origin_response_ms);
             // Peer fetches pay a regional link (approximated as twice the
             // client link — peers are nearby by construction of the overlay's
@@ -215,7 +219,10 @@ mod tests {
             bandwidth_bps: 8e6,
         };
         let ms = wan.exchange_ms(400, 1_000_000);
-        assert!(ms > 80.0 + 1000.0, "1 MB over 8 Mbit/s takes ~1 s plus RTT, got {ms}");
+        assert!(
+            ms > 80.0 + 1000.0,
+            "1 MB over 8 Mbit/s takes ~1 s plus RTT, got {ms}"
+        );
         assert!(transfer_ms(1_000_000, 8e6) >= 999.0);
         assert_eq!(transfer_ms(0, 8e6), 0.0);
         assert!(transfer_ms(1, 0.0).is_infinite());

@@ -214,12 +214,9 @@ impl SimmWorkload {
     /// cacheable binaries, and a `nakika.js` that renders lecture XML to HTML
     /// and opts into access logging.
     pub fn origin(&self) -> Arc<ScriptedOrigin> {
-        let origin = ScriptedOrigin::with_default(
-            vec![b'v'; self.video_bytes],
-            "video/mp4",
-            "max-age=3600",
-        )
-        .with_empty_walls();
+        let origin =
+            ScriptedOrigin::with_default(vec![b'v'; self.video_bytes], "video/mp4", "max-age=3600")
+                .with_empty_walls();
         // The site script: render lecture XML to HTML on the edge and log
         // accesses back to the medical school (paper §5.2 / §3.3).
         origin.route_script(
@@ -318,10 +315,10 @@ impl SpecAccess {
                 Request::get(&format!("http://specweb.example.org/file{file}.html"))
                     .with_client_ip(client_ip)
             }
-            SpecAccess::DynamicGet { user } => {
-                Request::get(&format!("http://specweb.example.org/dynamic.nkp?user={user}"))
-                    .with_client_ip(client_ip)
-            }
+            SpecAccess::DynamicGet { user } => Request::get(&format!(
+                "http://specweb.example.org/dynamic.nkp?user={user}"
+            ))
+            .with_client_ip(client_ip),
             SpecAccess::DynamicPost { user } => Request::new(
                 Method::Post,
                 format!("http://specweb.example.org/register.nkp?user={user}&name=user{user}")
@@ -365,12 +362,9 @@ impl SpecWorkload {
     /// serves the dynamic pages on the edge using replicated hard state for
     /// user registrations (paper §5.3).
     pub fn origin(&self) -> Arc<ScriptedOrigin> {
-        let origin = ScriptedOrigin::with_default(
-            vec![b's'; self.static_bytes],
-            "text/html",
-            "max-age=600",
-        )
-        .with_empty_walls();
+        let origin =
+            ScriptedOrigin::with_default(vec![b's'; self.static_bytes], "text/html", "max-age=600")
+                .with_empty_walls();
         origin.route_script(
             "/nakika.js",
             r#"
@@ -433,7 +427,10 @@ mod tests {
         assert_eq!(a, b, "same seed, same trace");
         assert_eq!(a.len(), 200);
         let videos = a.iter().filter(|x| x.is_video()).count();
-        assert!(videos > 20 && videos < 120, "video mix looks wrong: {videos}");
+        assert!(
+            videos > 20 && videos < 120,
+            "video mix looks wrong: {videos}"
+        );
         // Requests are well-formed.
         let req = a[0].to_request(client_ip(1));
         assert_eq!(req.uri.host, "simms.med.nyu.edu");
@@ -447,9 +444,8 @@ mod tests {
         ));
         assert_eq!(page.headers.content_type(), Some("text/xml"));
         assert!(page.body.to_text().contains("<lecture>"));
-        let video = origin.fetch_origin(&Request::get(
-            "http://simms.med.nyu.edu/module0/video1.bin",
-        ));
+        let video =
+            origin.fetch_origin(&Request::get("http://simms.med.nyu.edu/module0/video1.bin"));
         assert_eq!(video.body.len(), SimmWorkload::default().video_bytes);
         let script = origin.fetch_origin(&Request::get("http://simms.med.nyu.edu/nakika.js"));
         assert!(script.body.to_text().contains("Xml.toHtml"));

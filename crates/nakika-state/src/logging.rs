@@ -70,7 +70,11 @@ impl AccessLog {
     /// time.
     pub fn record(&self, site: &str, entry: LogEntry) {
         let mut sites = self.sites.lock();
-        sites.entry(site.to_string()).or_default().entries.push(entry);
+        sites
+            .entry(site.to_string())
+            .or_default()
+            .entries
+            .push(entry);
     }
 
     /// Number of buffered entries for a site.

@@ -200,7 +200,9 @@ mod tests {
     #[test]
     fn unsubscribed_topic_drops_messages() {
         let bus = MessageBus::new();
-        assert!(bus.publish("nobody-listens", "site", "node-a", "u").is_none());
+        assert!(bus
+            .publish("nobody-listens", "site", "node-a", "u")
+            .is_none());
     }
 
     #[test]

@@ -242,7 +242,10 @@ mod tests {
         for m in &managers {
             m.process_incoming();
         }
-        assert_eq!(managers[0].get("spec.org", "user:7").as_deref(), Some("bob"));
+        assert_eq!(
+            managers[0].get("spec.org", "user:7").as_deref(),
+            Some("bob")
+        );
         // Replicas do not hold the value under PrimaryOnly.
         assert!(managers[1].get("spec.org", "user:7").is_none());
     }

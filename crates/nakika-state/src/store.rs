@@ -58,7 +58,11 @@ impl SiteStore {
     pub fn put(&self, site: &str, key: &str, value: &str) -> Result<(), StoreError> {
         let mut partitions = self.partitions.write();
         let partition = partitions.entry(site.to_string()).or_default();
-        let old_size = partition.entries.get(key).map(|v| key.len() + v.len()).unwrap_or(0);
+        let old_size = partition
+            .entries
+            .get(key)
+            .map(|v| key.len() + v.len())
+            .unwrap_or(0);
         let new_size = key.len() + value.len();
         let projected = partition.used_bytes - old_size + new_size;
         if projected > self.quota_bytes {

@@ -16,7 +16,11 @@ fn main() {
     // the hosting organisation) plus a loader that schedules a stage generated
     // from a blacklist.
     let blocked = scripts::blacklist_stage(&["warez.example.net", "phish.example.com/login"]);
-    let client_wall = format!("{}\n{}", scripts::DIGITAL_LIBRARY_POLICY, scripts::BLACKLIST_LOADER);
+    let client_wall = format!(
+        "{}\n{}",
+        scripts::DIGITAL_LIBRARY_POLICY,
+        scripts::BLACKLIST_LOADER
+    );
 
     let origin = origin_from_fn(move |request: &Request| {
         match (request.uri.host.as_str(), request.uri.path.as_str()) {
@@ -43,11 +47,31 @@ fn main() {
     let node = NaKikaNode::new(config);
 
     let cases = [
-        ("http://www.example.org/paper.html", "203.0.113.9", "ordinary content"),
-        ("http://warez.example.net/movie", "203.0.113.9", "blacklisted site"),
-        ("http://phish.example.com/login/steal", "203.0.113.9", "blacklisted path"),
-        ("http://bmj.bmjjournals.com/cgi/reprint/123", "203.0.113.9", "digital library, outside NYU"),
-        ("http://bmj.bmjjournals.com/cgi/reprint/123", "128.122.4.2", "digital library, inside NYU"),
+        (
+            "http://www.example.org/paper.html",
+            "203.0.113.9",
+            "ordinary content",
+        ),
+        (
+            "http://warez.example.net/movie",
+            "203.0.113.9",
+            "blacklisted site",
+        ),
+        (
+            "http://phish.example.com/login/steal",
+            "203.0.113.9",
+            "blacklisted path",
+        ),
+        (
+            "http://bmj.bmjjournals.com/cgi/reprint/123",
+            "203.0.113.9",
+            "digital library, outside NYU",
+        ),
+        (
+            "http://bmj.bmjjournals.com/cgi/reprint/123",
+            "128.122.4.2",
+            "digital library, inside NYU",
+        ),
     ];
     for (i, (url, ip, label)) in cases.iter().enumerate() {
         let request = Request::get(url).with_client_ip(ip.parse().unwrap());
@@ -65,5 +89,8 @@ fn main() {
     );
     let inside = Request::get("http://bmj.bmjjournals.com/cgi/reprint/123")
         .with_client_ip("128.122.4.2".parse().unwrap());
-    assert_eq!(node.handle_request(inside, 100, &origin).status, StatusCode::OK);
+    assert_eq!(
+        node.handle_request(inside, 100, &origin).status,
+        StatusCode::OK
+    );
 }

@@ -18,8 +18,10 @@ fn main() -> std::io::Result<()> {
     // --- The medical school's origin server --------------------------------
     // It serves lecture XML and a nakika.js that (a) renders XML to HTML on
     // the edge and (b) schedules the annotation service's stage.
-    let origin = HttpServer::start(0, Arc::new(|request: &Request| {
-        match request.uri.path.as_str() {
+    let origin = HttpServer::start(
+        0,
+        Arc::new(|request: &Request| {
+            match request.uri.path.as_str() {
             "/nakika.js" => Response::ok(
                 "application/javascript",
                 r#"
@@ -48,7 +50,8 @@ fn main() -> std::io::Result<()> {
             .with_header("Cache-Control", "max-age=60"),
             _ => Response::error(StatusCode::NOT_FOUND),
         }
-    }))?;
+        }),
+    )?;
 
     // --- The annotation service (a different organisation) -----------------
     // Its stage injects a post-it-notes widget into the rendered HTML.
@@ -79,8 +82,15 @@ fn main() -> std::io::Result<()> {
     let response = http_get_via_proxy(proxy.addr(), &lecture_url)?;
     println!("GET {lecture_url} via Na Kika -> {}", response.status);
     let body = response.body.to_text();
-    println!("rendered body ({} bytes):\n{}\n", body.len(), &body[..body.len().min(400)]);
-    assert!(body.contains("<div class=\"lecture\">"), "XML was rendered to HTML on the edge");
+    println!(
+        "rendered body ({} bytes):\n{}\n",
+        body.len(),
+        &body[..body.len().min(400)]
+    );
+    assert!(
+        body.contains("<div class=\"lecture\">"),
+        "XML was rendered to HTML on the edge"
+    );
 
     // Second access is served from the edge cache.
     let again = http_get_via_proxy(proxy.addr(), &lecture_url)?;

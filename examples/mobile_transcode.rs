@@ -47,7 +47,10 @@ fn main() {
         small.body.len()
     );
     assert_eq!(small.content_type(), "image/jpeg");
-    assert!(small.body.len() < full.body.len(), "transcoded image is smaller");
+    assert!(
+        small.body.len() < full.body.len(),
+        "transcoded image is smaller"
+    );
 
     // The transformed content was cached by the script, so a second phone
     // request does not re-transcode.

@@ -23,14 +23,15 @@ fn main() {
         p.register();
     "#
     .to_string();
-    let origin = origin_from_fn(move |request: &Request| {
-        match request.uri.path.as_str() {
-            "/nakika.js" => Response::ok("application/javascript", site_script.as_str())
-                .with_header("Cache-Control", "max-age=300"),
-            path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
-            path => Response::ok("text/html", format!("<html><body>content of {path}</body></html>"))
-                .with_header("Cache-Control", "max-age=120"),
-        }
+    let origin = origin_from_fn(move |request: &Request| match request.uri.path.as_str() {
+        "/nakika.js" => Response::ok("application/javascript", site_script.as_str())
+            .with_header("Cache-Control", "max-age=300"),
+        path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
+        path => Response::ok(
+            "text/html",
+            format!("<html><body>content of {path}</body></html>"),
+        )
+        .with_header("Cache-Control", "max-age=120"),
     });
 
     // 2. The edge node.
@@ -38,7 +39,10 @@ fn main() {
 
     // 3. Clients access the site through the edge (in a deployment they are
     //    redirected by appending `.nakika.net` to the hostname).
-    for (t, path) in ["/welcome.html", "/welcome.html", "/other.html"].iter().enumerate() {
+    for (t, path) in ["/welcome.html", "/welcome.html", "/other.html"]
+        .iter()
+        .enumerate()
+    {
         let request = Request::get(&format!("http://example.org.nakika.net{path}"));
         let response = node.handle_request(request, 100 + t as u64, &origin);
         println!(
@@ -55,5 +59,8 @@ fn main() {
         stats.requests, stats.cache_hits, stats.origin_fetches
     );
     assert_eq!(stats.requests, 3);
-    assert!(stats.cache_hits >= 1, "the repeated page is served from cache");
+    assert!(
+        stats.cache_hits >= 1,
+        "the repeated page is served from cache"
+    );
 }

@@ -16,8 +16,10 @@ fn scripted_origin(site_script: &'static str) -> Arc<dyn OriginFetch> {
     origin_from_fn(move |request: &Request| match request.uri.path.as_str() {
         "/nakika.js" => Response::ok("application/javascript", site_script)
             .with_header("Cache-Control", "max-age=300"),
-        path if path.ends_with("wall.js") => Response::ok("application/javascript", scripts::EMPTY_WALL)
-            .with_header("Cache-Control", "max-age=300"),
+        path if path.ends_with("wall.js") => {
+            Response::ok("application/javascript", scripts::EMPTY_WALL)
+                .with_header("Cache-Control", "max-age=300")
+        }
         path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
         path if path.ends_with(".png") => Response::ok("image/png", make_image("png", 800, 600))
             .with_header("Cache-Control", "max-age=600"),
@@ -110,8 +112,11 @@ fn annotation_service_interposes_on_the_simms_as_in_the_paper() {
                     .with_header("Cache-Control", "max-age=300")
             }
             (_, path) if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
-            _ => Response::ok("text/xml", "<lecture><title>Hernia repair</title></lecture>")
-                .with_header("Cache-Control", "max-age=30"),
+            _ => Response::ok(
+                "text/xml",
+                "<lecture><title>Hernia repair</title></lecture>",
+            )
+            .with_header("Cache-Control", "max-age=30"),
         }
     });
     let node = NaKikaNode::new(NodeConfig::scripted("edge"));
@@ -121,7 +126,10 @@ fn annotation_service_interposes_on_the_simms_as_in_the_paper() {
         &origin,
     );
     let body = resp.body.to_text();
-    assert!(body.contains("Hernia repair"), "SIMM stage rendered the XML: {body}");
+    assert!(
+        body.contains("Hernia repair"),
+        "SIMM stage rendered the XML: {body}"
+    );
     assert!(
         body.contains("nakika-annotations"),
         "annotation stage wrapped the rendered page: {body}"
@@ -136,19 +144,22 @@ fn security_policies_and_resource_controls_protect_a_node() {
     let node = NaKikaNode::new(config);
     let wall: &'static str = scripts::DIGITAL_LIBRARY_POLICY;
     let origin = origin_from_fn(move |request: &Request| match request.uri.path.as_str() {
-        "/clientwall.js" => Response::ok("application/javascript", wall)
-            .with_header("Cache-Control", "max-age=300"),
+        "/clientwall.js" => {
+            Response::ok("application/javascript", wall).with_header("Cache-Control", "max-age=300")
+        }
         path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
         _ => Response::ok("text/html", "article").with_header("Cache-Control", "max-age=60"),
     });
     let blocked = node.handle_request(
-        Request::get("http://content.nejm.org/cgi/reprint/x").with_client_ip("198.51.100.7".parse().unwrap()),
+        Request::get("http://content.nejm.org/cgi/reprint/x")
+            .with_client_ip("198.51.100.7".parse().unwrap()),
         10,
         &origin,
     );
     assert_eq!(blocked.status, StatusCode::UNAUTHORIZED);
     let allowed = node.handle_request(
-        Request::get("http://content.nejm.org/cgi/reprint/x").with_client_ip("10.3.2.1".parse().unwrap()),
+        Request::get("http://content.nejm.org/cgi/reprint/x")
+            .with_client_ip("10.3.2.1".parse().unwrap()),
         11,
         &origin,
     );
@@ -248,8 +259,15 @@ fn na_kika_pages_run_with_hard_state_on_the_edge() {
         );
         assert_eq!(resp.status, StatusCode::OK);
     }
-    let view = node.handle_request(Request::get("http://guestbook.example.org/view.nkp"), 20, &origin);
+    let view = node.handle_request(
+        Request::get("http://guestbook.example.org/view.nkp"),
+        20,
+        &origin,
+    );
     let body = view.body.to_text();
-    assert!(body.contains("<li>entry:ada</li>") && body.contains("<li>entry:grace</li>"), "{body}");
+    assert!(
+        body.contains("<li>entry:ada</li>") && body.contains("<li>entry:grace</li>"),
+        "{body}"
+    );
     assert_eq!(view.headers.content_type(), Some("text/html"));
 }

@@ -1,0 +1,294 @@
+//! Minimal offline stand-in for the `criterion` crate (see vendor/README.md).
+//!
+//! Supports the bench surface this workspace uses — benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros — with a simple
+//! measure-and-report loop: warm up, estimate the per-iteration cost, then
+//! time enough iterations to fill the configured measurement window and print
+//! the mean. No statistics, outlier analysis, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// How the binary was invoked (parsed from CLI args by [`criterion_main!`]).
+#[derive(Debug, Clone, Default)]
+pub struct RunMode {
+    /// Substring filters; empty means "run everything".
+    pub filters: Vec<String>,
+    /// When set, run each benchmark exactly once (cargo's `--test` smoke mode).
+    pub test_mode: bool,
+    /// When set, only print benchmark names (`--list`).
+    pub list_mode: bool,
+}
+
+impl RunMode {
+    /// Parses loosely: flags are recognized or ignored, bare words are filters.
+    pub fn from_args() -> RunMode {
+        let mut mode = RunMode::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode.test_mode = true,
+                "--list" => mode.list_mode = true,
+                _ if arg.starts_with('-') => {}
+                _ => mode.filters.push(arg),
+            }
+        }
+        mode
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    mode: RunMode,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            mode: RunMode::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the wall-clock budget for each benchmark in the group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the number of samples to take per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let full_name = self.full_name(&id.into());
+        if !self.criterion.mode.selected(&full_name) {
+            return;
+        }
+        if self.criterion.mode.list_mode {
+            println!("{full_name}: benchmark");
+            return;
+        }
+        let mut bencher = Bencher {
+            budget: if self.criterion.mode.test_mode {
+                Duration::ZERO
+            } else {
+                self.measurement_time
+            },
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        bencher.report(&full_name);
+    }
+
+    /// Runs one benchmark that borrows a shared input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (the shim reports eagerly, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn full_name(&self, id: &BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        }
+    }
+}
+
+/// Times a closure, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly within the configured budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up + cost estimate from a single timed call.
+        let start = Instant::now();
+        black_box(routine());
+        let probe = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.budget / self.samples.max(1) as u32;
+        let iters_per_sample =
+            (per_sample.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let deadline = Instant::now() + self.budget;
+        let mut total = probe;
+        let mut iters = 1u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += iters_per_sample;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<50} (no measurement)");
+            return;
+        }
+        let mean_ns = self.total.as_nanos() as f64 / self.iters as f64;
+        let (value, unit) = if mean_ns >= 1_000_000.0 {
+            (mean_ns / 1_000_000.0, "ms")
+        } else if mean_ns >= 1_000.0 {
+            (mean_ns / 1_000.0, "µs")
+        } else {
+            (mean_ns, "ns")
+        };
+        println!(
+            "{name:<50} {value:>10.3} {unit}/iter ({} iters)",
+            self.iters
+        );
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion {
+            mode: RunMode::default(),
+        };
+        let mut group = c.benchmark_group("shim");
+        group
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let mode = RunMode {
+            filters: vec!["cache".into()],
+            ..RunMode::default()
+        };
+        assert!(mode.selected("node/cache_hit"));
+        assert!(!mode.selected("node/parse"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Minimal offline stand-in for the `proptest` crate (see vendor/README.md).
+//!
+//! Covers the surface the workspace's property tests use: the [`proptest!`]
+//! macro, strategies built from regex string literals (a generating subset of
+//! regex syntax), integer ranges, tuples, [`collection::vec`], and
+//! [`arbitrary::any`], plus the `prop_assert*` family. Unlike the real crate
+//! there is **no shrinking**: a failing case reports its case number and the
+//! values are reproducible because every case's RNG is derived purely from
+//! the test name and case index.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod regex;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirror of proptest's `prop` module alias (e.g. `prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the two forms the workspace uses: with a leading
+/// `#![proptest_config(...)]` inner attribute, and without.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(panic) = __outcome {
+                        eprintln!(
+                            "proptest shim: `{}` failed at case {}/{} (deterministic; rerun reproduces it)",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property test (no shrinking, so this is `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn segment() -> impl Strategy<Value = String> {
+        "[a-z0-9_-]{1,12}"
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn regex_strategies_respect_their_pattern(
+            host in "[a-z]{1,10}(\\.[a-z]{2,6}){1,2}",
+            seg in segment(),
+            tld in "[a-z]{1,8}\\.(com|org|edu)",
+        ) {
+            prop_assert!(host.contains('.'));
+            prop_assert!(host.chars().all(|c| c.is_ascii_lowercase() || c == '.'));
+            prop_assert!((1..=12).contains(&seg.len()));
+            let suffix = tld.rsplit('.').next().unwrap();
+            prop_assert!(matches!(suffix, "com" | "org" | "edu"));
+        }
+
+        #[test]
+        fn ranges_vecs_and_tuples_stay_in_bounds(
+            n in 200u16..599,
+            bytes in prop::collection::vec(any::<u8>(), 0..256),
+            pairs in prop::collection::vec((segment(), 1usize..4000), 1..30),
+        ) {
+            prop_assert!((200..599).contains(&n));
+            prop_assert!(bytes.len() < 256);
+            prop_assert!((1..30).contains(&pairs.len()));
+            for (seg, size) in &pairs {
+                prop_assert!(!seg.is_empty());
+                prop_assert!((1..4000).contains(size));
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let sample = |case| {
+            let mut rng = TestRng::for_case("determinism", case);
+            "[a-z]{1,10}".sample(&mut rng)
+        };
+        assert_eq!(sample(3), sample(3));
+        assert_ne!(sample(0), sample(1));
+    }
+}

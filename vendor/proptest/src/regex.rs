@@ -1,0 +1,285 @@
+//! A *generating* interpreter for the subset of regex syntax the property
+//! tests use as string strategies.
+//!
+//! Supported: literal characters, escapes (`\.`, `\\`, `\d`, `\w`, `\s`),
+//! character classes with ranges (`[a-zA-Z0-9 ;=/_.-]`), groups with
+//! alternation (`(com|org|edu)`), and the quantifiers `{m}`, `{m,n}`, `{m,}`,
+//! `?`, `*`, `+`. Unbounded quantifiers are capped at `min + 8` repetitions.
+//! Anything else is a parse error so tests fail loudly instead of generating
+//! wrong data.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// A parsed generating pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    alternatives: Vec<Vec<Quantified>>,
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single characters are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Group(Pattern),
+}
+
+impl Pattern {
+    /// Parses `pattern`, rejecting unsupported syntax.
+    pub fn parse(pattern: &str) -> Result<Pattern, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let parsed = parse_alternation(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected `{}` at offset {pos}", chars[pos]));
+        }
+        Ok(parsed)
+    }
+
+    /// Generates one string matching the pattern.
+    pub fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        self.sample_into(rng, &mut out);
+        out
+    }
+
+    fn sample_into(&self, rng: &mut TestRng, out: &mut String) {
+        let branch = &self.alternatives[rng.below(self.alternatives.len() as u64) as usize];
+        for quantified in branch {
+            let reps = rng.in_range_u64(quantified.min as u64, quantified.max as u64);
+            for _ in 0..reps {
+                match &quantified.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => out.push(sample_class(ranges, rng)),
+                    Atom::Group(inner) => inner.sample_into(rng, out),
+                }
+            }
+        }
+    }
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+        .sum();
+    let mut pick = rng.below(total);
+    for &(lo, hi) in ranges {
+        let span = hi as u64 - lo as u64 + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick as u32).expect("range within char space");
+        }
+        pick -= span;
+    }
+    unreachable!("pick is bounded by the total class size")
+}
+
+fn parse_alternation(chars: &[char], pos: &mut usize) -> Result<Pattern, String> {
+    let mut alternatives = vec![Vec::new()];
+    while *pos < chars.len() {
+        match chars[*pos] {
+            ')' => break,
+            '|' => {
+                *pos += 1;
+                alternatives.push(Vec::new());
+            }
+            _ => {
+                let atom = parse_atom(chars, pos)?;
+                let (min, max) = parse_quantifier(chars, pos)?;
+                alternatives
+                    .last_mut()
+                    .expect("alternatives is never empty")
+                    .push(Quantified { atom, min, max });
+            }
+        }
+    }
+    Ok(Pattern { alternatives })
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Atom, String> {
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        '(' => {
+            let inner = parse_alternation(chars, pos)?;
+            if *pos >= chars.len() || chars[*pos] != ')' {
+                return Err("unclosed group".into());
+            }
+            *pos += 1;
+            Ok(Atom::Group(inner))
+        }
+        '[' => parse_class(chars, pos),
+        '\\' => {
+            let escaped = *chars.get(*pos).ok_or("dangling escape")?;
+            *pos += 1;
+            Ok(match escaped {
+                'd' => Atom::Class(vec![('0', '9')]),
+                'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                's' => Atom::Class(vec![(' ', ' '), ('\t', '\t')]),
+                other => Atom::Literal(other),
+            })
+        }
+        '.' => Err("`.` is unsupported; use an explicit class".into()),
+        '*' | '+' | '?' | '{' => Err(format!("quantifier `{c}` with nothing to repeat")),
+        other => Ok(Atom::Literal(other)),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Atom, String> {
+    if chars.get(*pos) == Some(&'^') {
+        return Err("negated classes are unsupported".into());
+    }
+    let mut ranges = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let mut lo = chars[*pos];
+        *pos += 1;
+        if lo == '\\' {
+            lo = *chars.get(*pos).ok_or("dangling escape in class")?;
+            *pos += 1;
+        }
+        // `a-z` is a range unless `-` is the last char before `]`.
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+            *pos += 1;
+            let mut hi = chars[*pos];
+            *pos += 1;
+            if hi == '\\' {
+                hi = *chars.get(*pos).ok_or("dangling escape in class")?;
+                *pos += 1;
+            }
+            if hi < lo {
+                return Err(format!("inverted class range `{lo}-{hi}`"));
+            }
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    if *pos >= chars.len() {
+        return Err("unclosed character class".into());
+    }
+    *pos += 1; // consume `]`
+    if ranges.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok(Atom::Class(ranges))
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> Result<(u32, u32), String> {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Ok((0, 1))
+        }
+        Some('*') => {
+            *pos += 1;
+            Ok((0, UNBOUNDED_CAP))
+        }
+        Some('+') => {
+            *pos += 1;
+            Ok((1, 1 + UNBOUNDED_CAP))
+        }
+        Some('{') => {
+            *pos += 1;
+            let min = parse_number(chars, pos)?;
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    if chars.get(*pos) == Some(&'}') {
+                        min + UNBOUNDED_CAP
+                    } else {
+                        parse_number(chars, pos)?
+                    }
+                }
+                _ => min,
+            };
+            if chars.get(*pos) != Some(&'}') {
+                return Err("unclosed `{` quantifier".into());
+            }
+            *pos += 1;
+            if max < min {
+                return Err(format!("quantifier {{{min},{max}}} is inverted"));
+            }
+            Ok((min, max))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> Result<u32, String> {
+    let start = *pos;
+    while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err("expected a number in quantifier".into());
+    }
+    chars[start..*pos]
+        .iter()
+        .collect::<String>()
+        .parse()
+        .map_err(|e| format!("bad quantifier number: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("regex-tests", 0)
+    }
+
+    #[test]
+    fn class_and_quantifier() {
+        let p = Pattern::parse("[a-c]{2,4}").unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = p.sample(&mut r);
+            assert!((2..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn group_alternation_and_escape() {
+        let p = Pattern::parse("[a-z]{1,3}\\.(com|org|edu)").unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = p.sample(&mut r);
+            let (head, tld) = s.split_once('.').expect("has a dot");
+            assert!((1..=3).contains(&head.len()));
+            assert!(matches!(tld, "com" | "org" | "edu"), "{tld:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let p = Pattern::parse("[a-z0-9_-]{1,12}").unwrap();
+        let mut r = rng();
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = p.sample(&mut r);
+            saw_dash |= s.contains('-');
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
+        }
+        assert!(saw_dash, "dash should be generated as a literal");
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(Pattern::parse("a.b").is_err());
+        assert!(Pattern::parse("[^a]").is_err());
+        assert!(Pattern::parse("(a").is_err());
+        assert!(Pattern::parse("a{3,1}").is_err());
+    }
+}

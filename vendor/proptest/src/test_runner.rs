@@ -1,0 +1,80 @@
+//! Test configuration and the deterministic per-case RNG.
+
+/// Mirror of `proptest::test_runner::Config` (the subset used).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG: every case's stream is a pure function of the test
+/// name and case index, so failures reproduce without a persisted seed file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the RNG for one case of one named test.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: seed ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    pub fn in_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.below(span + 1)
+        }
+    }
+
+    /// Uniform draw from the inclusive signed range `[lo, hi]`.
+    pub fn in_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi as i128 - lo as i128) as u64;
+        if span == u64::MAX {
+            self.next_u64() as i64
+        } else {
+            (lo as i128 + self.below(span + 1) as i128) as i64
+        }
+    }
+}

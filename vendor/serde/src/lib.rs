@@ -1,0 +1,36 @@
+//! Minimal offline stand-in for the `serde` crate (see vendor/README.md).
+//!
+//! Nothing in this workspace serializes yet — the `#[derive(serde::Serialize,
+//! serde::Deserialize)]` attributes on HTTP and overlay types exist so wire
+//! formats can be added later without touching those files. This shim keeps
+//! them compiling: the derive macros are no-ops and the traits are satisfied
+//! by blanket impls, so `T: Serialize` bounds also keep working.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized + for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` far enough for `Serialize` imports.
+pub mod ser {
+    pub use crate::Serialize;
+}

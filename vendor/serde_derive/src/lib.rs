@@ -1,0 +1,23 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline `serde` shim (see vendor/README.md).
+//!
+//! The shim's `Serialize` / `Deserialize` traits carry blanket impls, so the
+//! derives have nothing to generate; they exist so `#[derive(serde::Serialize,
+//! serde::Deserialize)]` attributes across the workspace keep compiling
+//! unchanged until the real `serde` is reachable again.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards the annotated item; the shim's blanket impl already
+/// covers it.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards the annotated item; the shim's blanket impl already
+/// covers it.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
