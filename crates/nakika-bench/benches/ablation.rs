@@ -3,11 +3,13 @@
 //! fresh contexts, and cooperative (overlay) caching vs local-only caching.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nakika_core::node::{NaKikaNode, NodeConfig, OriginFetch};
+use nakika_core::node::OriginFetch;
 use nakika_core::pipeline::CompiledStage;
 use nakika_core::policy::{LinearMatcher, Matcher};
 use nakika_core::scripts;
+use nakika_core::service::{HttpService, RequestCtx};
 use nakika_core::vocab::VocabHooks;
+use nakika_core::{NodeBuilder, NodeHandle};
 use nakika_http::Request;
 use nakika_overlay::{key_for, Location, Overlay};
 use nakika_script::{stdlib, Context, ContextPool};
@@ -75,33 +77,34 @@ fn bench_cooperative_caching_ablation(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("flash_crowd", label), |b| {
             b.iter(|| {
                 let overlay = Arc::new(Overlay::with_defaults());
-                let origin = ScriptedOrigin::micro_benchmark();
-                let origin: Arc<dyn OriginFetch> = Arc::new(origin);
-                let nodes: Vec<NaKikaNode> = (0..4)
+                let origin: Arc<dyn OriginFetch> = Arc::new(ScriptedOrigin::micro_benchmark());
+                let nodes: Vec<NodeHandle> = (0..4)
                     .map(|i| {
-                        let mut node = NaKikaNode::new(if coop {
-                            NodeConfig::proxy_with_dht(&format!("n{i}"))
+                        let mut builder = if coop {
+                            NodeBuilder::proxy_with_dht(&format!("n{i}"))
                         } else {
-                            NodeConfig::plain_proxy(&format!("n{i}"))
-                        });
+                            NodeBuilder::plain_proxy(&format!("n{i}"))
+                        };
                         if coop {
                             let id = key_for(&format!("n{i}"));
                             overlay.join(id, Location::new(i as f64, 0.0));
-                            node.attach_overlay(overlay.clone(), id);
+                            builder = builder.overlay(overlay.clone(), id);
                         }
-                        node
+                        builder.origin(origin.clone()).build()
                     })
                     .collect();
                 for round in 0..4u64 {
-                    for node in &nodes {
-                        node.handle_request(
+                    for edge in &nodes {
+                        let _ = edge.call(
                             Request::get("http://hot.example.org/page"),
-                            10 + round,
-                            &origin,
+                            &RequestCtx::at(10 + round),
                         );
                     }
                 }
-                nodes.iter().map(|n| n.stats().origin_fetches).sum::<u64>()
+                nodes
+                    .iter()
+                    .map(|n| n.node().stats().origin_fetches)
+                    .sum::<u64>()
             })
         });
     }

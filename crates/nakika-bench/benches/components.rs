@@ -5,11 +5,11 @@
 //! node configuration.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nakika_core::node::{NaKikaNode, NodeConfig, OriginFetch};
 use nakika_core::pipeline::{CompiledStage, StageCache, StageLookup};
 use nakika_core::scripts;
+use nakika_core::service::{HttpService, RequestCtx};
 use nakika_core::vocab::VocabHooks;
-use nakika_core::ProxyCache;
+use nakika_core::{NodeBuilder, ProxyCache};
 use nakika_http::{Method, Request, Response};
 use nakika_script::{parse_program, stdlib, Context, ContextPool, Interpreter};
 use nakika_sim::workload::ScriptedOrigin;
@@ -112,31 +112,32 @@ fn bench_cache_and_requests(c: &mut Criterion) {
     });
 
     // Whole-request handling per Table-1 configuration (warm cache).
-    let configurations: Vec<(&str, NodeConfig, Option<String>)> = vec![
-        ("proxy", NodeConfig::plain_proxy("bench"), None),
-        ("admin", NodeConfig::scripted("bench"), None),
+    let configurations: Vec<(&str, NodeBuilder, Option<String>)> = vec![
+        ("proxy", NodeBuilder::plain_proxy("bench"), None),
+        ("admin", NodeBuilder::scripted("bench"), None),
         (
             "match1",
-            NodeConfig::scripted("bench"),
+            NodeBuilder::scripted("bench"),
             Some(scripts::match_1_stage("www.google.com")),
         ),
         (
             "pred100",
-            NodeConfig::scripted("bench"),
+            NodeBuilder::scripted("bench"),
             Some(scripts::pred_n_stage(100)),
         ),
     ];
-    for (name, mut config, site_script) in configurations {
-        config.resource.enabled = false;
+    for (name, builder, site_script) in configurations {
         let origin = ScriptedOrigin::micro_benchmark().with_empty_walls();
         if let Some(script) = &site_script {
             origin.route_script("/nakika.js", script);
         }
-        let origin: Arc<dyn OriginFetch> = Arc::new(origin);
-        let node = NaKikaNode::new(config);
-        node.handle_request(Request::get("http://www.google.com/"), 1, &origin);
+        let edge = builder
+            .without_resource_controls()
+            .origin(Arc::new(origin))
+            .build();
+        let _ = edge.call(Request::get("http://www.google.com/"), &RequestCtx::at(1));
         group.bench_function(BenchmarkId::new("warm_request", name), |b| {
-            b.iter(|| node.handle_request(Request::get("http://www.google.com/"), 5, &origin))
+            b.iter(|| edge.call(Request::get("http://www.google.com/"), &RequestCtx::at(5)))
         });
     }
     group.finish();

@@ -3,8 +3,13 @@
 //! Run with `cargo run --release -p nakika-bench --bin nakika-experiments`.
 //! Pass `--quick` for a faster, lower-precision run (used in CI and while
 //! iterating).  The output of a full run is recorded in EXPERIMENTS.md.
+//! Every run also measures end-to-end requests/sec through the real TCP
+//! proxy path and records it in `BENCH_proxy.json`, so the performance
+//! trajectory of the transport stack is tracked PR over PR.
 
-use nakika_bench::{format_resource_controls, format_simm, format_spec, format_table2};
+use nakika_bench::{
+    bench_proxy_path, format_resource_controls, format_simm, format_spec, format_table2,
+};
 use nakika_sim::experiments;
 
 fn main() {
@@ -81,4 +86,19 @@ fn main() {
     println!("(paper: PHP server 13.7 s mean / 10.8 rps vs Na Kika 4.3 s / 34.3 rps — ~3x)\n");
     let rows = experiments::specweb(if quick { 40 } else { 160 }, spec_requests, 5);
     println!("{}", format_spec(&rows));
+
+    println!("== end-to-end proxy throughput (real TCP, warm cache) ==");
+    match bench_proxy_path(if quick { 200 } else { 2_000 }) {
+        Ok(result) => {
+            println!(
+                "{} requests in {:.3} s -> {:.0} requests/sec",
+                result.requests, result.elapsed_secs, result.requests_per_sec
+            );
+            match result.write_json("BENCH_proxy.json") {
+                Ok(()) => println!("recorded in BENCH_proxy.json"),
+                Err(e) => eprintln!("could not write BENCH_proxy.json: {e}"),
+            }
+        }
+        Err(e) => eprintln!("proxy throughput bench failed: {e}"),
+    }
 }

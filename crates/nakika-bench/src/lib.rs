@@ -7,7 +7,75 @@
 
 #![forbid(unsafe_code)]
 
+use nakika_core::service::{service_fn, NakikaError};
+use nakika_core::NodeBuilder;
+use nakika_http::{Request, Response};
+use nakika_server::{http_get_via_proxy, HttpServer, ProxyServer, TcpOrigin};
 use nakika_sim::experiments::{MicroRow, ResourceControlRow, SimmResult, SpecResult};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Result of the end-to-end proxy throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ProxyBenchResult {
+    /// Requests issued through the proxy.
+    pub requests: usize,
+    /// Wall-clock time for the measured run, in seconds.
+    pub elapsed_secs: f64,
+    /// Throughput in requests per second.
+    pub requests_per_sec: f64,
+}
+
+impl ProxyBenchResult {
+    /// Serialises the result as a small JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"proxy_path_rps\",\n  \"requests\": {},\n  \
+             \"elapsed_secs\": {:.6},\n  \"requests_per_sec\": {:.2}\n}}\n",
+            self.requests, self.elapsed_secs, self.requests_per_sec
+        )
+    }
+
+    /// Writes the JSON document to `path`.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Measures requests/sec through the real proxy path: a TCP origin server, a
+/// plain-proxy node fetching over [`TcpOrigin`] with keep-alive pooling, and
+/// a [`ProxyServer`] in front, driven by a loopback HTTP client.  The cache
+/// is warmed by the first request, so the measured path is parse → service
+/// stack → cache hit → serialize over real sockets.
+pub fn bench_proxy_path(requests: usize) -> Result<ProxyBenchResult, NakikaError> {
+    let origin = HttpServer::start(
+        0,
+        service_fn(|_req: Request, _ctx| {
+            Ok(Response::ok("text/html", "x".repeat(2096))
+                .with_header("Cache-Control", "max-age=600"))
+        }),
+    )
+    .map_err(|e| NakikaError::Internal(format!("origin server failed to start: {e}")))?;
+    let edge = NodeBuilder::plain_proxy("bench-proxy")
+        .origin(Arc::new(TcpOrigin::new()))
+        .build();
+    let proxy = ProxyServer::start(0, edge.service())
+        .map_err(|e| NakikaError::Internal(format!("proxy failed to start: {e}")))?;
+
+    let url = format!("{}/page.html", origin.base_url());
+    http_get_via_proxy(proxy.addr(), &url)?; // warm the cache
+    let requests = requests.max(1);
+    let start = Instant::now();
+    for _ in 0..requests {
+        http_get_via_proxy(proxy.addr(), &url)?;
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64().max(1e-9);
+    Ok(ProxyBenchResult {
+        requests,
+        elapsed_secs,
+        requests_per_sec: requests as f64 / elapsed_secs,
+    })
+}
 
 /// Formats Table 2 (micro-benchmark latency) as an aligned text table.
 pub fn format_table2(rows: &[MicroRow]) -> String {

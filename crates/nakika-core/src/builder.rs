@@ -1,0 +1,297 @@
+//! Fluent construction of Na Kika nodes as [`HttpService`] stacks.
+//!
+//! [`NodeBuilder`] is the only way to configure a node: it owns the
+//! [`NodeConfig`] literal, binds the node to its origin fetch path, attaches
+//! the overlay, and wraps the resulting service in any middleware
+//! [`Layer`]s.  What comes out is a [`NodeHandle`]: the layered service plus
+//! a handle on the node for statistics and stores.
+//!
+//! ```
+//! use nakika_core::builder::NodeBuilder;
+//! use nakika_core::service::{HttpService, RequestCtx};
+//! use nakika_http::{Request, Response};
+//!
+//! let edge = NodeBuilder::plain_proxy("edge-1")
+//!     .origin_fn(|_req| Response::ok("text/html", "hello").with_header("Cache-Control", "max-age=60"))
+//!     .build();
+//! let first = edge.call(Request::get("http://site.example/"), &RequestCtx::at(10)).unwrap();
+//! let again = edge.call(Request::get("http://site.example/"), &RequestCtx::at(20)).unwrap();
+//! assert_eq!(first.body.to_text(), again.body.to_text());
+//! assert_eq!(edge.node().stats().cache_hits, 1);
+//! ```
+
+use crate::node::{origin_from_fn, NaKikaNode, NodeConfig, NodeMode, OriginFetch};
+use crate::pipeline::{CLIENT_WALL_URL, SERVER_WALL_URL};
+use crate::resource::{ResourceKind, ResourceManagerConfig};
+use crate::service::{layered, HttpService, Layer, NakikaError, RequestCtx};
+use nakika_http::pattern::Cidr;
+use nakika_http::{Request, Response};
+use nakika_overlay::{NodeId, Overlay};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The service adapter over a [`NaKikaNode`]: binds the node to its origin
+/// fetch path so transports only ever see [`HttpService`].
+pub struct NodeService {
+    node: Arc<NaKikaNode>,
+    origin: Arc<dyn OriginFetch>,
+}
+
+impl NodeService {
+    /// The wrapped node.
+    pub fn node(&self) -> &Arc<NaKikaNode> {
+        &self.node
+    }
+}
+
+impl HttpService for NodeService {
+    fn call(&self, mut req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
+        if req.client_ip.is_unspecified() && !ctx.client_ip.is_unspecified() {
+            req.client_ip = ctx.client_ip;
+        }
+        self.node.process(req, ctx.arrival_secs, &self.origin)
+    }
+}
+
+/// An origin for nodes built without one: every fetch fails upstream.
+struct NoOrigin;
+
+impl OriginFetch for NoOrigin {
+    fn fetch_origin(&self, request: &Request) -> Response {
+        NakikaError::Upstream {
+            url: request.uri.to_string(),
+            reason: "no origin configured".to_string(),
+        }
+        .to_response()
+    }
+}
+
+/// A built node: the layered [`HttpService`] stack plus the node it wraps.
+///
+/// The handle itself implements [`HttpService`], so call sites can treat it
+/// as the service; [`NodeHandle::service`] clones out the stack for
+/// transports that take `Arc<dyn HttpService>`.
+pub struct NodeHandle {
+    node: Arc<NaKikaNode>,
+    service: Arc<dyn HttpService>,
+}
+
+impl NodeHandle {
+    /// The node, for statistics, stores and cache inspection.
+    pub fn node(&self) -> &Arc<NaKikaNode> {
+        &self.node
+    }
+
+    /// The layered service stack.
+    pub fn service(&self) -> Arc<dyn HttpService> {
+        self.service.clone()
+    }
+}
+
+impl HttpService for NodeHandle {
+    fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
+        self.service.call(req, ctx)
+    }
+}
+
+/// Fluent builder for Na Kika nodes; see the [module docs](self) for an
+/// example.
+pub struct NodeBuilder {
+    config: NodeConfig,
+    overlay: Option<(Arc<Overlay>, NodeId)>,
+    origin: Option<Arc<dyn OriginFetch>>,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl NodeBuilder {
+    fn with_mode(name: &str, mode: NodeMode) -> NodeBuilder {
+        let resource = ResourceManagerConfig {
+            enabled: mode == NodeMode::Scripted,
+            ..ResourceManagerConfig::default()
+        };
+        NodeBuilder {
+            config: NodeConfig {
+                name: name.to_string(),
+                mode,
+                client_wall_url: CLIENT_WALL_URL.to_string(),
+                server_wall_url: SERVER_WALL_URL.to_string(),
+                cache_capacity_bytes: 256 * 1024 * 1024,
+                heuristic_ttl: Duration::from_secs(60),
+                script_ttl: Duration::from_secs(300),
+                local_networks: Vec::new(),
+                resource,
+                control_period_secs: 5,
+                hard_state_quota: 16 * 1024 * 1024,
+            },
+            overlay: None,
+            origin: None,
+            layers: Vec::new(),
+        }
+    }
+
+    /// A full scripted node named `name` with default knobs.
+    pub fn scripted(name: &str) -> NodeBuilder {
+        NodeBuilder::with_mode(name, NodeMode::Scripted)
+    }
+
+    /// A plain Apache-style caching proxy (the `Proxy` baseline).
+    pub fn plain_proxy(name: &str) -> NodeBuilder {
+        NodeBuilder::with_mode(name, NodeMode::PlainProxy)
+    }
+
+    /// A proxy with DHT integration but no scripting (the `DHT` baseline).
+    pub fn proxy_with_dht(name: &str) -> NodeBuilder {
+        NodeBuilder::with_mode(name, NodeMode::ProxyWithDht)
+    }
+
+    /// Proxy-cache capacity in bytes.
+    pub fn cache_capacity_bytes(mut self, bytes: usize) -> NodeBuilder {
+        self.config.cache_capacity_bytes = bytes;
+        self
+    }
+
+    /// Heuristic freshness for responses without explicit expiration.
+    pub fn heuristic_ttl(mut self, ttl: Duration) -> NodeBuilder {
+        self.config.heuristic_ttl = ttl;
+        self
+    }
+
+    /// Freshness applied to compiled stages without explicit expiration.
+    pub fn script_ttl(mut self, ttl: Duration) -> NodeBuilder {
+        self.config.script_ttl = ttl;
+        self
+    }
+
+    /// URLs of the client- and server-side administrative control scripts.
+    pub fn wall_urls(mut self, client: &str, server: &str) -> NodeBuilder {
+        self.config.client_wall_url = client.to_string();
+        self.config.server_wall_url = server.to_string();
+        self
+    }
+
+    /// Adds one address block considered local to the hosting organisation.
+    pub fn local_network(mut self, cidr: Cidr) -> NodeBuilder {
+        self.config.local_networks.push(cidr);
+        self
+    }
+
+    /// Replaces the set of local address blocks.
+    pub fn local_networks(mut self, cidrs: Vec<Cidr>) -> NodeBuilder {
+        self.config.local_networks = cidrs;
+        self
+    }
+
+    /// Seconds between executions of the congestion-control procedure.
+    pub fn control_period_secs(mut self, secs: u64) -> NodeBuilder {
+        self.config.control_period_secs = secs;
+        self
+    }
+
+    /// Per-site hard-state quota in bytes.
+    pub fn hard_state_quota(mut self, bytes: usize) -> NodeBuilder {
+        self.config.hard_state_quota = bytes;
+        self
+    }
+
+    /// Sets the node's capacity per control period for one resource.
+    pub fn resource_capacity(mut self, kind: ResourceKind, capacity: f64) -> NodeBuilder {
+        self.config.resource.capacity.insert(kind, capacity);
+        self
+    }
+
+    /// Disables congestion-based resource controls (the "without resource
+    /// controls" experimental arm).
+    pub fn without_resource_controls(mut self) -> NodeBuilder {
+        self.config.resource.enabled = false;
+        self
+    }
+
+    /// Attaches the node to a structured overlay under `id` (already joined
+    /// by the caller).
+    pub fn overlay(mut self, overlay: Arc<Overlay>, id: NodeId) -> NodeBuilder {
+        self.overlay = Some((overlay, id));
+        self
+    }
+
+    /// How the node obtains resources it does not have cached.
+    pub fn origin(mut self, origin: Arc<dyn OriginFetch>) -> NodeBuilder {
+        self.origin = Some(origin);
+        self
+    }
+
+    /// Convenience: an origin built from a closure.
+    pub fn origin_fn<F>(self, f: F) -> NodeBuilder
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.origin(origin_from_fn(f))
+    }
+
+    /// Wraps the node in a middleware layer.  The first layer added becomes
+    /// the outermost wrapper.
+    pub fn layer(mut self, layer: impl Layer + 'static) -> NodeBuilder {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Builds the node and its layered service stack.
+    pub fn build(self) -> NodeHandle {
+        let mut node = NaKikaNode::new(self.config);
+        if let Some((overlay, id)) = self.overlay {
+            node.attach_overlay(overlay, id);
+        }
+        let node = Arc::new(node);
+        let origin = self.origin.unwrap_or_else(|| Arc::new(NoOrigin));
+        let base: Arc<dyn HttpService> = Arc::new(NodeService {
+            node: node.clone(),
+            origin,
+        });
+        let service = layered(base, self.layers);
+        NodeHandle { node, service }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nakika_http::StatusCode;
+
+    #[test]
+    fn builder_defaults_mirror_the_paper_configurations() {
+        let scripted = NodeBuilder::scripted("s").build();
+        assert_eq!(scripted.node().config().mode, NodeMode::Scripted);
+        assert!(scripted.node().config().resource.enabled);
+
+        let proxy = NodeBuilder::plain_proxy("p").build();
+        assert_eq!(proxy.node().config().mode, NodeMode::PlainProxy);
+        assert!(!proxy.node().config().resource.enabled);
+
+        let dht = NodeBuilder::proxy_with_dht("d").build();
+        assert_eq!(dht.node().config().mode, NodeMode::ProxyWithDht);
+        assert!(!dht.node().config().resource.enabled);
+    }
+
+    #[test]
+    fn unconfigured_origin_surfaces_as_bad_gateway() {
+        let edge = NodeBuilder::plain_proxy("p").build();
+        let resp = edge
+            .call(Request::get("http://site.example/x"), &RequestCtx::at(1))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_GATEWAY);
+        assert_eq!(resp.headers.get("X-Nakika-Error"), Some("upstream"));
+    }
+
+    #[test]
+    fn ctx_client_ip_fills_unspecified_requests_only() {
+        let edge = NodeBuilder::plain_proxy("p")
+            .origin_fn(|req: &Request| Response::ok("text/plain", req.client_ip.to_string()))
+            .build();
+        let ctx = RequestCtx::at(1).with_client_ip("10.9.8.7".parse().unwrap());
+        let resp = edge.call(Request::get("http://a.example/"), &ctx).unwrap();
+        assert_eq!(resp.body.to_text(), "10.9.8.7");
+        let explicit =
+            Request::get("http://b.example/").with_client_ip("192.0.2.1".parse().unwrap());
+        let resp = edge.call(explicit, &ctx).unwrap();
+        assert_eq!(resp.body.to_text(), "192.0.2.1");
+    }
+}

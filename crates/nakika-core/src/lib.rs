@@ -29,22 +29,38 @@
 //!   into a single proxy that mediates one HTTP exchange at a time, in any of
 //!   the configurations the paper's evaluation exercises (plain proxy, proxy
 //!   + DHT, administrative control only, predicate benchmarks, full node).
+//! * **The service boundary** ([`service`], [`middleware`], [`builder`]) —
+//!   [`service::HttpService`] is the single seam between transports and
+//!   everything else: transports mint a [`service::RequestCtx`] from their
+//!   [`service::Clock`] and call the stack a [`builder::NodeBuilder`]
+//!   produced, optionally wrapped in [`middleware`] layers (access logging,
+//!   admission, integrity verification, latency-aware redirection).
+//!   Platform failures travel as typed [`service::NakikaError`]s so each
+//!   transport decides its own status mapping.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod cache;
+pub mod middleware;
 pub mod node;
 pub mod pages;
 pub mod pipeline;
 pub mod policy;
 pub mod resource;
 pub mod scripts;
+pub mod service;
 pub mod vocab;
 
+pub use builder::{NodeBuilder, NodeHandle, NodeService};
 pub use cache::{CacheStats, ProxyCache};
+pub use middleware::{AccessLogLayer, AdmissionLayer, IntegrityLayer, RedirectLayer};
 pub use node::{NaKikaNode, NodeConfig, NodeMode, OriginFetch};
 pub use pipeline::{PipelineOutcome, PipelineRunner};
 pub use policy::{Matcher, Policy, PolicySet};
 pub use resource::{ResourceKind, ResourceManager, ResourceManagerConfig, SiteUsage};
+pub use service::{
+    service_fn, Clock, CtxFactory, HttpService, Layer, ManualClock, NakikaError, RequestCtx,
+};
 pub use vocab::Exchange;

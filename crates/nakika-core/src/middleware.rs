@@ -1,0 +1,451 @@
+//! Middleware layers over [`HttpService`]:
+//! access logging, congestion-based admission, content-integrity
+//! verification and latency-aware client redirection, each a wrappable
+//! service so transports and the [`NodeBuilder`](crate::builder::NodeBuilder)
+//! compose them freely.
+
+use crate::resource::{Admission, ResourceKind, ResourceManager};
+use crate::service::{HttpService, Layer, NakikaError, RequestCtx};
+use nakika_http::{Request, Response};
+use nakika_integrity::{verify_response, SigningKey};
+use nakika_overlay::{Location, NodeId, Overlay};
+use nakika_state::{AccessLog, LogEntry};
+use parking_lot::Mutex;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Access logging
+// ---------------------------------------------------------------------------
+
+/// Records one [`LogEntry`] per exchange into a per-site [`AccessLog`],
+/// including exchanges the inner stack rejected (the entry then carries the
+/// error's default status mapping).
+pub struct AccessLogLayer {
+    log: Arc<AccessLog>,
+}
+
+impl AccessLogLayer {
+    /// A logging layer writing to `log`.
+    pub fn new(log: Arc<AccessLog>) -> AccessLogLayer {
+        AccessLogLayer { log }
+    }
+}
+
+impl Layer for AccessLogLayer {
+    fn wrap(&self, inner: Arc<dyn HttpService>) -> Arc<dyn HttpService> {
+        Arc::new(AccessLogged {
+            inner,
+            log: self.log.clone(),
+        })
+    }
+}
+
+struct AccessLogged {
+    inner: Arc<dyn HttpService>,
+    log: Arc<AccessLog>,
+}
+
+impl HttpService for AccessLogged {
+    fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
+        let site = req.site();
+        let method = req.method.as_str().to_string();
+        let url = req.uri.to_string();
+        let client = if req.client_ip.is_unspecified() {
+            ctx.client_ip
+        } else {
+            req.client_ip
+        };
+        let result = self.inner.call(req, ctx);
+        let (status, bytes) = match &result {
+            Ok(response) => (response.status.as_u16(), response.body.len()),
+            Err(error) => (error.status().as_u16(), 0),
+        };
+        self.log.record(
+            &site,
+            LogEntry {
+                timestamp: ctx.arrival_secs,
+                client: client.to_string(),
+                method,
+                url,
+                status,
+                bytes,
+            },
+        );
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resource admission
+// ---------------------------------------------------------------------------
+
+/// Applies congestion-based admission control (paper Figure 6) before the
+/// inner service runs, and charges the bytes it moved afterwards.
+///
+/// The controller's `CONTROL` procedure runs lazily off request arrival
+/// times, once per configured period.
+///
+/// A scripted [`NaKikaNode`](crate::node::NaKikaNode) runs its own
+/// congestion controller internally; when stacking this layer in front of
+/// one, either share the node's manager
+/// ([`NaKikaNode::resource_manager`](crate::node::NaKikaNode::resource_manager))
+/// or build the node
+/// [`without_resource_controls`](crate::builder::NodeBuilder::without_resource_controls)
+/// — two independent managers would each run their own control loop.
+pub struct AdmissionLayer {
+    resource: Arc<ResourceManager>,
+    control_period_secs: u64,
+}
+
+impl AdmissionLayer {
+    /// An admission layer over `resource` running control every 5 seconds.
+    pub fn new(resource: Arc<ResourceManager>) -> AdmissionLayer {
+        AdmissionLayer {
+            resource,
+            control_period_secs: 5,
+        }
+    }
+
+    /// Sets the control period in seconds.
+    pub fn with_control_period(mut self, secs: u64) -> AdmissionLayer {
+        self.control_period_secs = secs.max(1);
+        self
+    }
+}
+
+impl Layer for AdmissionLayer {
+    fn wrap(&self, inner: Arc<dyn HttpService>) -> Arc<dyn HttpService> {
+        Arc::new(Admitted {
+            inner,
+            resource: self.resource.clone(),
+            control_period_secs: self.control_period_secs,
+            last_control: Mutex::new(0),
+        })
+    }
+}
+
+struct Admitted {
+    inner: Arc<dyn HttpService>,
+    resource: Arc<ResourceManager>,
+    control_period_secs: u64,
+    last_control: Mutex<u64>,
+}
+
+impl HttpService for Admitted {
+    fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
+        if self.resource.is_enabled() {
+            let mut last = self.last_control.lock();
+            if ctx.arrival_secs >= *last + self.control_period_secs {
+                *last = ctx.arrival_secs;
+                drop(last);
+                self.resource.control();
+            }
+        }
+        let site = req.site();
+        match self.resource.admit(&site) {
+            Admission::Accept => {}
+            Admission::Throttle => return Err(NakikaError::Throttled { site }),
+            Admission::Terminate => return Err(NakikaError::Terminated { site }),
+        }
+        let request_bytes = req.body.len();
+        let response = self.inner.call(req, ctx)?;
+        self.resource.record(
+            &site,
+            ResourceKind::BytesTransferred,
+            (request_bytes + response.body.len()) as f64,
+        );
+        Ok(response)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content integrity
+// ---------------------------------------------------------------------------
+
+/// Verifies signed responses (paper §6) on their way out: the body must
+/// match the signed hash and the absolute expiration must still be in the
+/// future at the exchange's arrival time.
+pub struct IntegrityLayer {
+    key: SigningKey,
+    require_signature: bool,
+}
+
+impl IntegrityLayer {
+    /// A verifying layer for content signed under `key`; unsigned responses
+    /// pass through untouched.
+    pub fn new(key: SigningKey) -> IntegrityLayer {
+        IntegrityLayer {
+            key,
+            require_signature: false,
+        }
+    }
+
+    /// Also rejects responses carrying no signature at all (for deployments
+    /// where every origin signs).
+    pub fn require_signature(mut self) -> IntegrityLayer {
+        self.require_signature = true;
+        self
+    }
+}
+
+impl Layer for IntegrityLayer {
+    fn wrap(&self, inner: Arc<dyn HttpService>) -> Arc<dyn HttpService> {
+        Arc::new(Verified {
+            inner,
+            key: self.key.clone(),
+            require_signature: self.require_signature,
+        })
+    }
+}
+
+struct Verified {
+    inner: Arc<dyn HttpService>,
+    key: SigningKey,
+    require_signature: bool,
+}
+
+impl HttpService for Verified {
+    fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
+        let url = req.uri.to_string();
+        let response = self.inner.call(req, ctx)?;
+        let signed = response.headers.get("X-Signature").is_some();
+        if signed {
+            verify_response(&response, &self.key, ctx.arrival_secs).map_err(|e| {
+                NakikaError::Integrity {
+                    url: url.clone(),
+                    reason: e.to_string(),
+                }
+            })?;
+        } else if self.require_signature && response.status.is_success() {
+            return Err(NakikaError::Integrity {
+                url,
+                reason: "response is unsigned".to_string(),
+            });
+        }
+        Ok(response)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency-aware redirection
+// ---------------------------------------------------------------------------
+
+/// Redirects clients to a closer edge node (the paper's DNS-style
+/// redirection, expressed at the HTTP layer): when the overlay knows a node
+/// nearer to the client than this one, answer `302 Found` pointing there
+/// instead of serving locally.
+///
+/// Client geolocation and peer naming are deployment concerns, so both are
+/// injected: `locate` maps a client address into the overlay's latency
+/// space (return `None` to serve locally), and `peer_url` maps a node id to
+/// the base URL clients should be sent to.
+pub struct RedirectLayer {
+    overlay: Arc<Overlay>,
+    self_id: NodeId,
+    #[allow(clippy::type_complexity)]
+    locate: Arc<dyn Fn(IpAddr) -> Option<Location> + Send + Sync>,
+    #[allow(clippy::type_complexity)]
+    peer_url: Arc<dyn Fn(NodeId) -> Option<String> + Send + Sync>,
+}
+
+impl RedirectLayer {
+    /// A redirection layer for the node `self_id` in `overlay`.
+    pub fn new<L, P>(
+        overlay: Arc<Overlay>,
+        self_id: NodeId,
+        locate: L,
+        peer_url: P,
+    ) -> RedirectLayer
+    where
+        L: Fn(IpAddr) -> Option<Location> + Send + Sync + 'static,
+        P: Fn(NodeId) -> Option<String> + Send + Sync + 'static,
+    {
+        RedirectLayer {
+            overlay,
+            self_id,
+            locate: Arc::new(locate),
+            peer_url: Arc::new(peer_url),
+        }
+    }
+}
+
+impl Layer for RedirectLayer {
+    fn wrap(&self, inner: Arc<dyn HttpService>) -> Arc<dyn HttpService> {
+        Arc::new(Redirected {
+            inner,
+            overlay: self.overlay.clone(),
+            self_id: self.self_id,
+            locate: self.locate.clone(),
+            peer_url: self.peer_url.clone(),
+        })
+    }
+}
+
+struct Redirected {
+    inner: Arc<dyn HttpService>,
+    overlay: Arc<Overlay>,
+    self_id: NodeId,
+    locate: Arc<dyn Fn(IpAddr) -> Option<Location> + Send + Sync>,
+    peer_url: Arc<dyn Fn(NodeId) -> Option<String> + Send + Sync>,
+}
+
+impl HttpService for Redirected {
+    fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
+        let client = if req.client_ip.is_unspecified() {
+            ctx.client_ip
+        } else {
+            req.client_ip
+        };
+        if let Some(location) = (self.locate)(client) {
+            if let Some(&(nearest, _)) = self.overlay.nearest_nodes(&location, 1).first() {
+                if nearest != self.self_id {
+                    if let Some(base) = (self.peer_url)(nearest) {
+                        let base = base.trim_end_matches('/');
+                        let target = match &req.uri.query {
+                            Some(query) => format!("{base}{}?{query}", req.uri.path),
+                            None => format!("{base}{}", req.uri.path),
+                        };
+                        return Ok(Response::redirect(&target));
+                    }
+                }
+            }
+        }
+        self.inner.call(req, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceManagerConfig;
+    use crate::service::service_fn;
+    use nakika_http::StatusCode;
+    use nakika_integrity::sign_response;
+    use nakika_overlay::cluster::sites;
+    use nakika_overlay::key_for;
+
+    fn ok_service() -> Arc<dyn HttpService> {
+        service_fn(|_req, _ctx| Ok(Response::ok("text/plain", "payload")))
+    }
+
+    #[test]
+    fn access_log_records_successes_and_rejections() {
+        let log = Arc::new(AccessLog::new());
+        let base = service_fn(|req: Request, _ctx: &RequestCtx| {
+            if req.uri.path.contains("fail") {
+                Err(NakikaError::Upstream {
+                    url: req.uri.to_string(),
+                    reason: "unreachable".into(),
+                })
+            } else {
+                Ok(Response::ok("text/plain", "ok"))
+            }
+        });
+        let stack = AccessLogLayer::new(log.clone()).wrap(base);
+        let ctx = RequestCtx::at(42).with_client_ip("10.1.2.3".parse().unwrap());
+        stack
+            .call(Request::get("http://site.example/good"), &ctx)
+            .unwrap();
+        stack
+            .call(Request::get("http://site.example/fail"), &ctx)
+            .unwrap_err();
+        assert_eq!(log.pending("site.example"), 2);
+        log.configure_site("site.example", Some("http://site.example/logs"));
+        let batches = log.flush();
+        assert!(batches[0].1.contains(" 200 "));
+        assert!(batches[0].1.contains(" 502 "));
+    }
+
+    #[test]
+    fn admission_layer_rejects_terminated_sites_with_typed_errors() {
+        let mut config = ResourceManagerConfig::default();
+        config.capacity.insert(ResourceKind::Cpu, 1.0);
+        let resource = Arc::new(ResourceManager::new(config));
+        // Congest the site across two control rounds so the controller
+        // terminates its pipelines deterministically.
+        resource.record("hog.example", ResourceKind::Cpu, 1_000.0);
+        resource.control();
+        resource.record("hog.example", ResourceKind::Cpu, 1_000.0);
+        resource.control();
+        let stack = AdmissionLayer::new(resource).wrap(ok_service());
+        let result = stack.call(Request::get("http://hog.example/x"), &RequestCtx::at(0));
+        match result {
+            Err(NakikaError::Throttled { site } | NakikaError::Terminated { site }) => {
+                assert_eq!(site, "hog.example");
+            }
+            other => panic!("expected a typed admission rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integrity_layer_accepts_signed_and_rejects_tampered_content() {
+        let key = SigningKey::new(b"origin-key");
+        let signing_key = key.clone();
+        let good = service_fn(move |_req, _ctx| {
+            let mut response = Response::ok("text/html", "<p>results</p>");
+            sign_response(&mut response, &signing_key, 1_000, 3_600);
+            Ok(response)
+        });
+        let stack = IntegrityLayer::new(key.clone()).wrap(good);
+        let ctx = RequestCtx::at(2_000);
+        assert!(stack
+            .call(Request::get("http://med.example/study"), &ctx)
+            .is_ok());
+
+        let tampering_key = key.clone();
+        let tampering = service_fn(move |_req, _ctx| {
+            let mut response = Response::ok("text/html", "<p>results</p>");
+            sign_response(&mut response, &tampering_key, 1_000, 3_600);
+            response.set_body("<p>falsified</p>");
+            Ok(response)
+        });
+        let stack = IntegrityLayer::new(key).wrap(tampering);
+        match stack.call(Request::get("http://med.example/study"), &ctx) {
+            Err(NakikaError::Integrity { reason, .. }) => {
+                assert!(reason.contains("hash"), "reason: {reason}")
+            }
+            other => panic!("expected an integrity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redirect_layer_sends_distant_clients_to_the_nearer_node() {
+        let overlay = Arc::new(Overlay::with_defaults());
+        let us = key_for("edge-us");
+        let asia = key_for("edge-asia");
+        overlay.join(us, sites::US_EAST);
+        overlay.join(asia, sites::ASIA);
+        let layer = RedirectLayer::new(
+            overlay,
+            us,
+            |ip: IpAddr| {
+                // Toy geolocation: 203.* clients are in Asia, the rest local.
+                if ip.to_string().starts_with("203.") {
+                    Some(sites::ASIA)
+                } else {
+                    Some(sites::US_EAST)
+                }
+            },
+            move |id| (id == asia).then(|| "http://edge-asia.nakika.net".to_string()),
+        );
+        let stack = layer.wrap(ok_service());
+
+        let far = RequestCtx::at(0).with_client_ip("203.0.113.5".parse().unwrap());
+        let resp = stack
+            .call(Request::get("http://site.example/page?lang=jp&hq=1"), &far)
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::FOUND);
+        assert_eq!(
+            resp.headers.get("Location"),
+            Some("http://edge-asia.nakika.net/page?lang=jp&hq=1"),
+            "the query string survives the redirect"
+        );
+
+        let near = RequestCtx::at(0).with_client_ip("10.0.0.1".parse().unwrap());
+        let resp = stack
+            .call(Request::get("http://site.example/page"), &near)
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+    }
+}

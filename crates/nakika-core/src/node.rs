@@ -2,9 +2,11 @@
 //! scripting pipeline, congestion-based resource control, hard state, access
 //! logging and the cooperative-caching overlay.
 //!
-//! A node mediates one HTTP exchange per call to [`NaKikaNode::handle_request`];
-//! transport (sockets or the simulator) lives outside this crate and supplies
-//! an [`OriginFetch`] implementation plus the current time, so the same node
+//! A node mediates one HTTP exchange at a time.  Transports never talk to it
+//! directly: they drive the [`HttpService`](crate::service::HttpService)
+//! stack a [`NodeBuilder`](crate::builder::NodeBuilder) produces, which binds
+//! the node to its [`OriginFetch`] path and reads the current time off each
+//! exchange's [`RequestCtx`](crate::service::RequestCtx) — so the same node
 //! code runs unchanged under the discrete-event simulator, the real TCP
 //! server, unit tests and the benchmarks.
 
@@ -12,13 +14,13 @@ use crate::cache::{CacheStats, ProxyCache};
 use crate::pages;
 use crate::pipeline::{
     CompiledStage, PipelineOutcome, PipelineRunner, StageCache, StageLoader, StageLookup,
-    CLIENT_WALL_URL, SERVER_WALL_URL,
 };
 use crate::resource::{Admission, ResourceKind, ResourceManager, ResourceManagerConfig};
+use crate::service::NakikaError;
 use crate::vocab::VocabHooks;
 use nakika_http::cache_control::{freshness, Freshness};
 use nakika_http::pattern::Cidr;
-use nakika_http::{Method, Request, Response, StatusCode};
+use nakika_http::{Method, Request, Response};
 use nakika_overlay::{NodeId, Overlay};
 use nakika_script::ResourceMeter;
 use nakika_state::{AccessLog, LogEntry, SiteStore};
@@ -52,7 +54,9 @@ pub enum NodeMode {
     Scripted,
 }
 
-/// Node configuration.
+/// Node configuration.  Constructed by
+/// [`NodeBuilder`](crate::builder::NodeBuilder), which owns the defaults for
+/// each of the paper's operating modes.
 #[derive(Clone)]
 pub struct NodeConfig {
     /// Node name (also the payload announced to the overlay).
@@ -78,52 +82,6 @@ pub struct NodeConfig {
     pub control_period_secs: u64,
     /// Per-site hard-state quota in bytes.
     pub hard_state_quota: usize,
-}
-
-impl NodeConfig {
-    /// A full scripted node named `name` with default knobs.
-    pub fn scripted(name: &str) -> NodeConfig {
-        NodeConfig {
-            name: name.to_string(),
-            mode: NodeMode::Scripted,
-            client_wall_url: CLIENT_WALL_URL.to_string(),
-            server_wall_url: SERVER_WALL_URL.to_string(),
-            cache_capacity_bytes: 256 * 1024 * 1024,
-            heuristic_ttl: Duration::from_secs(60),
-            script_ttl: Duration::from_secs(300),
-            local_networks: Vec::new(),
-            resource: ResourceManagerConfig::default(),
-            control_period_secs: 5,
-            hard_state_quota: 16 * 1024 * 1024,
-        }
-    }
-
-    /// A plain Apache-style caching proxy (the `Proxy` baseline).
-    pub fn plain_proxy(name: &str) -> NodeConfig {
-        NodeConfig {
-            mode: NodeMode::PlainProxy,
-            resource: ResourceManagerConfig {
-                enabled: false,
-                ..ResourceManagerConfig::default()
-            },
-            ..NodeConfig::scripted(name)
-        }
-    }
-
-    /// A proxy with DHT integration but no scripting (the `DHT` baseline).
-    pub fn proxy_with_dht(name: &str) -> NodeConfig {
-        NodeConfig {
-            mode: NodeMode::ProxyWithDht,
-            ..NodeConfig::plain_proxy(name)
-        }
-    }
-
-    /// Disables congestion-based resource controls (the "without resource
-    /// controls" experimental arm).
-    pub fn without_resource_controls(mut self) -> NodeConfig {
-        self.resource.enabled = false;
-        self
-    }
 }
 
 /// Statistics a node accumulates, consumed by the experiment harness.
@@ -265,8 +223,8 @@ pub struct NaKikaNode {
 }
 
 impl NaKikaNode {
-    /// Creates a node from its configuration.
-    pub fn new(config: NodeConfig) -> NaKikaNode {
+    /// Creates a node from its configuration (the builder's job).
+    pub(crate) fn new(config: NodeConfig) -> NaKikaNode {
         let cache = Arc::new(ProxyCache::new(
             config.cache_capacity_bytes,
             config.heuristic_ttl,
@@ -289,7 +247,7 @@ impl NaKikaNode {
 
     /// Attaches the node to a structured overlay under the given identifier
     /// (already joined by the caller).
-    pub fn attach_overlay(&mut self, overlay: Arc<Overlay>, id: NodeId) {
+    pub(crate) fn attach_overlay(&mut self, overlay: Arc<Overlay>, id: NodeId) {
         self.overlay = Some((overlay, id));
     }
 
@@ -333,14 +291,16 @@ impl NaKikaNode {
         *self.stats.lock()
     }
 
-    /// Handles one HTTP exchange at time `now_secs`, fetching whatever it
-    /// needs through `origin`.
-    pub fn handle_request(
+    /// Mediates one HTTP exchange at time `now_secs`, fetching whatever it
+    /// needs through `origin`.  Admission rejections surface as typed
+    /// [`NakikaError`]s; the transport at the outer edge decides their
+    /// status mapping.
+    pub(crate) fn process(
         &self,
         request: Request,
         now_secs: u64,
         origin: &Arc<dyn OriginFetch>,
-    ) -> Response {
+    ) -> Result<Response, NakikaError> {
         self.stats.lock().requests += 1;
         self.maybe_run_control(now_secs);
         let site = request.site();
@@ -350,11 +310,11 @@ impl NaKikaNode {
             Admission::Accept => {}
             Admission::Throttle => {
                 self.stats.lock().throttled += 1;
-                return Response::error(StatusCode::SERVICE_UNAVAILABLE);
+                return Err(NakikaError::Throttled { site });
             }
             Admission::Terminate => {
                 self.stats.lock().terminated += 1;
-                return Response::error(StatusCode::SERVICE_UNAVAILABLE);
+                return Err(NakikaError::Terminated { site });
             }
         }
 
@@ -391,7 +351,7 @@ impl NaKikaNode {
             ResourceKind::BytesTransferred,
             (request.body.len() + response.body.len()) as f64,
         );
-        response
+        Ok(response)
     }
 
     fn run_pipeline(
@@ -545,7 +505,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::NodeBuilder;
     use crate::scripts;
+    use crate::service::{HttpService, RequestCtx};
+    use nakika_http::StatusCode;
     use nakika_overlay::{key_for, Location};
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -592,21 +555,22 @@ mod tests {
         }
     }
 
-    fn as_origin(o: &Arc<TestOrigin>) -> Arc<dyn OriginFetch> {
-        o.clone()
-    }
-
     #[test]
     fn plain_proxy_caches_and_serves() {
-        let node = NaKikaNode::new(NodeConfig::plain_proxy("edge-1"));
         let origin = TestOrigin::new(None);
-        let dyn_origin = as_origin(&origin);
-        let r1 = node.handle_request(Request::get("http://www.google.com/"), 10, &dyn_origin);
+        let edge = NodeBuilder::plain_proxy("edge-1")
+            .origin(origin.clone())
+            .build();
+        let r1 = edge
+            .call(Request::get("http://www.google.com/"), &RequestCtx::at(10))
+            .unwrap();
         assert_eq!(r1.status, StatusCode::OK);
-        let r2 = node.handle_request(Request::get("http://www.google.com/"), 20, &dyn_origin);
+        let r2 = edge
+            .call(Request::get("http://www.google.com/"), &RequestCtx::at(20))
+            .unwrap();
         assert_eq!(r2.body.to_text(), r1.body.to_text());
         assert_eq!(origin.hits(), 1, "second access served from cache");
-        let stats = node.stats();
+        let stats = edge.node().stats();
         assert_eq!(stats.requests, 2);
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.origin_fetches, 1);
@@ -620,36 +584,46 @@ mod tests {
             p.onResponse = function() { Response.setHeader('X-Edge', 'nakika'); };
             p.register();
         "#;
-        let node = NaKikaNode::new(NodeConfig::scripted("edge-1"));
         let origin = TestOrigin::new(Some(site_script));
-        let dyn_origin = as_origin(&origin);
-        let resp = node.handle_request(Request::get("http://site.example/page"), 10, &dyn_origin);
+        let edge = NodeBuilder::scripted("edge-1")
+            .origin(origin.clone())
+            .build();
+        let resp = edge
+            .call(
+                Request::get("http://site.example/page"),
+                &RequestCtx::at(10),
+            )
+            .unwrap();
         assert_eq!(resp.status, StatusCode::OK);
         assert_eq!(resp.headers.get("x-edge"), Some("nakika"));
         // Scripts (two walls + nakika.js) plus the page itself were fetched.
         assert_eq!(origin.hits(), 4);
         // A second request reuses the cached compiled stages and cached page.
-        node.handle_request(Request::get("http://site.example/page"), 20, &dyn_origin);
+        edge.call(
+            Request::get("http://site.example/page"),
+            &RequestCtx::at(20),
+        )
+        .unwrap();
         assert_eq!(origin.hits(), 4);
     }
 
     #[test]
     fn missing_site_script_is_negatively_cached() {
-        let node = NaKikaNode::new(NodeConfig::scripted("edge-1"));
         let origin = TestOrigin::new(None);
-        let dyn_origin = as_origin(&origin);
-        node.handle_request(Request::get("http://plain.example/a"), 10, &dyn_origin);
+        let edge = NodeBuilder::scripted("edge-1")
+            .origin(origin.clone())
+            .build();
+        edge.call(Request::get("http://plain.example/a"), &RequestCtx::at(10))
+            .unwrap();
         let hits_after_first = origin.hits();
-        node.handle_request(Request::get("http://plain.example/b"), 20, &dyn_origin);
+        edge.call(Request::get("http://plain.example/b"), &RequestCtx::at(20))
+            .unwrap();
         // Only the new page is fetched — not nakika.js again.
         assert_eq!(origin.hits(), hits_after_first + 1);
     }
 
     #[test]
     fn digital_library_wall_blocks_outside_clients() {
-        let mut config = NodeConfig::scripted("edge-1");
-        config.local_networks = vec![Cidr::parse("128.122.0.0/16").unwrap()];
-        let node = NaKikaNode::new(config);
         // Serve Figure 5 as the client wall.
         struct WallOrigin;
         impl OriginFetch for WallOrigin {
@@ -665,31 +639,34 @@ mod tests {
                 }
             }
         }
-        let origin: Arc<dyn OriginFetch> = Arc::new(WallOrigin);
+        let edge = NodeBuilder::scripted("edge-1")
+            .local_network(Cidr::parse("128.122.0.0/16").unwrap())
+            .origin(Arc::new(WallOrigin))
+            .build();
         let outside = Request::get("http://bmj.bmjjournals.com/cgi/reprint/1")
             .with_client_ip("203.0.113.5".parse().unwrap());
-        let resp = node.handle_request(outside, 10, &origin);
+        let resp = edge.call(outside, &RequestCtx::at(10)).unwrap();
         assert_eq!(resp.status, StatusCode::UNAUTHORIZED);
         let inside = Request::get("http://bmj.bmjjournals.com/cgi/reprint/1")
             .with_client_ip("128.122.1.1".parse().unwrap());
-        let resp = node.handle_request(inside, 20, &origin);
+        let resp = edge.call(inside, &RequestCtx::at(20)).unwrap();
         assert_eq!(resp.status, StatusCode::OK);
         assert_eq!(resp.body.to_text(), "the full article");
     }
 
     #[test]
     fn nkp_pages_are_rendered_on_the_edge() {
-        let node = NaKikaNode::new(NodeConfig::scripted("edge-1"));
         let origin = TestOrigin::new(None);
-        let dyn_origin = as_origin(&origin);
-        let resp = node.handle_request(
-            Request::get("http://site.example/hello.nkp"),
-            10,
-            &dyn_origin,
-        );
+        let edge = NodeBuilder::scripted("edge-1").origin(origin).build();
+        let resp = edge
+            .call(
+                Request::get("http://site.example/hello.nkp"),
+                &RequestCtx::at(10),
+            )
+            .unwrap();
         assert_eq!(resp.body.to_text(), "<p>42</p>");
         assert_eq!(resp.headers.content_type(), Some("text/html"));
-        assert_eq!(node.stats().pages_rendered, 1);
+        assert_eq!(edge.node().stats().pages_rendered, 1);
     }
 
     #[test]
@@ -700,16 +677,20 @@ mod tests {
         overlay.join(id_a, Location::new(0.0, 0.0));
         overlay.join(id_b, Location::new(1.0, 0.0));
 
-        let mut node_a = NaKikaNode::new(NodeConfig::proxy_with_dht("edge-a"));
-        node_a.attach_overlay(overlay.clone(), id_a);
-        let mut node_b = NaKikaNode::new(NodeConfig::proxy_with_dht("edge-b"));
-        node_b.attach_overlay(overlay.clone(), id_b);
-
         let origin = TestOrigin::new(None);
-        let dyn_origin = as_origin(&origin);
+        let node_a = NodeBuilder::proxy_with_dht("edge-a")
+            .overlay(overlay.clone(), id_a)
+            .origin(origin.clone())
+            .build();
         // Node A pulls the page from the origin and announces it.
-        node_a.handle_request(Request::get("http://shared.example/big"), 10, &dyn_origin);
+        node_a
+            .call(
+                Request::get("http://shared.example/big"),
+                &RequestCtx::at(10),
+            )
+            .unwrap();
         assert_eq!(origin.hits(), 1);
+
         // Node B finds A's announcement and fetches from its peer instead.
         struct PeerAwareOrigin {
             inner: Arc<TestOrigin>,
@@ -729,36 +710,48 @@ mod tests {
             inner: origin.clone(),
             peer_fetches: AtomicU64::new(0),
         });
-        let dyn_peer: Arc<dyn OriginFetch> = peer_origin.clone();
-        let resp = node_b.handle_request(Request::get("http://shared.example/big"), 20, &dyn_peer);
+        let node_b = NodeBuilder::proxy_with_dht("edge-b")
+            .overlay(overlay.clone(), id_b)
+            .origin(peer_origin.clone())
+            .build();
+        let resp = node_b
+            .call(
+                Request::get("http://shared.example/big"),
+                &RequestCtx::at(20),
+            )
+            .unwrap();
         assert!(resp.body.to_text().contains("peer copy"));
         assert_eq!(peer_origin.peer_fetches.load(Ordering::SeqCst), 1);
         assert_eq!(origin.hits(), 1, "origin contacted only once in total");
-        assert_eq!(node_b.stats().peer_hits, 1);
+        assert_eq!(node_b.node().stats().peer_hits, 1);
     }
 
     #[test]
-    fn throttling_rejects_requests_with_server_busy() {
-        let mut config = NodeConfig::scripted("edge-1");
-        config.resource.capacity.insert(ResourceKind::Cpu, 1.0);
-        config.control_period_secs = 1;
-        let node = NaKikaNode::new(config);
+    fn throttling_rejects_requests_with_typed_errors() {
         let origin = TestOrigin::new(None);
-        let dyn_origin = as_origin(&origin);
+        let edge = NodeBuilder::scripted("edge-1")
+            .resource_capacity(ResourceKind::Cpu, 1.0)
+            .control_period_secs(1)
+            .origin(origin)
+            .build();
         // Generate load well past the 1-step CPU "capacity", then let the
         // control loop run.
         for t in 0..20 {
-            node.handle_request(Request::get("http://hog.example/page"), t, &dyn_origin);
+            let _ = edge.call(Request::get("http://hog.example/page"), &RequestCtx::at(t));
         }
         let mut busy = 0;
         for t in 20..60 {
-            let resp = node.handle_request(Request::get("http://hog.example/page"), t, &dyn_origin);
-            if resp.status == StatusCode::SERVICE_UNAVAILABLE {
+            let result = edge.call(Request::get("http://hog.example/page"), &RequestCtx::at(t));
+            if matches!(
+                result,
+                Err(NakikaError::Throttled { .. } | NakikaError::Terminated { .. })
+            ) {
                 busy += 1;
             }
         }
         assert!(busy > 0, "expected some server-busy rejections");
-        assert!(node.stats().throttled + node.stats().terminated > 0);
+        let stats = edge.node().stats();
+        assert!(stats.throttled + stats.terminated > 0);
     }
 
     #[test]
@@ -795,20 +788,28 @@ mod tests {
                 Response::ok("text/html", "content").with_header("Cache-Control", "no-store")
             }
         }
-        let mut config = NodeConfig::scripted("edge-1");
-        config.control_period_secs = 1;
-        let node = NaKikaNode::new(config);
-        let origin: Arc<dyn OriginFetch> = Arc::new(TwoSiteOrigin {
-            hog_script: hog_script.to_string(),
-        });
+        let edge = NodeBuilder::scripted("edge-1")
+            .control_period_secs(1)
+            .origin(Arc::new(TwoSiteOrigin {
+                hog_script: hog_script.to_string(),
+            }))
+            .build();
         let mut good_ok = 0;
         for t in 0..30 {
-            let hog = node.handle_request(Request::get("http://hog.example/x"), t, &origin);
+            let hog = edge.call(Request::get("http://hog.example/x"), &RequestCtx::at(t));
             // Either the sandbox stopped the script (request still served) or
             // admission control rejected it outright.
-            assert!(hog.status == StatusCode::OK || hog.status == StatusCode::SERVICE_UNAVAILABLE);
-            let good = node.handle_request(Request::get("http://good.example/x"), t, &origin);
-            if good.status == StatusCode::OK {
+            assert!(
+                matches!(
+                    hog,
+                    Ok(ref r) if r.status == StatusCode::OK
+                ) || matches!(
+                    hog,
+                    Err(NakikaError::Throttled { .. } | NakikaError::Terminated { .. })
+                )
+            );
+            let good = edge.call(Request::get("http://good.example/x"), &RequestCtx::at(t));
+            if matches!(good, Ok(ref r) if r.status == StatusCode::OK) {
                 good_ok += 1;
             }
         }
@@ -816,6 +817,9 @@ mod tests {
             good_ok >= 28,
             "the well-behaved site stays available, got {good_ok}/30"
         );
-        assert!(node.stats().script_errors > 0, "the memory hog was stopped");
+        assert!(
+            edge.node().stats().script_errors > 0,
+            "the memory hog was stopped"
+        );
     }
 }

@@ -1,0 +1,385 @@
+//! The service boundary between transports and everything else.
+//!
+//! The paper's central architectural claim is that one edge node runs
+//! unchanged under Apache, the discrete-event simulator and plain unit tests
+//! because the service logic is cleanly separated from transport.  This
+//! module makes that seam explicit: every transport — the blocking TCP
+//! servers in `nakika-server`, the simulator's net layer in `nakika-sim`,
+//! and in-memory tests — drives the node through exactly one interface,
+//! [`HttpService::call`], and supplies the ambient facts of the exchange
+//! (who is asking, what time it is, which exchange this is) through a
+//! [`RequestCtx`] minted from a [`Clock`].
+//!
+//! Failures the *platform* produces (admission rejections, unreachable
+//! origins, integrity violations) travel as typed [`NakikaError`] values so
+//! each transport decides its own status mapping; failures the *application*
+//! produces (a wall script answering 401, an origin answering 404) remain
+//! ordinary [`Response`]s.
+
+use nakika_http::{HttpError, Request, Response, StatusCode};
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A source of "now" in seconds.
+///
+/// Transports own time: `nakika-server` uses the wall clock, `nakika-sim`
+/// uses virtual time, and tests use a [`ManualClock`] they advance by hand.
+/// Node code never consults a clock directly — it reads the arrival time off
+/// the [`RequestCtx`] a transport minted.
+///
+/// ```
+/// use nakika_core::service::{Clock, ManualClock};
+///
+/// let clock = ManualClock::new(100);
+/// assert_eq!(clock.now_secs(), 100);
+/// clock.advance(20);
+/// assert_eq!(clock.now_secs(), 120);
+/// ```
+pub trait Clock: Send + Sync {
+    /// Current time in seconds (epoch chosen by the transport).
+    fn now_secs(&self) -> u64;
+}
+
+/// A [`Clock`] set and advanced explicitly — the test transport.
+#[derive(Debug, Default)]
+pub struct ManualClock(AtomicU64);
+
+impl ManualClock {
+    /// A manual clock starting at `start_secs`.
+    pub fn new(start_secs: u64) -> ManualClock {
+        ManualClock(AtomicU64::new(start_secs))
+    }
+
+    /// Moves the clock to the absolute time `now_secs`.
+    pub fn set(&self, now_secs: u64) {
+        self.0.store(now_secs, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `delta_secs`.
+    pub fn advance(&self, delta_secs: u64) {
+        self.0.fetch_add(delta_secs, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_secs(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Per-exchange context a transport hands to the service stack: who is
+/// asking, when the request arrived, and a transport-unique id for log
+/// correlation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestCtx {
+    /// Address of the client that sent the request.  When this is specified
+    /// and the [`Request`]'s own `client_ip` is not, the node fills the
+    /// request in from here, so policy predicates see the transport's view.
+    pub client_ip: IpAddr,
+    /// Time the request arrived, read from the transport's [`Clock`].
+    pub arrival_secs: u64,
+    /// Identifier of this exchange, unique per [`CtxFactory`]; `0` for
+    /// ad-hoc contexts made with [`RequestCtx::at`].
+    pub request_id: u64,
+}
+
+impl RequestCtx {
+    /// An ad-hoc context at `now_secs` from an unspecified client — the
+    /// in-memory test transport.
+    pub fn at(now_secs: u64) -> RequestCtx {
+        RequestCtx {
+            client_ip: IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+            arrival_secs: now_secs,
+            request_id: 0,
+        }
+    }
+
+    /// Builder-style helper setting the client address.
+    pub fn with_client_ip(mut self, ip: IpAddr) -> RequestCtx {
+        self.client_ip = ip;
+        self
+    }
+
+    /// A context at `now_secs` for `request`, adopting its client address.
+    pub fn for_request(now_secs: u64, request: &Request) -> RequestCtx {
+        RequestCtx::at(now_secs).with_client_ip(request.client_ip)
+    }
+}
+
+/// Mints [`RequestCtx`] values for a transport: reads arrival time off the
+/// transport's [`Clock`] and numbers exchanges sequentially.
+pub struct CtxFactory {
+    clock: Arc<dyn Clock>,
+    next_id: AtomicU64,
+}
+
+impl CtxFactory {
+    /// A factory over `clock`, numbering exchanges from 1.
+    pub fn new(clock: Arc<dyn Clock>) -> CtxFactory {
+        CtxFactory {
+            clock,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Mints the context for one exchange from `client_ip`.
+    pub fn make(&self, client_ip: IpAddr) -> RequestCtx {
+        RequestCtx {
+            client_ip,
+            arrival_secs: self.clock.now_secs(),
+            request_id: self.next_id.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The factory's clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+}
+
+/// Errors the Na Kika platform produces while mediating an exchange.
+///
+/// These replace the scattered `Response::error(...)` escapes: service code
+/// states *what went wrong*, and the transport at the outer edge decides the
+/// HTTP status mapping (the default mapping is [`NakikaError::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NakikaError {
+    /// The site is being throttled by congestion-based resource control.
+    Throttled {
+        /// Site whose pipelines are throttled.
+        site: String,
+    },
+    /// The site's pipelines were terminated this control round.
+    Terminated {
+        /// Site whose pipelines were terminated.
+        site: String,
+    },
+    /// An upstream fetch (origin server or peer node) failed.
+    Upstream {
+        /// URL of the fetch that failed.
+        url: String,
+        /// Human-readable reason (connect failure, read error, truncation).
+        reason: String,
+    },
+    /// A response failed content-integrity verification (paper §6).
+    Integrity {
+        /// URL of the offending response.
+        url: String,
+        /// What the verifier objected to.
+        reason: String,
+    },
+    /// The HTTP substrate rejected a message.
+    Http(HttpError),
+    /// An invariant was violated inside the node.
+    Internal(String),
+}
+
+impl NakikaError {
+    /// Short machine-readable kind, carried in the `X-Nakika-Error` header.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NakikaError::Throttled { .. } => "throttled",
+            NakikaError::Terminated { .. } => "terminated",
+            NakikaError::Upstream { .. } => "upstream",
+            NakikaError::Integrity { .. } => "integrity",
+            NakikaError::Http(_) => "http",
+            NakikaError::Internal(_) => "internal",
+        }
+    }
+
+    /// The default status mapping transports apply.
+    pub fn status(&self) -> StatusCode {
+        match self {
+            NakikaError::Throttled { .. } | NakikaError::Terminated { .. } => {
+                StatusCode::SERVICE_UNAVAILABLE
+            }
+            NakikaError::Upstream { .. } | NakikaError::Integrity { .. } => StatusCode::BAD_GATEWAY,
+            NakikaError::Http(_) => StatusCode::BAD_REQUEST,
+            NakikaError::Internal(_) => StatusCode::INTERNAL_SERVER_ERROR,
+        }
+    }
+
+    /// Renders the error as an HTTP response under the default mapping,
+    /// with the reason in the body and an `X-Nakika-Error` kind header.
+    pub fn to_response(&self) -> Response {
+        let mut response = Response::error(self.status());
+        response.headers.set("X-Nakika-Error", self.kind());
+        response.set_body(format!("{self}\n"));
+        response
+    }
+}
+
+impl std::fmt::Display for NakikaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NakikaError::Throttled { site } => write!(f, "server busy: {site} is throttled"),
+            NakikaError::Terminated { site } => {
+                write!(f, "server busy: pipelines of {site} were terminated")
+            }
+            NakikaError::Upstream { url, reason } => {
+                write!(f, "upstream fetch of {url} failed: {reason}")
+            }
+            NakikaError::Integrity { url, reason } => {
+                write!(f, "integrity verification of {url} failed: {reason}")
+            }
+            NakikaError::Http(e) => write!(f, "http error: {e}"),
+            NakikaError::Internal(reason) => write!(f, "internal error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NakikaError {}
+
+impl From<HttpError> for NakikaError {
+    fn from(e: HttpError) -> NakikaError {
+        NakikaError::Http(e)
+    }
+}
+
+/// The single boundary between transports and everything else: one HTTP
+/// exchange in, one HTTP exchange (or platform error) out.
+///
+/// ```
+/// use nakika_core::service::{service_fn, HttpService, RequestCtx};
+/// use nakika_http::{Request, Response};
+///
+/// let echo = service_fn(|req: Request, _ctx: &RequestCtx| {
+///     Ok(Response::ok("text/plain", req.uri.path.clone()))
+/// });
+/// let resp = echo.call(Request::get("http://a.example/hello"), &RequestCtx::at(0)).unwrap();
+/// assert_eq!(resp.body.to_text(), "/hello");
+/// ```
+pub trait HttpService: Send + Sync {
+    /// Mediates one exchange described by `req` under the ambient facts in
+    /// `ctx`.
+    fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError>;
+}
+
+impl HttpService for Arc<dyn HttpService> {
+    fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
+        (**self).call(req, ctx)
+    }
+}
+
+/// An [`HttpService`] built from a closure.
+pub struct ServiceFn<F>(pub F);
+
+impl<F> HttpService for ServiceFn<F>
+where
+    F: Fn(Request, &RequestCtx) -> Result<Response, NakikaError> + Send + Sync,
+{
+    fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
+        (self.0)(req, ctx)
+    }
+}
+
+/// Wraps a closure into an `Arc<dyn HttpService>` — the idiomatic way to
+/// stand up origin servers in examples and tests.
+pub fn service_fn<F>(f: F) -> Arc<dyn HttpService>
+where
+    F: Fn(Request, &RequestCtx) -> Result<Response, NakikaError> + Send + Sync + 'static,
+{
+    Arc::new(ServiceFn(f))
+}
+
+/// A middleware: wraps an inner [`HttpService`] into a new one.
+///
+/// Layers compose; [`layered`] and [`crate::builder::NodeBuilder::layer`]
+/// apply a list of layers so the *first* layer listed becomes the
+/// *outermost* wrapper, matching reading order:
+///
+/// ```
+/// use nakika_core::middleware::AccessLogLayer;
+/// use nakika_core::service::{layered, service_fn, HttpService, RequestCtx};
+/// use nakika_http::{Request, Response};
+/// use nakika_state::AccessLog;
+/// use std::sync::Arc;
+///
+/// let log = Arc::new(AccessLog::new());
+/// let base = service_fn(|_req, _ctx| Ok(Response::ok("text/plain", "hi")));
+/// let stack = layered(base, vec![Box::new(AccessLogLayer::new(log.clone()))]);
+/// stack.call(Request::get("http://a.example/"), &RequestCtx::at(7)).unwrap();
+/// assert_eq!(log.pending("a.example"), 1);
+/// ```
+pub trait Layer: Send + Sync {
+    /// Wraps `inner`, returning the layered service.
+    fn wrap(&self, inner: Arc<dyn HttpService>) -> Arc<dyn HttpService>;
+}
+
+/// Applies `layers` around `base`; the first layer in the list ends up
+/// outermost.
+pub fn layered(base: Arc<dyn HttpService>, layers: Vec<Box<dyn Layer>>) -> Arc<dyn HttpService> {
+    layers
+        .into_iter()
+        .rev()
+        .fold(base, |inner, layer| layer.wrap(inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_sets_and_advances() {
+        let clock = ManualClock::new(5);
+        assert_eq!(clock.now_secs(), 5);
+        clock.advance(10);
+        assert_eq!(clock.now_secs(), 15);
+        clock.set(3);
+        assert_eq!(clock.now_secs(), 3);
+    }
+
+    #[test]
+    fn ctx_factory_stamps_time_and_numbers_requests() {
+        let clock = Arc::new(ManualClock::new(100));
+        let factory = CtxFactory::new(clock.clone());
+        let a = factory.make("10.0.0.1".parse().unwrap());
+        clock.advance(7);
+        let b = factory.make("10.0.0.2".parse().unwrap());
+        assert_eq!(a.arrival_secs, 100);
+        assert_eq!(b.arrival_secs, 107);
+        assert_eq!(a.request_id + 1, b.request_id);
+    }
+
+    #[test]
+    fn error_status_mapping_is_stable() {
+        let throttled = NakikaError::Throttled { site: "a".into() };
+        assert_eq!(throttled.status(), StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(
+            NakikaError::Terminated { site: "a".into() }.status(),
+            StatusCode::SERVICE_UNAVAILABLE
+        );
+        let upstream = NakikaError::Upstream {
+            url: "http://o.example/x".into(),
+            reason: "connection refused".into(),
+        };
+        assert_eq!(upstream.status(), StatusCode::BAD_GATEWAY);
+        let response = upstream.to_response();
+        assert_eq!(response.status, StatusCode::BAD_GATEWAY);
+        assert_eq!(response.headers.get("X-Nakika-Error"), Some("upstream"));
+        assert!(response.body.to_text().contains("connection refused"));
+    }
+
+    #[test]
+    fn service_fn_and_layering_compose() {
+        struct Tag(&'static str);
+        impl Layer for Tag {
+            fn wrap(&self, inner: Arc<dyn HttpService>) -> Arc<dyn HttpService> {
+                let name = self.0;
+                service_fn(move |req, ctx| {
+                    let resp = inner.call(req, ctx)?;
+                    let trail = format!("{} {name}", resp.headers.get("X-Trail").unwrap_or(""));
+                    Ok(resp.with_header("X-Trail", trail.trim()))
+                })
+            }
+        }
+        let base = service_fn(|_req, _ctx| Ok(Response::ok("text/plain", "ok")));
+        let stack = layered(base, vec![Box::new(Tag("outer")), Box::new(Tag("inner"))]);
+        let resp = stack
+            .call(Request::get("http://a.example/"), &RequestCtx::at(0))
+            .unwrap();
+        // The inner tag runs first on the way out, the outer tag appends last.
+        assert_eq!(resp.headers.get("X-Trail"), Some("inner outer"));
+    }
+}

@@ -1,25 +1,43 @@
 //! Real-socket front-ends for Na Kika: a blocking, thread-per-connection HTTP
-//! origin server and proxy, so the examples run end-to-end over localhost TCP
+//! server and proxy, so the examples run end-to-end over localhost TCP
 //! exactly as a small deployment would (the paper's prototype embeds the same
 //! logic in Apache's prefork worker processes).
+//!
+//! Both servers speak [`HttpService`]: an [`HttpServer`] fronts any service
+//! (an origin built with [`service_fn`](nakika_core::service_fn), or a full
+//! node stack from [`NodeBuilder`](nakika_core::NodeBuilder)), mints a
+//! [`RequestCtx`] per exchange from the [`WallClock`], and maps typed
+//! [`NakikaError`]s to status codes at the wire.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use nakika_core::node::{NaKikaNode, OriginFetch};
+use nakika_core::service::{Clock, CtxFactory, HttpService, NakikaError, RequestCtx};
+use nakika_core::OriginFetch;
 use nakika_http::{parse_request, serialize_request, serialize_response, ParseOutcome};
 use nakika_http::{Request, Response, StatusCode};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
-/// A handler invoked for every request an [`HttpServer`] receives.
-pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+/// The real transports' [`Clock`]: seconds since the Unix epoch.
+pub struct WallClock;
 
-/// A minimal blocking HTTP/1.1 server: one thread per connection, suitable
-/// for origin servers in examples and tests.
+impl Clock for WallClock {
+    fn now_secs(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+}
+
+/// A minimal blocking HTTP/1.1 server: one thread per connection, fronting
+/// any [`HttpService`].
 pub struct HttpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
@@ -27,27 +45,25 @@ pub struct HttpServer {
 
 impl HttpServer {
     /// Starts a server on `127.0.0.1:port` (port 0 picks a free port) and
-    /// serves `handler` until the value is dropped.
-    pub fn start(port: u16, handler: Handler) -> std::io::Result<HttpServer> {
+    /// serves `service` until the value is dropped.
+    pub fn start(port: u16, service: Arc<dyn HttpService>) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown_flag = shutdown.clone();
-        listener.set_nonblocking(true)?;
+        let ctx_factory = Arc::new(CtxFactory::new(Arc::new(WallClock)));
+        // The accept loop blocks — no polling.  Drop wakes it with a bare
+        // connect so the flag check below runs one last time.
         std::thread::spawn(move || {
-            while !shutdown_flag.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, peer)) => {
-                        let handler = handler.clone();
-                        std::thread::spawn(move || {
-                            let _ = serve_connection(stream, peer.ip(), &|req| handler(req));
-                        });
-                    }
-                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
+            while let Ok((stream, peer)) = listener.accept() {
+                if shutdown_flag.load(Ordering::Relaxed) {
+                    break;
                 }
+                let service = service.clone();
+                let ctx_factory = ctx_factory.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, peer.ip(), &*service, &ctx_factory);
+                });
             }
         });
         Ok(HttpServer { addr, shutdown })
@@ -67,90 +83,149 @@ impl HttpServer {
 impl Drop for HttpServer {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        // Wake the blocking accept so the loop observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
     }
 }
 
 /// A Na Kika proxy listening on a real socket: every accepted request is
-/// handed to the wrapped [`NaKikaNode`], which fetches whatever it needs over
-/// outbound TCP connections.
+/// handed to the wrapped service stack — typically a
+/// [`NodeBuilder`](nakika_core::NodeBuilder) product whose origin is a
+/// [`TcpOrigin`], so the node fetches whatever it needs over outbound TCP.
 pub struct ProxyServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    inner: HttpServer,
 }
 
 impl ProxyServer {
-    /// Starts the proxy on `127.0.0.1:port` in front of `node`.
-    pub fn start(port: u16, node: Arc<NaKikaNode>) -> std::io::Result<ProxyServer> {
-        let listener = TcpListener::bind(("127.0.0.1", port))?;
-        let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let shutdown_flag = shutdown.clone();
-        listener.set_nonblocking(true)?;
-        let origin: Arc<dyn OriginFetch> = Arc::new(TcpOrigin);
-        std::thread::spawn(move || {
-            while !shutdown_flag.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, peer)) => {
-                        let node = node.clone();
-                        let origin = origin.clone();
-                        std::thread::spawn(move || {
-                            let _ = serve_connection(stream, peer.ip(), &move |req| {
-                                node.handle_request(req.clone(), unix_now(), &origin)
-                            });
-                        });
-                    }
-                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
-            }
-        });
-        Ok(ProxyServer { addr, shutdown })
+    /// Starts the proxy on `127.0.0.1:port` in front of `service`.
+    pub fn start(port: u16, service: Arc<dyn HttpService>) -> std::io::Result<ProxyServer> {
+        Ok(ProxyServer {
+            inner: HttpServer::start(port, service)?,
+        })
     }
 
     /// The address the proxy listens on.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 }
 
-impl Drop for ProxyServer {
-    fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+/// An [`OriginFetch`] that performs real outbound HTTP/1.1 requests over
+/// TCP, reusing keep-alive connections through a small per-host pool.
+pub struct TcpOrigin {
+    pool: Mutex<HashMap<(String, u16), Vec<TcpStream>>>,
+    max_idle_per_host: usize,
+}
+
+impl TcpOrigin {
+    /// An origin fetcher keeping up to 4 idle connections per host.
+    pub fn new() -> TcpOrigin {
+        TcpOrigin {
+            pool: Mutex::new(HashMap::new()),
+            max_idle_per_host: 4,
+        }
     }
-}
 
-/// Seconds since the Unix epoch, the wall-clock "now" used by the real
-/// servers (the simulator uses virtual time instead).
-pub fn unix_now() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0)
-}
+    /// Number of idle pooled connections to `host:port` (for tests).
+    pub fn idle_connections(&self, host: &str, port: u16) -> usize {
+        self.pool
+            .lock()
+            .get(&(host.to_string(), port))
+            .map(Vec::len)
+            .unwrap_or(0)
+    }
 
-/// An [`OriginFetch`] that performs real outbound HTTP/1.1 requests over TCP.
-pub struct TcpOrigin;
+    /// Fetches `request` from its origin, reusing a pooled connection when
+    /// one is available and returning the connection to the pool when the
+    /// origin keeps it alive.
+    pub fn fetch(&self, request: &Request) -> Result<Response, NakikaError> {
+        let uri = request.uri.to_origin();
+        let url = uri.to_string();
+        let key = (uri.host.clone(), uri.port);
+        let mut outbound = request.clone();
+        outbound.uri = uri;
+        // Connection management is this hop's business: forwarding a
+        // client's hop-by-hop `Connection: close` would defeat the pool.
+        outbound.headers.remove("Connection");
 
-impl OriginFetch for TcpOrigin {
-    fn fetch_origin(&self, request: &Request) -> Response {
-        match http_fetch(request) {
-            Ok(response) => response,
-            Err(_) => Response::error(StatusCode::BAD_GATEWAY),
+        // A pooled connection may have been closed by the origin since it
+        // was parked; one failure there falls back to a fresh connection.
+        // Only idempotent requests take that path — a replayed POST could
+        // execute its side effect twice if the origin processed the first
+        // attempt before closing.
+        // (The guard must drop before `exchange` — `park` re-locks the pool.)
+        if request.method.is_idempotent() {
+            let pooled = { self.pool.lock().get_mut(&key).and_then(Vec::pop) };
+            if let Some(mut stream) = pooled {
+                if let Ok(response) = exchange(&mut stream, &outbound, &url) {
+                    self.park(&key, stream, &response);
+                    return Ok(response);
+                }
+            }
+        }
+        let mut stream =
+            TcpStream::connect((key.0.as_str(), key.1)).map_err(|e| NakikaError::Upstream {
+                url: url.clone(),
+                reason: format!("connect failed: {e}"),
+            })?;
+        let response = exchange(&mut stream, &outbound, &url)?;
+        self.park(&key, stream, &response);
+        Ok(response)
+    }
+
+    fn park(&self, key: &(String, u16), stream: TcpStream, response: &Response) {
+        if !response.headers.keep_alive(response.version_11) {
+            return;
+        }
+        let mut pool = self.pool.lock();
+        let idle = pool.entry(key.clone()).or_default();
+        if idle.len() < self.max_idle_per_host {
+            idle.push(stream);
         }
     }
 }
 
-/// Performs a blocking HTTP request to the host named in `request`'s URI.
-pub fn http_fetch(request: &Request) -> std::io::Result<Response> {
-    let uri = request.uri.to_origin();
-    let mut stream = TcpStream::connect((uri.host.as_str(), uri.port))?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    let mut outbound = request.clone();
-    outbound.uri = uri;
-    outbound.headers.set("Connection", "close");
-    stream.write_all(&serialize_request(&outbound))?;
+impl Default for TcpOrigin {
+    fn default() -> TcpOrigin {
+        TcpOrigin::new()
+    }
+}
+
+impl OriginFetch for TcpOrigin {
+    fn fetch_origin(&self, request: &Request) -> Response {
+        match self.fetch(request) {
+            Ok(response) => response,
+            Err(error) => error.to_response(),
+        }
+    }
+}
+
+/// Writes `outbound` to `stream` and reads one complete response, surfacing
+/// I/O failures and truncation as [`NakikaError::Upstream`].
+fn exchange(
+    stream: &mut TcpStream,
+    outbound: &Request,
+    url: &str,
+) -> Result<Response, NakikaError> {
+    let upstream = |reason: String| NakikaError::Upstream {
+        url: url.to_string(),
+        reason,
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| upstream(format!("socket setup failed: {e}")))?;
+    stream
+        .write_all(&serialize_request(outbound))
+        .map_err(|e| upstream(format!("write failed: {e}")))?;
+    read_response(stream, url)
+}
+
+/// Reads one complete HTTP response off `stream`.
+fn read_response(stream: &mut TcpStream, url: &str) -> Result<Response, NakikaError> {
+    let upstream = |reason: String| NakikaError::Upstream {
+        url: url.to_string(),
+        reason,
+    };
     let mut buffer = Vec::new();
     let mut chunk = [0u8; 8192];
     loop {
@@ -162,54 +237,71 @@ pub fn http_fetch(request: &Request) -> std::io::Result<Response> {
                     break;
                 }
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                return Err(upstream(format!(
+                    "read failed after {} bytes: {e}",
+                    buffer.len()
+                )))
+            }
         }
     }
     match nakika_http::parse_response(&buffer) {
         Ok(ParseOutcome::Complete { message, .. }) => Ok(message),
-        _ => Ok(Response::error(StatusCode::BAD_GATEWAY)),
+        _ => Err(upstream(format!(
+            "truncated or malformed response ({} bytes)",
+            buffer.len()
+        ))),
     }
 }
 
+/// Performs a one-shot blocking HTTP request (`Connection: close`) to the
+/// host named in `request`'s URI.
+pub fn http_fetch(request: &Request) -> Result<Response, NakikaError> {
+    let uri = request.uri.to_origin();
+    let url = uri.to_string();
+    let mut outbound = request.clone();
+    outbound.uri = uri.clone();
+    outbound.headers.set("Connection", "close");
+    let mut stream =
+        TcpStream::connect((uri.host.as_str(), uri.port)).map_err(|e| NakikaError::Upstream {
+            url: url.clone(),
+            reason: format!("connect failed: {e}"),
+        })?;
+    exchange(&mut stream, &outbound, &url)
+}
+
 /// Issues a plain GET to `url` (used by examples and tests as a tiny client).
-pub fn http_get(url: &str) -> std::io::Result<Response> {
+pub fn http_get(url: &str) -> Result<Response, NakikaError> {
     http_fetch(&Request::get(url))
 }
 
 /// Issues a GET for `url` through the proxy at `proxy` (absolute-form request
 /// line, as a browser configured with an explicit proxy would send).
-pub fn http_get_via_proxy(proxy: SocketAddr, url: &str) -> std::io::Result<Response> {
-    let mut stream = TcpStream::connect(proxy)?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+pub fn http_get_via_proxy(proxy: SocketAddr, url: &str) -> Result<Response, NakikaError> {
+    let upstream = |reason: String| NakikaError::Upstream {
+        url: url.to_string(),
+        reason,
+    };
+    let mut stream =
+        TcpStream::connect(proxy).map_err(|e| upstream(format!("connect failed: {e}")))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| upstream(format!("socket setup failed: {e}")))?;
     let mut request = Request::get(url);
     request.headers.set("Connection", "close");
-    stream.write_all(&nakika_http::serialize::serialize_request_absolute(
-        &request,
-    ))?;
-    let mut buffer = Vec::new();
-    let mut chunk = [0u8; 8192];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buffer.extend_from_slice(&chunk[..n]);
-                if let Ok(ParseOutcome::Complete { .. }) = nakika_http::parse_response(&buffer) {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    match nakika_http::parse_response(&buffer) {
-        Ok(ParseOutcome::Complete { message, .. }) => Ok(message),
-        _ => Ok(Response::error(StatusCode::BAD_GATEWAY)),
-    }
+    stream
+        .write_all(&nakika_http::serialize::serialize_request_absolute(
+            &request,
+        ))
+        .map_err(|e| upstream(format!("write failed: {e}")))?;
+    read_response(&mut stream, url)
 }
 
 fn serve_connection(
     mut stream: TcpStream,
     peer: IpAddr,
-    handler: &dyn Fn(&Request) -> Response,
+    service: &dyn HttpService,
+    ctx_factory: &CtxFactory,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     let mut buffer = Vec::new();
@@ -240,7 +332,12 @@ fn serve_connection(
         };
         request.client_ip = peer;
         let keep_alive = request.headers.keep_alive(request.version_11);
-        let response = handler(&request);
+        let ctx: RequestCtx = ctx_factory.make(peer);
+        // The wire is where platform errors become status codes.
+        let response = match service.call(request, &ctx) {
+            Ok(response) => response,
+            Err(error) => error.to_response(),
+        };
         stream.write_all(&serialize_response(&response))?;
         if !keep_alive {
             return Ok(());
@@ -251,24 +348,25 @@ fn serve_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nakika_core::node::NodeConfig;
+    use nakika_core::service::service_fn;
+    use nakika_core::NodeBuilder;
 
-    fn origin_handler() -> Handler {
-        Arc::new(|request: &Request| {
+    fn origin_service() -> Arc<dyn HttpService> {
+        service_fn(|request: Request, _ctx: &RequestCtx| {
             if request.uri.path.ends_with(".js") {
-                return Response::error(StatusCode::NOT_FOUND);
+                return Ok(Response::error(StatusCode::NOT_FOUND));
             }
-            Response::ok(
+            Ok(Response::ok(
                 "text/html",
                 format!("hello from origin: {}", request.uri.path),
             )
-            .with_header("Cache-Control", "max-age=60")
+            .with_header("Cache-Control", "max-age=60"))
         })
     }
 
     #[test]
     fn http_server_round_trip() {
-        let server = HttpServer::start(0, origin_handler()).unwrap();
+        let server = HttpServer::start(0, origin_service()).unwrap();
         let response = http_get(&format!("{}/index.html", server.base_url())).unwrap();
         assert_eq!(response.status, StatusCode::OK);
         assert!(response.body.to_text().contains("/index.html"));
@@ -276,11 +374,13 @@ mod tests {
 
     #[test]
     fn proxy_serves_and_caches_over_real_sockets() {
-        let origin = HttpServer::start(0, origin_handler()).unwrap();
-        let node = Arc::new(NaKikaNode::new(
-            NodeConfig::plain_proxy("tcp-edge").without_resource_controls(),
-        ));
-        let proxy = ProxyServer::start(0, node.clone()).unwrap();
+        let origin = HttpServer::start(0, origin_service()).unwrap();
+        let edge = Arc::new(
+            NodeBuilder::plain_proxy("tcp-edge")
+                .origin(Arc::new(TcpOrigin::new()))
+                .build(),
+        );
+        let proxy = ProxyServer::start(0, edge.service()).unwrap();
 
         let url = format!("{}/page.html", origin.base_url());
         let first = http_get_via_proxy(proxy.addr(), &url).unwrap();
@@ -289,14 +389,55 @@ mod tests {
         let second = http_get_via_proxy(proxy.addr(), &url).unwrap();
         assert_eq!(second.body.to_text(), first.body.to_text());
         assert!(
-            node.cache_stats().hits >= 1,
+            edge.node().cache_stats().hits >= 1,
             "second request hits the cache"
         );
     }
 
     #[test]
+    fn tcp_origin_reuses_keep_alive_connections() {
+        let origin = HttpServer::start(0, origin_service()).unwrap();
+        let fetcher = TcpOrigin::new();
+        let host = origin.addr().ip().to_string();
+        let port = origin.addr().port();
+        for i in 0..3 {
+            let response = fetcher
+                .fetch(&Request::get(&format!("{}/r{i}.html", origin.base_url())))
+                .unwrap();
+            assert_eq!(response.status, StatusCode::OK);
+        }
+        assert_eq!(
+            fetcher.idle_connections(&host, port),
+            1,
+            "sequential fetches reuse one pooled connection"
+        );
+    }
+
+    #[test]
+    fn upstream_failures_surface_as_typed_errors_and_502() {
+        // Nothing listens on this port: the fetch itself reports Upstream...
+        let request = Request::get("http://127.0.0.1:1/page");
+        match http_fetch(&request) {
+            Err(NakikaError::Upstream { reason, .. }) => {
+                assert!(reason.contains("connect failed"), "reason: {reason}")
+            }
+            other => panic!("expected an upstream error, got {other:?}"),
+        }
+        // ...and a node fronting the dead origin answers 502 with the reason.
+        let edge = NodeBuilder::plain_proxy("edge")
+            .origin(Arc::new(TcpOrigin::new()))
+            .build();
+        let response = edge
+            .call(request, &RequestCtx::at(10))
+            .expect("the node converts origin failures into responses");
+        assert_eq!(response.status, StatusCode::BAD_GATEWAY);
+        assert_eq!(response.headers.get("X-Nakika-Error"), Some("upstream"));
+        assert!(response.body.to_text().contains("connect failed"));
+    }
+
+    #[test]
     fn keep_alive_connections_serve_multiple_requests() {
-        let server = HttpServer::start(0, origin_handler()).unwrap();
+        let server = HttpServer::start(0, origin_service()).unwrap();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         for i in 0..3 {
             let req = Request::get(&format!("http://{}/r{i}", server.addr()));
@@ -318,7 +459,7 @@ mod tests {
 
     #[test]
     fn bad_requests_get_a_400() {
-        let server = HttpServer::start(0, origin_handler()).unwrap();
+        let server = HttpServer::start(0, origin_service()).unwrap();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         stream.write_all(b"NOT A VALID REQUEST\r\n\r\n").unwrap();
         let mut buffer = Vec::new();
@@ -330,5 +471,26 @@ mod tests {
             buffer.extend_from_slice(&chunk[..n]);
         }
         assert!(String::from_utf8_lossy(&buffer).starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn dropped_server_stops_accepting() {
+        let server = HttpServer::start(0, origin_service()).unwrap();
+        let addr = server.addr();
+        drop(server);
+        // The wake connection consumed the shutdown; subsequent connects are
+        // refused (or accepted by nothing and reset).
+        std::thread::sleep(Duration::from_millis(50));
+        let refused = TcpStream::connect(addr)
+            .map(|mut s| {
+                // If the OS still accepts (backlog), the read must fail/EOF.
+                let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
+                let mut buf = [0u8; 16];
+                s.set_read_timeout(Some(Duration::from_millis(200)))
+                    .unwrap();
+                matches!(s.read(&mut buf), Ok(0) | Err(_))
+            })
+            .unwrap_or(true);
+        assert!(refused, "no handler should serve after drop");
     }
 }

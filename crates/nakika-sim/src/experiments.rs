@@ -9,9 +9,11 @@
 use crate::net::{LinkModel, ServerModel, SimProxy};
 use crate::stats::Summary;
 use crate::workload::{client_ip, ScriptedOrigin, SimmWorkload, SpecWorkload, MICRO_PAGE_BYTES};
-use nakika_core::node::{NaKikaNode, NodeConfig, OriginFetch};
+use nakika_core::node::OriginFetch;
 use nakika_core::resource::ResourceKind;
 use nakika_core::scripts;
+use nakika_core::service::{HttpService, RequestCtx};
+use nakika_core::{NodeBuilder, NodeHandle};
 use nakika_http::Request;
 use nakika_overlay::cluster::sites;
 use nakika_overlay::{key_for, Location, Overlay};
@@ -80,14 +82,14 @@ pub struct MicroRow {
 /// The benchmark URL: Google's home page without inline images.
 const MICRO_URL: &str = "http://www.google.com/";
 
-fn build_micro_setup(config: MicroConfig) -> (NaKikaNode, Arc<dyn OriginFetch>) {
+fn build_micro_setup(config: MicroConfig) -> NodeHandle {
     let origin = ScriptedOrigin::micro_benchmark();
-    let mut node_config = match config {
-        MicroConfig::Proxy => NodeConfig::plain_proxy("bench"),
-        MicroConfig::Dht => NodeConfig::proxy_with_dht("bench"),
-        _ => NodeConfig::scripted("bench"),
-    };
-    node_config.resource.enabled = false; // resource control disabled (§5.1)
+    let mut builder = match config {
+        MicroConfig::Proxy => NodeBuilder::plain_proxy("bench"),
+        MicroConfig::Dht => NodeBuilder::proxy_with_dht("bench"),
+        _ => NodeBuilder::scripted("bench"),
+    }
+    .without_resource_controls(); // resource control disabled (§5.1)
     match config {
         MicroConfig::Proxy | MicroConfig::Dht => {}
         MicroConfig::Admin => {
@@ -105,15 +107,14 @@ fn build_micro_setup(config: MicroConfig) -> (NaKikaNode, Arc<dyn OriginFetch>) 
             origin.route_script("/nakika.js", &scripts::match_1_stage("www.google.com"));
         }
     }
-    let mut node = NaKikaNode::new(node_config);
     if config == MicroConfig::Dht {
         let overlay = Arc::new(Overlay::with_defaults());
         let id = key_for("bench");
         overlay.join(id, sites::US_EAST);
         overlay.join(key_for("other"), sites::US_EAST_LAN);
-        node.attach_overlay(overlay, id);
+        builder = builder.overlay(overlay, id);
     }
-    (node, Arc::new(origin) as Arc<dyn OriginFetch>)
+    builder.origin(Arc::new(origin)).build()
 }
 
 /// Runs the Table 2 micro-benchmark: cold- and warm-cache latency for
@@ -129,14 +130,14 @@ pub fn table2(iterations: usize) -> Vec<MicroRow> {
             let mut cold = Summary::new();
             let mut warm = Summary::new();
             for i in 0..iterations.max(1) {
-                let (node, origin) = build_micro_setup(config);
+                let edge = build_micro_setup(config);
                 let start = Instant::now();
-                node.handle_request(Request::get(MICRO_URL), 10, &origin);
+                let _ = edge.call(Request::get(MICRO_URL), &RequestCtx::at(10));
                 cold.add(start.elapsed().as_secs_f64() * 1000.0 + link_ms);
                 // Warm cache: the page, the scripts, the decision trees and
                 // the scripting contexts are all reused.
                 let start = Instant::now();
-                node.handle_request(Request::get(MICRO_URL), 20 + i as u64, &origin);
+                let _ = edge.call(Request::get(MICRO_URL), &RequestCtx::at(20 + i as u64));
                 warm.add(
                     start.elapsed().as_secs_f64() * 1000.0 + lan.exchange_ms(400, MICRO_PAGE_BYTES),
                 );
@@ -170,11 +171,11 @@ pub struct CapacityResult {
 }
 
 fn measure_warm_service_ms(config: MicroConfig, samples: usize) -> f64 {
-    let (node, origin) = build_micro_setup(config);
-    node.handle_request(Request::get(MICRO_URL), 1, &origin); // warm everything
+    let edge = build_micro_setup(config);
+    let _ = edge.call(Request::get(MICRO_URL), &RequestCtx::at(1)); // warm everything
     let start = Instant::now();
     for i in 0..samples.max(1) {
-        node.handle_request(Request::get(MICRO_URL), 2 + i as u64, &origin);
+        let _ = edge.call(Request::get(MICRO_URL), &RequestCtx::at(2 + i as u64));
     }
     (start.elapsed().as_secs_f64() * 1000.0 / samples.max(1) as f64).max(0.001)
 }
@@ -246,20 +247,17 @@ fn flash_crowd_origin(with_hog: bool) -> Arc<ScriptedOrigin> {
 }
 
 fn run_flash_crowd(controls: bool, requests: usize, hog_every: Option<usize>) -> (f64, f64, f64) {
-    let mut config = NodeConfig::scripted("edge");
-    config.control_period_secs = 1;
     // Calibrate CPU/memory capacity per control period so a flash crowd of
     // this size congests the node (the paper's proxy saturates at ~300 rps).
-    config.resource.capacity.insert(ResourceKind::Cpu, 40_000.0);
-    config
-        .resource
-        .capacity
-        .insert(ResourceKind::Memory, 8.0 * 1024.0 * 1024.0);
+    let mut builder = NodeBuilder::scripted("edge")
+        .control_period_secs(1)
+        .resource_capacity(ResourceKind::Cpu, 40_000.0)
+        .resource_capacity(ResourceKind::Memory, 8.0 * 1024.0 * 1024.0)
+        .origin(flash_crowd_origin(hog_every.is_some()));
     if !controls {
-        config.resource.enabled = false;
+        builder = builder.without_resource_controls();
     }
-    let node = NaKikaNode::new(config);
-    let origin: Arc<dyn OriginFetch> = flash_crowd_origin(hog_every.is_some()).clone();
+    let edge = builder.build();
 
     let start = Instant::now();
     let mut completed = 0u64;
@@ -269,14 +267,16 @@ fn run_flash_crowd(controls: bool, requests: usize, hog_every: Option<usize>) ->
             Some(every) if i % every == 0 => "http://hog.example.org/burn",
             _ => "http://www.google.com/",
         };
-        let response =
-            node.handle_request(Request::get(url).with_client_ip(client_ip(i)), now, &origin);
-        if response.status.is_success() {
+        let result = edge.call(
+            Request::get(url).with_client_ip(client_ip(i)),
+            &RequestCtx::at(now),
+        );
+        if matches!(result, Ok(ref r) if r.status.is_success()) {
             completed += 1;
         }
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-6);
-    let stats = node.stats();
+    let stats = edge.node().stats();
     let offered = requests as f64;
     (
         completed as f64 / elapsed,
@@ -480,27 +480,28 @@ pub fn simm_nakika(scenario: &SimmScenario, proxies: usize, warm: bool) -> SimmR
         let location = regions[i % regions.len()];
         let id = key_for(&format!("edge-{i}"));
         overlay.join(id, location);
-        let mut config = NodeConfig::scripted(&format!("edge-{i}"));
-        config.resource.enabled = false;
-        let mut node = NaKikaNode::new(config);
-        node.attach_overlay(overlay.clone(), id);
-        sim_proxies.push(SimProxy {
-            node,
+        let handle = NodeBuilder::scripted(&format!("edge-{i}"))
+            .without_resource_controls()
+            .overlay(overlay.clone(), id)
+            .origin(dyn_origin.clone())
+            .build();
+        sim_proxies.push(SimProxy::new(
+            handle,
             location,
-            client_link: scenario.client_link,
-            origin_link: LinkModel {
+            scenario.client_link,
+            LinkModel {
                 latency_ms: location
                     .latency_ms(&sites::US_EAST)
                     .max(scenario.origin_link.latency_ms),
                 bandwidth_bps: scenario.origin_link.bandwidth_bps,
             },
-            origin_model: ServerModel {
+            ServerModel {
                 // The origin only personalises; rendering happens on the edge.
                 service_ms: scenario.origin_dynamic_ms,
                 think_ms: scenario.think_ms,
             },
-            pipeline_overhead_ms: 2.0 + scenario.origin_render_ms,
-        });
+            2.0 + scenario.origin_render_ms,
+        ));
     }
 
     let accesses = workload.generate(scenario.clients, scenario.accesses_per_client);
@@ -509,7 +510,7 @@ pub fn simm_nakika(scenario: &SimmScenario, proxies: usize, warm: bool) -> SimmR
         for (i, proxy) in sim_proxies.iter().enumerate() {
             for access in accesses.iter().filter(|a| a.is_video()).take(200) {
                 let req = access.to_request(client_ip(1000 + i));
-                proxy.node.handle_request(req, 1, &dyn_origin);
+                proxy.run_request(req, 1, 1);
             }
         }
     }
@@ -526,7 +527,7 @@ pub fn simm_nakika(scenario: &SimmScenario, proxies: usize, warm: bool) -> SimmR
         let proxy = &sim_proxies[i % sim_proxies.len()];
         let req = access.to_request(client_ip(i % scenario.clients.max(1)));
         let now = 100 + (i / 50) as u64;
-        let (_, timing) = proxy.run_request(req, now, &dyn_origin, origin_load_per_request);
+        let (_, timing) = proxy.run_request(req, now, origin_load_per_request);
         match access {
             crate::workload::SimmAccess::Html { .. } => html.add(timing.total_ms),
             crate::workload::SimmAccess::Video { .. } => {
@@ -636,21 +637,22 @@ pub fn specweb(connections: usize, requests: usize, edge_nodes: usize) -> Vec<Sp
         let id = key_for(&format!("spec-edge-{i}"));
         let location = Location::new(sites::US_WEST.x + i as f64 * 0.5, 0.0);
         overlay.join(id, location);
-        let mut config = NodeConfig::scripted(&format!("spec-edge-{i}"));
-        config.resource.enabled = false;
-        let mut node = NaKikaNode::new(config);
-        node.attach_overlay(overlay.clone(), id);
-        proxies.push(SimProxy {
-            node,
+        let handle = NodeBuilder::scripted(&format!("spec-edge-{i}"))
+            .without_resource_controls()
+            .overlay(overlay.clone(), id)
+            .origin(dyn_origin.clone())
+            .build();
+        proxies.push(SimProxy::new(
+            handle,
             location,
-            client_link: local,
-            origin_link: coast_to_coast,
-            origin_model: ServerModel {
+            local,
+            coast_to_coast,
+            ServerModel {
                 service_ms: 8.0,
                 think_ms: 500.0,
             },
-            pipeline_overhead_ms: 3.0,
-        });
+            3.0,
+        ));
     }
     let mut nakika = Summary::new();
     let origin_load = (connections / proxies.len().max(1)).max(1);
@@ -658,7 +660,7 @@ pub fn specweb(connections: usize, requests: usize, edge_nodes: usize) -> Vec<Sp
         let proxy = &proxies[i % proxies.len()];
         let req = access.to_request(client_ip(i % connections.max(1)));
         let now = 100 + (i / 20) as u64;
-        let (_, timing) = proxy.run_request(req, now, &dyn_origin, origin_load);
+        let (_, timing) = proxy.run_request(req, now, origin_load);
         nakika.add(timing.total_ms);
     }
     let nakika_mean = nakika.mean();

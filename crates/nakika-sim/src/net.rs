@@ -5,11 +5,22 @@
 //! origin-server queueing with a closed interactive-system model — enough to
 //! reproduce the *shapes* of the paper's end-to-end results (who wins, by
 //! what factor, and where the crossovers lie) without packet-level detail.
+//!
+//! The simulator is a transport like any other: it owns a [`VirtualClock`],
+//! mints a [`RequestCtx`] per simulated exchange, and drives the node through
+//! the [`HttpService`] stack its [`NodeHandle`] exposes — the same node code
+//! that runs under the real TCP servers.
 
-use nakika_core::node::{NaKikaNode, OriginFetch};
+use nakika_core::service::{Clock, CtxFactory, HttpService, NakikaError, RequestCtx};
+use nakika_core::NodeHandle;
 use nakika_http::{Request, Response};
 use nakika_overlay::Location;
 use std::sync::Arc;
+
+/// The simulator's [`Clock`]: virtual seconds advanced by the experiment
+/// harness, never by wall time.  Same mechanics as the test transport's
+/// manually driven clock, re-exported under its domain name.
+pub use nakika_core::service::ManualClock as VirtualClock;
 
 /// A point-to-point link: propagation latency plus bandwidth.
 #[derive(Debug, Clone, Copy)]
@@ -110,12 +121,13 @@ impl ServerModel {
 }
 
 /// A Na Kika proxy placed at a location, with links to its clients and to the
-/// origin server; wraps the real [`NaKikaNode`] and converts its observable
-/// behaviour (cache hit, peer fetch, origin fetch, script work) into
-/// client-perceived latency.
+/// origin server; wraps a real node's [`HttpService`] stack and converts its
+/// observable behaviour (cache hit, peer fetch, origin fetch, script work)
+/// into client-perceived latency.
 pub struct SimProxy {
-    /// The real Na Kika node.
-    pub node: NaKikaNode,
+    handle: NodeHandle,
+    clock: Arc<VirtualClock>,
+    ctx_factory: CtxFactory,
     /// Where the proxy sits in latency space.
     pub location: Location,
     /// Link from clients (assumed co-located with the proxy's region) to the
@@ -150,6 +162,34 @@ pub struct RequestTiming {
 }
 
 impl SimProxy {
+    /// Places `handle` at `location` behind the given link and server models.
+    pub fn new(
+        handle: NodeHandle,
+        location: Location,
+        client_link: LinkModel,
+        origin_link: LinkModel,
+        origin_model: ServerModel,
+        pipeline_overhead_ms: f64,
+    ) -> SimProxy {
+        let clock = Arc::new(VirtualClock::new(0));
+        let ctx_factory = CtxFactory::new(clock.clone() as Arc<dyn Clock>);
+        SimProxy {
+            handle,
+            clock,
+            ctx_factory,
+            location,
+            client_link,
+            origin_link,
+            origin_model,
+            pipeline_overhead_ms,
+        }
+    }
+
+    /// The wrapped node's handle (statistics, cache, stores).
+    pub fn handle(&self) -> &NodeHandle {
+        &self.handle
+    }
+
     /// Runs one request through the proxy at virtual time `now_secs`,
     /// charging link and server latencies according to what the node actually
     /// did, with `origin_load` concurrent clients loading the origin.
@@ -157,22 +197,31 @@ impl SimProxy {
         &self,
         request: Request,
         now_secs: u64,
-        origin: &Arc<dyn OriginFetch>,
         origin_load: usize,
     ) -> (Response, RequestTiming) {
-        let before = self.node.stats();
-        let response = self.node.handle_request(request.clone(), now_secs, origin);
-        let after = self.node.stats();
+        self.clock.set(now_secs);
+        let ctx: RequestCtx = self.ctx_factory.make(request.client_ip);
+        let request_bytes = request.body.len();
+
+        let before = self.handle.node().stats();
+        let result = self.handle.call(request, &ctx);
+        let after = self.handle.node().stats();
 
         let origin_accesses = after.origin_fetches - before.origin_fetches;
         let peer_fetches = after.peer_hits - before.peer_hits;
         let cache_hits = after.cache_hits - before.cache_hits;
-        let rejected =
-            (after.throttled + after.terminated) > (before.throttled + before.terminated);
+        // The transport decides the status mapping for platform errors.
+        let (response, rejected) = match result {
+            Ok(response) => (response, false),
+            Err(error @ (NakikaError::Throttled { .. } | NakikaError::Terminated { .. })) => {
+                (error.to_response(), true)
+            }
+            Err(error) => (error.to_response(), false),
+        };
 
         let mut total_ms = self
             .client_link
-            .exchange_ms(request.body.len() + 400, response.body.len());
+            .exchange_ms(request_bytes + 400, response.body.len());
         if !rejected {
             total_ms += self.pipeline_overhead_ms;
             // Each origin access pays the wide-area link plus the origin's
@@ -207,7 +256,7 @@ impl SimProxy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nakika_core::node::{origin_from_fn, NodeConfig};
+    use nakika_core::NodeBuilder;
     use nakika_overlay::cluster::sites;
 
     #[test]
@@ -261,22 +310,25 @@ mod tests {
 
     #[test]
     fn sim_proxy_latency_tracks_cache_state() {
-        let proxy = SimProxy {
-            node: NaKikaNode::new(NodeConfig::plain_proxy("edge")),
-            location: sites::US_WEST,
-            client_link: LinkModel::lan(),
-            origin_link: LinkModel::between(&sites::US_WEST, &sites::US_EAST, 8e6),
-            origin_model: ServerModel {
+        let handle = NodeBuilder::plain_proxy("edge")
+            .origin_fn(|_req| {
+                Response::ok("text/html", "x".repeat(2096))
+                    .with_header("Cache-Control", "max-age=300")
+            })
+            .build();
+        let proxy = SimProxy::new(
+            handle,
+            sites::US_WEST,
+            LinkModel::lan(),
+            LinkModel::between(&sites::US_WEST, &sites::US_EAST, 8e6),
+            ServerModel {
                 service_ms: 5.0,
                 think_ms: 1000.0,
             },
-            pipeline_overhead_ms: 0.5,
-        };
-        let origin = origin_from_fn(|_req| {
-            Response::ok("text/html", "x".repeat(2096)).with_header("Cache-Control", "max-age=300")
-        });
-        let (_, cold) = proxy.run_request(Request::get("http://site.example/"), 10, &origin, 1);
-        let (_, warm) = proxy.run_request(Request::get("http://site.example/"), 20, &origin, 1);
+            0.5,
+        );
+        let (_, cold) = proxy.run_request(Request::get("http://site.example/"), 10, 1);
+        let (_, warm) = proxy.run_request(Request::get("http://site.example/"), 20, 1);
         assert!(cold.origin_accesses == 1 && !cold.local_hit);
         assert!(warm.local_hit && warm.origin_accesses == 0);
         assert!(

@@ -6,8 +6,8 @@
 //! cargo run --example blacklist_wall
 //! ```
 
-use nakika_core::node::{origin_from_fn, NaKikaNode, NodeConfig};
-use nakika_core::scripts;
+use nakika_core::service::{HttpService, RequestCtx};
+use nakika_core::{scripts, NodeBuilder};
 use nakika_http::pattern::Cidr;
 use nakika_http::{Request, Response, StatusCode};
 
@@ -22,8 +22,8 @@ fn main() {
         scripts::BLACKLIST_LOADER
     );
 
-    let origin = origin_from_fn(move |request: &Request| {
-        match (request.uri.host.as_str(), request.uri.path.as_str()) {
+    let origin =
+        move |request: &Request| match (request.uri.host.as_str(), request.uri.path.as_str()) {
             ("nakika.net", "/clientwall.js") => {
                 Response::ok("application/javascript", client_wall.as_str())
                     .with_header("Cache-Control", "max-age=300")
@@ -39,12 +39,12 @@ fn main() {
             (_, path) if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
             (_, path) => Response::ok("text/html", format!("content of {path}"))
                 .with_header("Cache-Control", "max-age=60"),
-        }
-    });
+        };
 
-    let mut config = NodeConfig::scripted("policy-edge");
-    config.local_networks = vec![Cidr::parse("128.122.0.0/16").unwrap()]; // NYU
-    let node = NaKikaNode::new(config);
+    let edge = NodeBuilder::scripted("policy-edge")
+        .local_network(Cidr::parse("128.122.0.0/16").unwrap()) // NYU
+        .origin_fn(origin)
+        .build();
 
     let cases = [
         (
@@ -75,7 +75,9 @@ fn main() {
     ];
     for (i, (url, ip, label)) in cases.iter().enumerate() {
         let request = Request::get(url).with_client_ip(ip.parse().unwrap());
-        let response = node.handle_request(request, 10 + i as u64, &origin);
+        let response = edge
+            .call(request, &RequestCtx::at(10 + i as u64))
+            .expect("policy decisions are responses, not platform errors");
         println!("{label:<38} {url:<46} -> {}", response.status);
     }
 
@@ -84,13 +86,13 @@ fn main() {
     let outside = Request::get("http://warez.example.net/movie")
         .with_client_ip("203.0.113.9".parse().unwrap());
     assert_eq!(
-        node.handle_request(outside, 99, &origin).status,
+        edge.call(outside, &RequestCtx::at(99)).unwrap().status,
         StatusCode::FORBIDDEN
     );
     let inside = Request::get("http://bmj.bmjjournals.com/cgi/reprint/123")
         .with_client_ip("128.122.4.2".parse().unwrap());
     assert_eq!(
-        node.handle_request(inside, 100, &origin).status,
+        edge.call(inside, &RequestCtx::at(100)).unwrap().status,
         StatusCode::OK
     );
 }

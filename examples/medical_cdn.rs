@@ -8,20 +8,20 @@
 //! cargo run --example medical_cdn
 //! ```
 
-use nakika_core::node::{NaKikaNode, NodeConfig};
-use nakika_core::scripts;
+use nakika_core::service::service_fn;
+use nakika_core::{scripts, NodeBuilder};
 use nakika_http::{Request, Response, StatusCode};
-use nakika_server::{http_get_via_proxy, HttpServer, ProxyServer};
+use nakika_server::{http_get_via_proxy, HttpServer, ProxyServer, TcpOrigin};
 use std::sync::Arc;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- The medical school's origin server --------------------------------
     // It serves lecture XML and a nakika.js that (a) renders XML to HTML on
     // the edge and (b) schedules the annotation service's stage.
     let origin = HttpServer::start(
         0,
-        Arc::new(|request: &Request| {
-            match request.uri.path.as_str() {
+        service_fn(|request: Request, _ctx| {
+            Ok(match request.uri.path.as_str() {
             "/nakika.js" => Response::ok(
                 "application/javascript",
                 r#"
@@ -49,7 +49,7 @@ fn main() -> std::io::Result<()> {
             )
             .with_header("Cache-Control", "max-age=60"),
             _ => Response::error(StatusCode::NOT_FOUND),
-        }
+        })
         }),
     )?;
 
@@ -57,19 +57,22 @@ fn main() -> std::io::Result<()> {
     // Its stage injects a post-it-notes widget into the rendered HTML.
     let annotations = HttpServer::start(
         0,
-        Arc::new(|request: &Request| {
-            if request.uri.path == "/annotations.js" {
+        service_fn(|request: Request, _ctx| {
+            Ok(if request.uri.path == "/annotations.js" {
                 Response::ok("application/javascript", scripts::ANNOTATIONS)
                     .with_header("Cache-Control", "max-age=300")
             } else {
                 Response::error(StatusCode::NOT_FOUND)
-            }
+            })
         }),
     )?;
 
     // --- The Na Kika edge node ----------------------------------------------
-    let node = Arc::new(NaKikaNode::new(NodeConfig::scripted("medical-edge")));
-    let proxy = ProxyServer::start(0, node.clone())?;
+    // Its origin fetch path goes over outbound TCP with keep-alive pooling.
+    let edge = NodeBuilder::scripted("medical-edge")
+        .origin(Arc::new(TcpOrigin::new()))
+        .build();
+    let proxy = ProxyServer::start(0, edge.service())?;
 
     // The annotation stage URL in nakika.js points at 127.0.0.1 without a
     // port; rewrite requests by asking for the real annotation server URL.
@@ -95,7 +98,7 @@ fn main() -> std::io::Result<()> {
     // Second access is served from the edge cache.
     let again = http_get_via_proxy(proxy.addr(), &lecture_url)?;
     assert_eq!(again.status, StatusCode::OK);
-    let stats = node.stats();
+    let stats = edge.node().stats();
     println!(
         "node stats: {} requests, {} cache hits, {} origin fetches, {} script errors",
         stats.requests, stats.cache_hits, stats.origin_fetches, stats.script_errors

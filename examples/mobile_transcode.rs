@@ -6,28 +6,28 @@
 //! cargo run --example mobile_transcode
 //! ```
 
-use nakika_core::node::{origin_from_fn, NaKikaNode, NodeConfig};
-use nakika_core::scripts;
+use nakika_core::service::{HttpService, RequestCtx};
 use nakika_core::vocab::make_image;
+use nakika_core::{scripts, NodeBuilder};
 use nakika_http::{Request, Response, StatusCode};
 
 fn main() {
     // The photo site's origin: large PNG "photos" plus a nakika.js carrying
     // the transcoding extension.
-    let origin = origin_from_fn(|request: &Request| match request.uri.path.as_str() {
-        "/nakika.js" => Response::ok("application/javascript", scripts::IMAGE_TRANSCODER)
-            .with_header("Cache-Control", "max-age=300"),
-        path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
-        _ => Response::ok("image/png", make_image("png", 1600, 1200))
-            .with_header("Cache-Control", "max-age=600"),
-    });
-
-    let node = NaKikaNode::new(NodeConfig::scripted("photo-edge"));
+    let edge = NodeBuilder::scripted("photo-edge")
+        .origin_fn(|request: &Request| match request.uri.path.as_str() {
+            "/nakika.js" => Response::ok("application/javascript", scripts::IMAGE_TRANSCODER)
+                .with_header("Cache-Control", "max-age=300"),
+            path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
+            _ => Response::ok("image/png", make_image("png", 1600, 1200))
+                .with_header("Cache-Control", "max-age=600"),
+        })
+        .build();
 
     // A desktop browser gets the original image untouched.
     let desktop = Request::get("http://photos.example.org/vacation.png")
         .with_header("User-Agent", "Mozilla/5.0 (X11; Linux x86_64)");
-    let full = node.handle_request(desktop, 10, &origin);
+    let full = edge.call(desktop, &RequestCtx::at(10)).unwrap();
     println!(
         "desktop  -> {} {} ({} bytes)",
         full.status,
@@ -39,7 +39,7 @@ fn main() {
     // A Nokia phone gets a scaled-down JPEG.
     let phone = Request::get("http://photos.example.org/vacation.png")
         .with_header("User-Agent", "Nokia6600/1.0 (Series60)");
-    let small = node.handle_request(phone.clone(), 20, &origin);
+    let small = edge.call(phone.clone(), &RequestCtx::at(20)).unwrap();
     println!(
         "phone    -> {} {} ({} bytes)",
         small.status,
@@ -54,7 +54,7 @@ fn main() {
 
     // The transformed content was cached by the script, so a second phone
     // request does not re-transcode.
-    let again = node.handle_request(phone, 30, &origin);
+    let again = edge.call(phone, &RequestCtx::at(30)).unwrap();
     assert_eq!(again.content_type(), "image/jpeg");
     println!(
         "cached   -> {} {} ({} bytes)",
@@ -62,5 +62,5 @@ fn main() {
         again.content_type(),
         again.body.len()
     );
-    println!("\nstats: {:?}", node.stats());
+    println!("\nstats: {:?}", edge.node().stats());
 }

@@ -2,12 +2,16 @@
 //!
 //! A content producer publishes a `nakika.js` on its site; the edge node
 //! fetches it, lets its policies process every exchange, and caches results.
+//! The node is built with [`NodeBuilder`] and driven through the
+//! [`HttpService`] boundary, exactly like the TCP servers and the simulator
+//! drive it.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use nakika_core::node::{origin_from_fn, NaKikaNode, NodeConfig};
+use nakika_core::service::{HttpService, RequestCtx};
+use nakika_core::NodeBuilder;
 use nakika_http::{Request, Response, StatusCode};
 
 fn main() {
@@ -23,19 +27,20 @@ fn main() {
         p.register();
     "#
     .to_string();
-    let origin = origin_from_fn(move |request: &Request| match request.uri.path.as_str() {
-        "/nakika.js" => Response::ok("application/javascript", site_script.as_str())
-            .with_header("Cache-Control", "max-age=300"),
-        path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
-        path => Response::ok(
-            "text/html",
-            format!("<html><body>content of {path}</body></html>"),
-        )
-        .with_header("Cache-Control", "max-age=120"),
-    });
 
-    // 2. The edge node.
-    let node = NaKikaNode::new(NodeConfig::scripted("quickstart-edge"));
+    // 2. The edge node: a scripted node whose origin fetch path is a closure.
+    let edge = NodeBuilder::scripted("quickstart-edge")
+        .origin_fn(move |request: &Request| match request.uri.path.as_str() {
+            "/nakika.js" => Response::ok("application/javascript", site_script.as_str())
+                .with_header("Cache-Control", "max-age=300"),
+            path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
+            path => Response::ok(
+                "text/html",
+                format!("<html><body>content of {path}</body></html>"),
+            )
+            .with_header("Cache-Control", "max-age=120"),
+        })
+        .build();
 
     // 3. Clients access the site through the edge (in a deployment they are
     //    redirected by appending `.nakika.net` to the hostname).
@@ -44,7 +49,9 @@ fn main() {
         .enumerate()
     {
         let request = Request::get(&format!("http://example.org.nakika.net{path}"));
-        let response = node.handle_request(request, 100 + t as u64, &origin);
+        let response = edge
+            .call(request, &RequestCtx::at(100 + t as u64))
+            .expect("in-memory exchange succeeds");
         println!(
             "GET {path:<14} -> {} ({} bytes), X-Processed-By: {}",
             response.status,
@@ -53,7 +60,7 @@ fn main() {
         );
     }
 
-    let stats = node.stats();
+    let stats = edge.node().stats();
     println!(
         "\nnode stats: {} requests, {} cache hits, {} origin fetches",
         stats.requests, stats.cache_hits, stats.origin_fetches

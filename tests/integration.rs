@@ -2,9 +2,11 @@
 //! (overlay + several nodes + hard state + integrity) exercised through the
 //! public APIs, plus the paper's three §5.4 extensions composed end to end.
 
-use nakika_core::node::{origin_from_fn, NaKikaNode, NodeConfig, OriginFetch};
+use nakika_core::node::{origin_from_fn, OriginFetch};
 use nakika_core::scripts;
+use nakika_core::service::{HttpService, RequestCtx};
 use nakika_core::vocab::make_image;
+use nakika_core::NodeBuilder;
 use nakika_http::pattern::Cidr;
 use nakika_http::{Request, Response, StatusCode};
 use nakika_integrity::{sign_response, verify_response, SigningKey};
@@ -36,23 +38,26 @@ fn multi_node_deployment_shares_cached_content_through_the_overlay() {
     for i in 0..4 {
         let id = key_for(&format!("edge-{i}"));
         overlay.join(id, Location::new(i as f64, 0.0));
-        let mut node = NaKikaNode::new(NodeConfig::proxy_with_dht(&format!("edge-{i}")));
-        node.attach_overlay(overlay.clone(), id);
-        nodes.push(node);
+        let edge = NodeBuilder::proxy_with_dht(&format!("edge-{i}"))
+            .overlay(overlay.clone(), id)
+            .origin(origin.clone())
+            .build();
+        nodes.push(edge);
     }
     // A flash crowd for one URL hits every node.
     for round in 0..3u64 {
-        for node in &nodes {
-            let resp = node.handle_request(
-                Request::get("http://hot.example.org/slashdotted.html"),
-                10 + round,
-                &origin,
-            );
+        for edge in &nodes {
+            let resp = edge
+                .call(
+                    Request::get("http://hot.example.org/slashdotted.html"),
+                    &RequestCtx::at(10 + round),
+                )
+                .unwrap();
             assert_eq!(resp.status, StatusCode::OK);
         }
     }
-    let total_origin: u64 = nodes.iter().map(|n| n.stats().origin_fetches).sum();
-    let total_peer: u64 = nodes.iter().map(|n| n.stats().peer_hits).sum();
+    let total_origin: u64 = nodes.iter().map(|n| n.node().stats().origin_fetches).sum();
+    let total_peer: u64 = nodes.iter().map(|n| n.node().stats().peer_hits).sum();
     assert_eq!(
         total_origin, 1,
         "one cached copy anywhere avoids further origin accesses (got {total_origin})"
@@ -119,12 +124,13 @@ fn annotation_service_interposes_on_the_simms_as_in_the_paper() {
             .with_header("Cache-Control", "max-age=30"),
         }
     });
-    let node = NaKikaNode::new(NodeConfig::scripted("edge"));
-    let resp = node.handle_request(
-        Request::get("http://notes.example.org/module1/lecture1"),
-        10,
-        &origin,
-    );
+    let edge = NodeBuilder::scripted("edge").origin(origin).build();
+    let resp = edge
+        .call(
+            Request::get("http://notes.example.org/module1/lecture1"),
+            &RequestCtx::at(10),
+        )
+        .unwrap();
     let body = resp.body.to_text();
     assert!(
         body.contains("Hernia repair"),
@@ -138,31 +144,32 @@ fn annotation_service_interposes_on_the_simms_as_in_the_paper() {
 
 #[test]
 fn security_policies_and_resource_controls_protect_a_node() {
-    let mut config = NodeConfig::scripted("edge");
-    config.local_networks = vec![Cidr::parse("10.0.0.0/8").unwrap()];
-    config.control_period_secs = 1;
-    let node = NaKikaNode::new(config);
     let wall: &'static str = scripts::DIGITAL_LIBRARY_POLICY;
-    let origin = origin_from_fn(move |request: &Request| match request.uri.path.as_str() {
-        "/clientwall.js" => {
-            Response::ok("application/javascript", wall).with_header("Cache-Control", "max-age=300")
-        }
-        path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
-        _ => Response::ok("text/html", "article").with_header("Cache-Control", "max-age=60"),
-    });
-    let blocked = node.handle_request(
-        Request::get("http://content.nejm.org/cgi/reprint/x")
-            .with_client_ip("198.51.100.7".parse().unwrap()),
-        10,
-        &origin,
-    );
+    let edge = NodeBuilder::scripted("edge")
+        .local_network(Cidr::parse("10.0.0.0/8").unwrap())
+        .control_period_secs(1)
+        .origin_fn(move |request: &Request| match request.uri.path.as_str() {
+            "/clientwall.js" => Response::ok("application/javascript", wall)
+                .with_header("Cache-Control", "max-age=300"),
+            path if path.ends_with(".js") => Response::error(StatusCode::NOT_FOUND),
+            _ => Response::ok("text/html", "article").with_header("Cache-Control", "max-age=60"),
+        })
+        .build();
+    let blocked = edge
+        .call(
+            Request::get("http://content.nejm.org/cgi/reprint/x")
+                .with_client_ip("198.51.100.7".parse().unwrap()),
+            &RequestCtx::at(10),
+        )
+        .unwrap();
     assert_eq!(blocked.status, StatusCode::UNAUTHORIZED);
-    let allowed = node.handle_request(
-        Request::get("http://content.nejm.org/cgi/reprint/x")
-            .with_client_ip("10.3.2.1".parse().unwrap()),
-        11,
-        &origin,
-    );
+    let allowed = edge
+        .call(
+            Request::get("http://content.nejm.org/cgi/reprint/x")
+                .with_client_ip("10.3.2.1".parse().unwrap()),
+            &RequestCtx::at(11),
+        )
+        .unwrap();
     assert_eq!(allowed.status, StatusCode::OK);
 }
 
@@ -250,20 +257,22 @@ fn na_kika_pages_run_with_hard_state_on_the_edge() {
         .with_header("Cache-Control", "no-store"),
         _ => Response::error(StatusCode::NOT_FOUND),
     });
-    let node = NaKikaNode::new(NodeConfig::scripted("edge"));
+    let edge = NodeBuilder::scripted("edge").origin(origin).build();
     for name in ["ada", "grace"] {
-        let resp = node.handle_request(
-            Request::get(&format!("http://guestbook.example.org/sign?name={name}")),
-            10,
-            &origin,
-        );
+        let resp = edge
+            .call(
+                Request::get(&format!("http://guestbook.example.org/sign?name={name}")),
+                &RequestCtx::at(10),
+            )
+            .unwrap();
         assert_eq!(resp.status, StatusCode::OK);
     }
-    let view = node.handle_request(
-        Request::get("http://guestbook.example.org/view.nkp"),
-        20,
-        &origin,
-    );
+    let view = edge
+        .call(
+            Request::get("http://guestbook.example.org/view.nkp"),
+            &RequestCtx::at(20),
+        )
+        .unwrap();
     let body = view.body.to_text();
     assert!(
         body.contains("<li>entry:ada</li>") && body.contains("<li>entry:grace</li>"),

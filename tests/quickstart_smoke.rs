@@ -4,9 +4,10 @@
 //! through the proxy — so `cargo test` exercises the same wiring as
 //! `cargo run --example quickstart` plus the real-socket layer around it.
 
-use nakika_core::node::{NaKikaNode, NodeConfig};
+use nakika_core::service::service_fn;
+use nakika_core::NodeBuilder;
 use nakika_http::{Request, Response, StatusCode};
-use nakika_server::{http_get_via_proxy, HttpServer, ProxyServer};
+use nakika_server::{http_get_via_proxy, HttpServer, ProxyServer, TcpOrigin};
 use std::sync::Arc;
 
 fn origin_handler(request: &Request) -> Response {
@@ -34,9 +35,15 @@ fn origin_handler(request: &Request) -> Response {
 
 #[test]
 fn quickstart_flow_over_localhost_tcp() {
-    let origin = HttpServer::start(0, Arc::new(origin_handler)).expect("origin server starts");
-    let node = Arc::new(NaKikaNode::new(NodeConfig::scripted("smoke-edge")));
-    let proxy = ProxyServer::start(0, node.clone()).expect("proxy server starts");
+    let origin = HttpServer::start(
+        0,
+        service_fn(|request: Request, _ctx| Ok(origin_handler(&request))),
+    )
+    .expect("origin server starts");
+    let edge = NodeBuilder::scripted("smoke-edge")
+        .origin(Arc::new(TcpOrigin::new()))
+        .build();
+    let proxy = ProxyServer::start(0, edge.service()).expect("proxy server starts");
 
     let page_url = format!("{}/welcome.html", origin.base_url());
     let first = http_get_via_proxy(proxy.addr(), &page_url).expect("first fetch succeeds");
@@ -61,7 +68,7 @@ fn quickstart_flow_over_localhost_tcp() {
     let other = http_get_via_proxy(proxy.addr(), &other_url).expect("third fetch succeeds");
     assert_eq!(other.status, StatusCode::OK);
 
-    let stats = node.stats();
+    let stats = edge.node().stats();
     assert_eq!(stats.requests, 3, "proxy saw all three client requests");
     assert!(
         stats.cache_hits >= 1,
