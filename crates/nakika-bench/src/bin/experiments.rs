@@ -8,7 +8,8 @@
 //! trajectory of the transport stack is tracked PR over PR.
 
 use nakika_bench::{
-    bench_proxy_path, format_resource_controls, format_simm, format_spec, format_table2,
+    bench_proxy_suite, format_proxy_suite, format_resource_controls, format_simm, format_spec,
+    format_table2,
 };
 use nakika_sim::experiments;
 
@@ -87,14 +88,23 @@ fn main() {
     let rows = experiments::specweb(if quick { 40 } else { 160 }, spec_requests, 5);
     println!("{}", format_spec(&rows));
 
-    println!("== end-to-end proxy throughput (real TCP, warm cache) ==");
-    match bench_proxy_path(if quick { 200 } else { 2_000 }) {
-        Ok(result) => {
-            println!(
-                "{} requests in {:.3} s -> {:.0} requests/sec",
-                result.requests, result.elapsed_secs, result.requests_per_sec
-            );
-            match result.write_json("BENCH_proxy.json") {
+    println!("== end-to-end proxy throughput (real TCP), per scenario and transport ==");
+    println!("(cold cache / warm keep-alive / warm close / 64-way concurrent keep-alive,");
+    println!(" threaded vs reactor transport)\n");
+    match bench_proxy_suite(if quick { 240 } else { 2_048 }, 64) {
+        Ok(suite) => {
+            println!("{}", format_proxy_suite(&suite));
+            if let (Some(threaded), Some(reactor)) = (
+                suite.scenario("warm-concurrent", "threaded"),
+                suite.scenario("warm-concurrent", "reactor"),
+            ) {
+                println!(
+                    "reactor vs threaded at {} keep-alive clients: {:.2}x",
+                    reactor.concurrency,
+                    reactor.requests_per_sec / threaded.requests_per_sec.max(1e-9)
+                );
+            }
+            match suite.write_json("BENCH_proxy.json") {
                 Ok(()) => println!("recorded in BENCH_proxy.json"),
                 Err(e) => eprintln!("could not write BENCH_proxy.json: {e}"),
             }

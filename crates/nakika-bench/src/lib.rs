@@ -10,44 +10,105 @@
 use nakika_core::service::{service_fn, NakikaError};
 use nakika_core::NodeBuilder;
 use nakika_http::{Request, Response};
-use nakika_server::{http_get_via_proxy, HttpServer, ProxyServer, TcpOrigin};
+use nakika_server::{
+    http_get_via_proxy, HttpServer, ProxyClient, ProxyServer, TcpOrigin, Transport,
+};
 use nakika_sim::experiments::{MicroRow, ResourceControlRow, SimmResult, SpecResult};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Result of the end-to-end proxy throughput measurement.
-#[derive(Debug, Clone, Copy)]
-pub struct ProxyBenchResult {
-    /// Requests issued through the proxy.
+/// One measured proxy-path scenario: a named workload against one transport.
+#[derive(Debug, Clone)]
+pub struct ProxyBenchScenario {
+    /// Workload name (`cold-cache`, `warm-keepalive`, `warm-close`,
+    /// `warm-concurrent`).
+    pub name: String,
+    /// Transport under test (`threaded` or `reactor`).
+    pub transport: String,
+    /// Total requests issued through the proxy.
     pub requests: usize,
+    /// Simultaneous keep-alive client connections.
+    pub concurrency: usize,
     /// Wall-clock time for the measured run, in seconds.
     pub elapsed_secs: f64,
     /// Throughput in requests per second.
     pub requests_per_sec: f64,
 }
 
-impl ProxyBenchResult {
-    /// Serialises the result as a small JSON document.
+/// The full multi-scenario result set recorded in `BENCH_proxy.json`.
+#[derive(Debug, Clone, Default)]
+pub struct ProxyBenchSuite {
+    /// All measured scenarios, in run order.
+    pub scenarios: Vec<ProxyBenchScenario>,
+}
+
+impl ProxyBenchSuite {
+    /// Serialises the suite as a small JSON document (no serde in this
+    /// offline environment — the format is flat enough to emit by hand).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\n  \"benchmark\": \"proxy_path_rps\",\n  \"requests\": {},\n  \
-             \"elapsed_secs\": {:.6},\n  \"requests_per_sec\": {:.2}\n}}\n",
-            self.requests, self.elapsed_secs, self.requests_per_sec
-        )
+        let mut out =
+            String::from("{\n  \"benchmark\": \"proxy_path_scenarios\",\n  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"transport\": \"{}\", \"requests\": {}, \
+                 \"concurrency\": {}, \"elapsed_secs\": {:.6}, \"requests_per_sec\": {:.2}}}{}\n",
+                s.name,
+                s.transport,
+                s.requests,
+                s.concurrency,
+                s.elapsed_secs,
+                s.requests_per_sec,
+                if i + 1 < self.scenarios.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
     /// Writes the JSON document to `path`.
     pub fn write_json(&self, path: &str) -> std::io::Result<()> {
         std::fs::write(path, self.to_json())
     }
+
+    /// The scenario named `name` on `transport`, if measured.
+    pub fn scenario(&self, name: &str, transport: &str) -> Option<&ProxyBenchScenario> {
+        self.scenarios
+            .iter()
+            .find(|s| s.name == name && s.transport == transport)
+    }
 }
 
-/// Measures requests/sec through the real proxy path: a TCP origin server, a
-/// plain-proxy node fetching over [`TcpOrigin`] with keep-alive pooling, and
-/// a [`ProxyServer`] in front, driven by a loopback HTTP client.  The cache
-/// is warmed by the first request, so the measured path is parse → service
-/// stack → cache hit → serialize over real sockets.
-pub fn bench_proxy_path(requests: usize) -> Result<ProxyBenchResult, NakikaError> {
+/// Formats the suite as an aligned text table for the job log, one line per
+/// scenario, so CI shows the per-scenario trajectory without parsing JSON.
+pub fn format_proxy_suite(suite: &ProxyBenchSuite) -> String {
+    let mut out =
+        String::from("Scenario          Transport   Requests  Conns   Elapsed (s)  Requests/sec\n");
+    for s in &suite.scenarios {
+        out.push_str(&format!(
+            "{:<17} {:<11} {:>8} {:>6} {:>12.3} {:>13.0}\n",
+            s.name, s.transport, s.requests, s.concurrency, s.elapsed_secs, s.requests_per_sec
+        ));
+    }
+    out
+}
+
+fn internal(context: &str) -> impl Fn(std::io::Error) -> NakikaError + '_ {
+    move |e| NakikaError::Internal(format!("{context}: {e}"))
+}
+
+/// Stands up one origin + plain-proxy edge + front-end on `transport` and
+/// runs `work` against it; returns the measured scenario.
+fn run_scenario(
+    name: &str,
+    transport: Transport,
+    requests: usize,
+    concurrency: usize,
+    work: impl FnOnce(&ProxyServer, &str) -> Result<(), NakikaError>,
+) -> Result<ProxyBenchScenario, NakikaError> {
     let origin = HttpServer::start(
         0,
         service_fn(|_req: Request, _ctx| {
@@ -55,26 +116,132 @@ pub fn bench_proxy_path(requests: usize) -> Result<ProxyBenchResult, NakikaError
                 .with_header("Cache-Control", "max-age=600"))
         }),
     )
-    .map_err(|e| NakikaError::Internal(format!("origin server failed to start: {e}")))?;
+    .map_err(internal("origin server failed to start"))?;
     let edge = NodeBuilder::plain_proxy("bench-proxy")
         .origin(Arc::new(TcpOrigin::new()))
         .build();
-    let proxy = ProxyServer::start(0, edge.service())
-        .map_err(|e| NakikaError::Internal(format!("proxy failed to start: {e}")))?;
-
-    let url = format!("{}/page.html", origin.base_url());
-    http_get_via_proxy(proxy.addr(), &url)?; // warm the cache
-    let requests = requests.max(1);
+    let proxy = ProxyServer::start_with(0, edge.service(), transport)
+        .map_err(internal("proxy failed to start"))?;
     let start = Instant::now();
-    for _ in 0..requests {
-        http_get_via_proxy(proxy.addr(), &url)?;
-    }
+    work(&proxy, &origin.base_url())?;
     let elapsed_secs = start.elapsed().as_secs_f64().max(1e-9);
-    Ok(ProxyBenchResult {
+    Ok(ProxyBenchScenario {
+        name: name.to_string(),
+        transport: match transport {
+            Transport::Threaded => "threaded".to_string(),
+            Transport::Reactor => "reactor".to_string(),
+        },
         requests,
+        concurrency,
         elapsed_secs,
         requests_per_sec: requests as f64 / elapsed_secs,
     })
+}
+
+/// Measures the proxy-path scenario suite on both transports:
+///
+/// - `cold-cache` — every request targets a distinct URL, so each one runs
+///   the full parse → service → origin-fetch → store path.
+/// - `warm-keepalive` — one hot URL over a single keep-alive connection:
+///   the pure cache-hit fast path.
+/// - `warm-close` — the same hot URL but a fresh connection with
+///   `Connection: close` per request, isolating connection-setup cost.
+/// - `warm-concurrent` — `concurrency` simultaneous keep-alive clients
+///   hammering the hot URL, the scenario where transport architecture and
+///   cache sharding actually matter.
+///
+/// `requests` scales every scenario (the slower workloads run a fraction of
+/// it); `concurrency` is the client count for `warm-concurrent`.
+pub fn bench_proxy_suite(
+    requests: usize,
+    concurrency: usize,
+) -> Result<ProxyBenchSuite, NakikaError> {
+    let requests = requests.max(16);
+    let concurrency = concurrency.max(1);
+    let mut suite = ProxyBenchSuite::default();
+    for transport in [Transport::Threaded, Transport::Reactor] {
+        let cold = requests / 4;
+        suite.scenarios.push(run_scenario(
+            "cold-cache",
+            transport,
+            cold,
+            1,
+            |proxy, base| {
+                let mut client = ProxyClient::connect(proxy.addr())?;
+                for i in 0..cold {
+                    client.get(&format!("{base}/cold/{i}.html"))?;
+                }
+                Ok(())
+            },
+        )?);
+
+        suite.scenarios.push(run_scenario(
+            "warm-keepalive",
+            transport,
+            requests,
+            1,
+            |proxy, base| {
+                let url = format!("{base}/hot.html");
+                let mut client = ProxyClient::connect(proxy.addr())?;
+                // The first request warms the cache; it is counted, and at
+                // these request counts its contribution is noise.
+                client.get(&url)?;
+                for _ in 1..requests {
+                    client.get(&url)?;
+                }
+                Ok(())
+            },
+        )?);
+
+        let close_requests = requests / 2;
+        suite.scenarios.push(run_scenario(
+            "warm-close",
+            transport,
+            close_requests,
+            1,
+            |proxy, base| {
+                let url = format!("{base}/hot.html");
+                for _ in 0..close_requests {
+                    http_get_via_proxy(proxy.addr(), &url)?;
+                }
+                Ok(())
+            },
+        )?);
+
+        let per_client = (requests / concurrency).max(8);
+        let total = per_client * concurrency;
+        suite.scenarios.push(run_scenario(
+            "warm-concurrent",
+            transport,
+            total,
+            concurrency,
+            |proxy, base| {
+                let url = format!("{base}/hot.html");
+                // Warm the cache before the clients pile in.
+                http_get_via_proxy(proxy.addr(), &url)?;
+                let workers: Vec<_> = (0..concurrency)
+                    .map(|_| {
+                        let url = url.clone();
+                        let addr = proxy.addr();
+                        std::thread::spawn(move || -> Result<(), NakikaError> {
+                            let mut client = ProxyClient::connect(addr)?;
+                            for _ in 0..per_client {
+                                client.get(&url)?;
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                for worker in workers {
+                    worker
+                        .join()
+                        .map_err(|_| NakikaError::Internal("bench client panicked".into()))??;
+                }
+                Ok(())
+            },
+        )?);
+    }
+    Ok(suite)
 }
 
 /// Formats Table 2 (micro-benchmark latency) as an aligned text table.

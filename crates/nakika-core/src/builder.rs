@@ -116,6 +116,7 @@ impl NodeBuilder {
                 client_wall_url: CLIENT_WALL_URL.to_string(),
                 server_wall_url: SERVER_WALL_URL.to_string(),
                 cache_capacity_bytes: 256 * 1024 * 1024,
+                cache_shards: 0,
                 heuristic_ttl: Duration::from_secs(60),
                 script_ttl: Duration::from_secs(300),
                 local_networks: Vec::new(),
@@ -147,6 +148,15 @@ impl NodeBuilder {
     /// Proxy-cache capacity in bytes.
     pub fn cache_capacity_bytes(mut self, bytes: usize) -> NodeBuilder {
         self.config.cache_capacity_bytes = bytes;
+        self
+    }
+
+    /// Number of proxy-cache shards.  The default (`0`) derives the count
+    /// from the capacity; pin it when a deployment knows its concurrency —
+    /// more shards cut lock contention at the cost of per-shard (rather
+    /// than global) byte budgets.
+    pub fn cache_shards(mut self, shards: usize) -> NodeBuilder {
+        self.config.cache_shards = shards;
         self
     }
 

@@ -1,5 +1,5 @@
 //! The proxy cache: expiration-based caching of original and processed
-//! content (paper §3.1, §4).
+//! content (paper §3.1, §4), partitioned into independently locked shards.
 //!
 //! Na Kika deliberately builds on the web's expiration-based consistency
 //! model for everything it caches — static resources, dynamically created
@@ -7,14 +7,56 @@
 //! updates propagate: publish the new script and let cached copies expire).
 //! The cache is shared by all sites on a node and bounded in bytes, evicting
 //! the entries that expire soonest first and then the least recently used.
+//!
+//! # Sharding
+//!
+//! A single-lock cache serializes every transport thread (or reactor) that
+//! touches it, so under real concurrency the cache becomes the node's
+//! bottleneck even when every lookup is a hit.  [`ProxyCache`] therefore
+//! partitions its entries into `N` shards by a hash of the key; each shard
+//! has its own lock, its own byte budget (`capacity / N`) and its own
+//! statistics, so two requests for different resources almost never contend.
+//! Eviction is shard-local on the hot path, which keeps lock hold times
+//! short.  Admission still accepts any object up to the *total* capacity —
+//! sharding must not shrink the largest cacheable object to `capacity / N` —
+//! and an entry bigger than its shard's budget evicts the rest of the shard
+//! and lives there alone.  The global budget stays a hard invariant: a
+//! relaxed total-bytes counter notices when oversize entries push the
+//! aggregate past `capacity`, and a slow-path sweep then evicts globally,
+//! taking one shard lock at a time (never two, so it cannot deadlock with
+//! concurrent inserts).
+//!
+//! The shard count is chosen from the byte capacity so that small caches
+//! (tests, constrained deployments) keep exact single-shard semantics, and
+//! can be pinned explicitly with [`ProxyCache::with_shards`] or
+//! [`NodeBuilder::cache_shards`](crate::builder::NodeBuilder::cache_shards).
+//!
+//! ```
+//! use nakika_core::cache::ProxyCache;
+//! use nakika_http::{Method, Response};
+//! use std::time::Duration;
+//!
+//! let cache = ProxyCache::with_shards(1 << 20, Duration::from_secs(60), 8);
+//! assert_eq!(cache.shard_count(), 8);
+//! let page = Response::ok("text/html", "hi").with_header("Cache-Control", "max-age=60");
+//! cache.put("http://a.example/", &Method::Get, &page, 100);
+//! assert!(cache.get("http://a.example/", 110).is_some());
+//! // Aggregated over every shard:
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
 
 use nakika_http::cache_control::{freshness, Freshness};
 use nakika_http::{Method, Response};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Cache statistics used throughout the evaluation harness.
+///
+/// On a sharded cache these are aggregated across every shard by
+/// [`ProxyCache::stats`]; [`ProxyCache::shard_stats`] exposes the per-shard
+/// breakdown.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that returned a fresh entry.
@@ -37,6 +79,16 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Component-wise sum — how shard statistics aggregate.
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            inserts: self.inserts + other.inserts,
+            evictions: self.evictions + other.evictions,
+        }
+    }
 }
 
 #[derive(Clone)]
@@ -47,27 +99,65 @@ struct Entry {
     size: usize,
 }
 
-/// A bounded, expiration-based response cache.
+/// One shard: entries, byte accounting and statistics behind a single lock,
+/// so a shard operation takes exactly one lock acquisition.
+#[derive(Default)]
+struct ShardState {
+    entries: HashMap<String, Entry>,
+    used_bytes: usize,
+    stats: CacheStats,
+}
+
+/// A bounded, expiration-based response cache, sharded by key hash.
 pub struct ProxyCache {
-    entries: Mutex<HashMap<String, Entry>>,
-    stats: Mutex<CacheStats>,
+    shards: Vec<Mutex<ShardState>>,
+    /// Total byte capacity — also the admission limit for a single object,
+    /// exactly as in the unsharded design.
     capacity_bytes: usize,
-    used_bytes: Mutex<usize>,
+    /// Byte budget of each shard (total capacity divided by shard count).
+    shard_capacity: usize,
+    /// Running total of bytes across all shards, maintained alongside the
+    /// per-shard accounting; lets `put` notice a global overshoot without
+    /// touching the other shards' locks.
+    used_total: AtomicUsize,
     /// Heuristic freshness applied when the origin gives no expiration
     /// information (the deployment knob; the evaluation's cold/warm contrast
     /// only needs *some* positive lifetime).
     heuristic: Duration,
 }
 
+/// Smallest byte budget worth giving a shard of its own: below this,
+/// splitting hurts (entries stop fitting) more than lock contention does.
+const MIN_SHARD_BYTES: usize = 1 << 20;
+
+/// Default upper bound on the automatically chosen shard count.
+const DEFAULT_MAX_SHARDS: usize = 16;
+
 impl ProxyCache {
     /// Creates a cache bounded to `capacity_bytes`, with the given heuristic
     /// freshness lifetime for responses lacking explicit expiration metadata.
+    ///
+    /// The shard count is derived from the capacity: one shard per
+    /// [`MIN_SHARD_BYTES`](self) of budget, capped at 16 — so tests with
+    /// kilobyte-sized caches get exact single-shard eviction behavior while
+    /// production-sized caches spread contention.
     pub fn new(capacity_bytes: usize, heuristic: Duration) -> ProxyCache {
+        let shards = (capacity_bytes / MIN_SHARD_BYTES).clamp(1, DEFAULT_MAX_SHARDS);
+        ProxyCache::with_shards(capacity_bytes, heuristic, shards)
+    }
+
+    /// Creates a cache with an explicit shard count (clamped to at least 1).
+    pub fn with_shards(
+        capacity_bytes: usize,
+        heuristic: Duration,
+        shard_count: usize,
+    ) -> ProxyCache {
+        let shard_count = shard_count.max(1);
         ProxyCache {
-            entries: Mutex::new(HashMap::new()),
-            stats: Mutex::new(CacheStats::default()),
+            shards: (0..shard_count).map(|_| Mutex::default()).collect(),
             capacity_bytes,
-            used_bytes: Mutex::new(0),
+            shard_capacity: (capacity_bytes / shard_count).max(1),
+            used_total: AtomicUsize::new(0),
             heuristic,
         }
     }
@@ -78,22 +168,36 @@ impl ProxyCache {
         ProxyCache::new(256 * 1024 * 1024, Duration::from_secs(60))
     }
 
+    /// Number of shards the key space is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard responsible for `key` (FNV-1a over the key bytes — cheap,
+    /// deterministic, and good enough dispersion for URL-shaped keys).
+    fn shard(&self, key: &str) -> &Mutex<ShardState> {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in key.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
     /// Looks up a fresh response for `key` at time `now_secs`.
     pub fn get(&self, key: &str, now_secs: u64) -> Option<Response> {
-        let mut entries = self.entries.lock();
-        let result = match entries.get_mut(key) {
+        let mut shard = self.shard(key).lock();
+        let result = match shard.entries.get_mut(key) {
             Some(entry) if entry.fresh_until > now_secs => {
                 entry.last_used = now_secs;
                 Some(entry.response.clone())
             }
             _ => None,
         };
-        drop(entries);
-        let mut stats = self.stats.lock();
         if result.is_some() {
-            stats.hits += 1;
+            shard.stats.hits += 1;
         } else {
-            stats.misses += 1;
+            shard.stats.misses += 1;
         }
         result
     }
@@ -105,6 +209,12 @@ impl ProxyCache {
             Freshness::Fresh(lifetime) => lifetime,
             Freshness::Revalidate | Freshness::Uncacheable => return false,
         };
+        // Admission is judged against the *total* capacity, as in the
+        // unsharded design — sharding must not silently shrink the largest
+        // cacheable object to capacity/N.  An entry bigger than its shard's
+        // budget ends up alone in its shard (the local eviction loop clears
+        // everything else and stops), and the global sweep afterwards keeps
+        // the aggregate within the total capacity.
         let size = response.body.len() + 512;
         if size > self.capacity_bytes {
             return false;
@@ -115,60 +225,107 @@ impl ProxyCache {
             last_used: now_secs,
             size,
         };
-        let mut entries = self.entries.lock();
-        let mut used = self.used_bytes.lock();
-        if let Some(old) = entries.insert(key.to_string(), entry) {
-            *used -= old.size;
+        let mut shard = self.shard(key).lock();
+        if let Some(old) = shard.entries.insert(key.to_string(), entry) {
+            shard.used_bytes -= old.size;
+            self.used_total.fetch_sub(old.size, Ordering::Relaxed);
         }
-        *used += size;
-        // Evict while over budget: expired first, then soonest-to-expire /
-        // least recently used.
+        shard.used_bytes += size;
+        self.used_total.fetch_add(size, Ordering::Relaxed);
+        // Evict while over the shard's budget: expired first, then
+        // soonest-to-expire / least recently used.  Shard-local by design —
+        // no other shard's lock is touched on this hot path.
         let mut evictions = 0u64;
-        while *used > self.capacity_bytes {
-            let victim = entries
+        while shard.used_bytes > self.shard_capacity {
+            let victim = shard
+                .entries
                 .iter()
                 .filter(|(k, _)| k.as_str() != key)
                 .min_by_key(|(_, e)| (e.fresh_until, e.last_used))
                 .map(|(k, _)| k.clone());
             match victim {
                 Some(k) => {
-                    if let Some(e) = entries.remove(&k) {
-                        *used -= e.size;
+                    if let Some(e) = shard.entries.remove(&k) {
+                        shard.used_bytes -= e.size;
+                        self.used_total.fetch_sub(e.size, Ordering::Relaxed);
                         evictions += 1;
                     }
                 }
                 None => break,
             }
         }
-        drop(entries);
-        drop(used);
-        let mut stats = self.stats.lock();
-        stats.inserts += 1;
-        stats.evictions += evictions;
+        shard.stats.inserts += 1;
+        shard.stats.evictions += evictions;
+        drop(shard);
+        // Oversize entries (bigger than one shard's budget) can push the
+        // aggregate past the total capacity even though every shard honored
+        // its own budget as far as it could; the slow-path sweep restores
+        // the global invariant.
+        if self.used_total.load(Ordering::Relaxed) > self.capacity_bytes {
+            self.enforce_global_budget(key);
+        }
         true
+    }
+
+    /// Evicts globally — worst victim across all shards, one shard lock at
+    /// a time — until total usage fits the capacity again.  `protect` (the
+    /// key just inserted) is never chosen, mirroring the shard-local loop.
+    fn enforce_global_budget(&self, protect: &str) {
+        while self.used_total.load(Ordering::Relaxed) > self.capacity_bytes {
+            let mut victim: Option<(usize, String, (u64, u64))> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                let shard = shard.lock();
+                if let Some((k, e)) = shard
+                    .entries
+                    .iter()
+                    .filter(|(k, _)| k.as_str() != protect)
+                    .min_by_key(|(_, e)| (e.fresh_until, e.last_used))
+                {
+                    let score = (e.fresh_until, e.last_used);
+                    if victim.as_ref().is_none_or(|(_, _, best)| score < *best) {
+                        victim = Some((i, k.clone(), score));
+                    }
+                }
+            }
+            let Some((i, key, _)) = victim else {
+                break; // nothing evictable remains
+            };
+            let mut shard = self.shards[i].lock();
+            if let Some(e) = shard.entries.remove(&key) {
+                shard.used_bytes -= e.size;
+                shard.stats.evictions += 1;
+                self.used_total.fetch_sub(e.size, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Removes an entry (used when integrity verification rejects cached
     /// content).
     pub fn invalidate(&self, key: &str) -> bool {
-        let mut entries = self.entries.lock();
-        if let Some(e) = entries.remove(key) {
-            *self.used_bytes.lock() -= e.size;
+        let mut shard = self.shard(key).lock();
+        if let Some(e) = shard.entries.remove(key) {
+            shard.used_bytes -= e.size;
+            self.used_total.fetch_sub(e.size, Ordering::Relaxed);
             true
         } else {
             false
         }
     }
 
-    /// Drops every entry.
+    /// Drops every entry in every shard.
     pub fn clear(&self) {
-        self.entries.lock().clear();
-        *self.used_bytes.lock() = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.entries.clear();
+            self.used_total
+                .fetch_sub(shard.used_bytes, Ordering::Relaxed);
+            shard.used_bytes = 0;
+        }
     }
 
-    /// Number of cached entries.
+    /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     /// True when the cache holds nothing.
@@ -176,14 +333,22 @@ impl ProxyCache {
         self.len() == 0
     }
 
-    /// Bytes currently accounted to cached entries.
+    /// Bytes currently accounted to cached entries, across all shards.
     pub fn used_bytes(&self) -> usize {
-        *self.used_bytes.lock()
+        self.shards.iter().map(|s| s.lock().used_bytes).sum()
     }
 
-    /// Snapshot of the statistics.
+    /// Statistics aggregated across every shard.
     pub fn stats(&self) -> CacheStats {
-        *self.stats.lock()
+        self.shard_stats()
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merge(s))
+    }
+
+    /// Per-shard statistics snapshot, in shard order.  The component-wise
+    /// sum of these is exactly [`ProxyCache::stats`].
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.lock().stats).collect()
     }
 }
 
@@ -236,6 +401,7 @@ mod tests {
     #[test]
     fn eviction_keeps_usage_within_capacity() {
         let cache = ProxyCache::new(4096, Duration::from_secs(60));
+        assert_eq!(cache.shard_count(), 1, "small caches stay single-shard");
         for i in 0..10 {
             let resp = cacheable(&"x".repeat(700), 1000);
             cache.put(&format!("http://a.com/{i}"), &Method::Get, &resp, i);
@@ -277,5 +443,99 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn auto_shard_count_scales_with_capacity() {
+        assert_eq!(ProxyCache::new(4096, Duration::ZERO).shard_count(), 1);
+        assert_eq!(ProxyCache::new(1 << 22, Duration::ZERO).shard_count(), 4);
+        assert_eq!(ProxyCache::with_defaults().shard_count(), 16);
+        assert_eq!(
+            ProxyCache::with_shards(1, Duration::ZERO, 0).shard_count(),
+            1,
+            "explicit shard counts are clamped to at least one"
+        );
+    }
+
+    #[test]
+    fn keys_spread_across_shards_and_stats_aggregate() {
+        let cache = ProxyCache::with_shards(64 << 20, Duration::from_secs(60), 8);
+        for i in 0..64 {
+            let key = format!("http://site{i}.example/page");
+            assert!(cache.put(&key, &Method::Get, &cacheable("body", 600), 0));
+            assert!(cache.get(&key, 1).is_some());
+            assert!(cache.get(&format!("{key}?absent"), 1).is_none());
+        }
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), 8);
+        assert!(
+            per_shard.iter().filter(|s| s.inserts > 0).count() > 1,
+            "64 distinct keys must not all land in one shard"
+        );
+        let total = cache.stats();
+        assert_eq!(total.hits, 64);
+        assert_eq!(total.misses, 64);
+        assert_eq!(total.inserts, 64);
+        assert_eq!(
+            per_shard
+                .iter()
+                .fold(CacheStats::default(), |a, s| a.merge(s)),
+            total
+        );
+    }
+
+    #[test]
+    fn objects_larger_than_a_shard_budget_are_still_cacheable() {
+        // 8 shards x 8 KiB: a 20 KiB object exceeds any shard's budget but
+        // not the total capacity, so it must still be admitted (sharding
+        // must not shrink the largest cacheable object).
+        let cache = ProxyCache::with_shards(64 * 1024, Duration::from_secs(60), 8);
+        let big = cacheable(&"B".repeat(20 * 1024), 600);
+        assert!(cache.put("http://a.example/big", &Method::Get, &big, 0));
+        assert!(cache.get("http://a.example/big", 1).is_some());
+        // It evicted whatever shared its shard and lives there alone; other
+        // shards are untouched and anything beyond total capacity is still
+        // refused.
+        let too_big = cacheable(&"B".repeat(70 * 1024), 600);
+        assert!(!cache.put("http://a.example/huge", &Method::Get, &too_big, 0));
+    }
+
+    #[test]
+    fn global_budget_holds_even_with_oversize_entries_in_many_shards() {
+        // 8 shards x 8 KiB.  Six distinct ~20 KiB objects each exceed any
+        // shard's budget; without global enforcement they would accumulate
+        // to ~120 KiB against the 64 KiB capacity.
+        let capacity = 64 * 1024;
+        let cache = ProxyCache::with_shards(capacity, Duration::from_secs(60), 8);
+        for i in 0..6 {
+            let big = cacheable(&"G".repeat(20 * 1024), 600);
+            assert!(cache.put(
+                &format!("http://site{i}.example/big"),
+                &Method::Get,
+                &big,
+                i
+            ));
+            assert!(
+                cache.used_bytes() <= capacity,
+                "global budget violated after insert {i}: {} > {capacity}",
+                cache.used_bytes()
+            );
+        }
+        assert!(cache.stats().evictions > 0);
+        // The most recent insert always survives its own sweep.
+        assert!(cache.get("http://site5.example/big", 10).is_some());
+    }
+
+    #[test]
+    fn shard_byte_budgets_are_enforced_independently() {
+        // 8 shards x 8 KiB each: flooding one site's URL space must evict
+        // within shards without ever exceeding any shard's budget.
+        let cache = ProxyCache::with_shards(64 * 1024, Duration::from_secs(60), 8);
+        for i in 0..200 {
+            let resp = cacheable(&"y".repeat(1500), 600);
+            cache.put(&format!("http://a.example/{i}"), &Method::Get, &resp, i);
+        }
+        assert!(cache.used_bytes() <= 64 * 1024);
+        assert!(cache.stats().evictions > 0);
     }
 }

@@ -69,6 +69,9 @@ pub struct NodeConfig {
     pub server_wall_url: String,
     /// Proxy-cache capacity in bytes.
     pub cache_capacity_bytes: usize,
+    /// Number of proxy-cache shards; `0` derives the count from the
+    /// capacity (see [`ProxyCache::new`]).
+    pub cache_shards: usize,
     /// Heuristic freshness for responses without explicit expiration.
     pub heuristic_ttl: Duration,
     /// Freshness applied to compiled stages whose script response carries no
@@ -225,10 +228,15 @@ pub struct NaKikaNode {
 impl NaKikaNode {
     /// Creates a node from its configuration (the builder's job).
     pub(crate) fn new(config: NodeConfig) -> NaKikaNode {
-        let cache = Arc::new(ProxyCache::new(
-            config.cache_capacity_bytes,
-            config.heuristic_ttl,
-        ));
+        let cache = Arc::new(if config.cache_shards == 0 {
+            ProxyCache::new(config.cache_capacity_bytes, config.heuristic_ttl)
+        } else {
+            ProxyCache::with_shards(
+                config.cache_capacity_bytes,
+                config.heuristic_ttl,
+                config.cache_shards,
+            )
+        });
         let resource = Arc::new(ResourceManager::new(config.resource.clone()));
         let store = Arc::new(SiteStore::new(config.hard_state_quota));
         NaKikaNode {

@@ -1,0 +1,208 @@
+//! The transport-independent half of an HTTP/1.1 server connection.
+//!
+//! Both front-ends — the blocking thread-per-connection server and the
+//! readiness [`reactor`](crate::ReactorServer) — speak the same protocol:
+//! accumulate bytes, parse complete requests (including pipelined ones),
+//! dispatch each through the [`HttpService`] stack with a freshly minted
+//! [`RequestCtx`], serialize the responses, and honor keep-alive.  This
+//! module holds that logic as a sans-IO state machine: [`HttpConn`] never
+//! touches a socket, it just consumes input bytes and produces output
+//! bytes, so the two transports differ only in *how* they move bytes —
+//! blocking reads on a dedicated thread versus readiness-driven
+//! non-blocking reads on a shared reactor thread.
+
+use crate::{CtxFactory, HttpService};
+use nakika_http::{parse_request, serialize_response, ParseOutcome, Response, StatusCode};
+use std::net::IpAddr;
+
+/// Sans-IO state machine for one server-side HTTP/1.1 connection.
+pub(crate) struct HttpConn {
+    peer: IpAddr,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    written: usize,
+    open: bool,
+}
+
+impl HttpConn {
+    /// A fresh connection from `peer`.
+    pub fn new(peer: IpAddr) -> HttpConn {
+        HttpConn {
+            peer,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            written: 0,
+            open: true,
+        }
+    }
+
+    /// Appends bytes read off the wire.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.inbuf.extend_from_slice(bytes);
+    }
+
+    /// Parses and dispatches every complete request currently buffered,
+    /// appending serialized responses to the output buffer.  Handles
+    /// pipelined requests in one pass.  Returns the connection's liveness:
+    /// `false` means close once the pending output is flushed (the client
+    /// asked for it, or the input was malformed and a 400 was queued).
+    pub fn dispatch(&mut self, service: &dyn HttpService, ctx_factory: &CtxFactory) -> bool {
+        while self.open {
+            let (mut request, consumed) = match parse_request(&self.inbuf) {
+                Ok(ParseOutcome::Complete { message, consumed }) => (message, consumed),
+                Ok(ParseOutcome::Partial) => break,
+                Err(_) => {
+                    // The stream is unrecoverable past a parse error: answer
+                    // 400 and close without looking at later bytes.
+                    self.queue(&Response::error(StatusCode::BAD_REQUEST));
+                    self.open = false;
+                    break;
+                }
+            };
+            self.inbuf.drain(..consumed);
+            request.client_ip = self.peer;
+            let keep_alive = request.headers.keep_alive(request.version_11);
+            let ctx = ctx_factory.make(self.peer);
+            // The wire is where platform errors become status codes.
+            let response = match service.call(request, &ctx) {
+                Ok(response) => response,
+                Err(error) => error.to_response(),
+            };
+            self.queue(&response);
+            if !keep_alive {
+                self.open = false;
+            }
+        }
+        self.open
+    }
+
+    fn queue(&mut self, response: &Response) {
+        // Compact the flushed prefix before growing, so a long-lived
+        // keep-alive connection does not accrete every response it ever sent.
+        if self.written > 0 {
+            self.outbuf.drain(..self.written);
+            self.written = 0;
+        }
+        self.outbuf.extend_from_slice(&serialize_response(response));
+    }
+
+    /// The serialized bytes not yet written to the socket.
+    pub fn pending_output(&self) -> &[u8] {
+        &self.outbuf[self.written..]
+    }
+
+    /// Records that `n` bytes of pending output reached the socket.
+    pub fn advance_output(&mut self, n: usize) {
+        self.written += n;
+        debug_assert!(self.written <= self.outbuf.len());
+    }
+
+    /// True while there are response bytes waiting for the socket.
+    pub fn wants_write(&self) -> bool {
+        self.written < self.outbuf.len()
+    }
+
+    /// Marks the connection closed by the transport (EOF or socket error):
+    /// no further requests are parsed, pending output may still flush.
+    pub fn close(&mut self) {
+        self.open = false;
+    }
+
+    /// True until a request (or a parse error) decided the connection must
+    /// close after the pending output flushes.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// True when the connection is finished: close decided and output fully
+    /// flushed.
+    pub fn done(&self) -> bool {
+        !self.open && !self.wants_write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WallClock;
+    use nakika_core::service::service_fn;
+    use nakika_http::Request;
+    use std::net::{IpAddr, Ipv4Addr};
+    use std::sync::Arc;
+
+    fn echo_path_service() -> Arc<dyn HttpService> {
+        service_fn(|req: Request, _ctx| Ok(Response::ok("text/plain", req.uri.path.clone())))
+    }
+
+    fn factory() -> CtxFactory {
+        CtxFactory::new(Arc::new(WallClock))
+    }
+
+    fn peer() -> IpAddr {
+        IpAddr::V4(Ipv4Addr::LOCALHOST)
+    }
+
+    #[test]
+    fn pipelined_requests_produce_in_order_responses() {
+        let mut conn = HttpConn::new(peer());
+        conn.feed(b"GET /a HTTP/1.1\r\nHost: x\r\n\r\nGET /b HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(conn.dispatch(&*echo_path_service(), &factory()));
+        let out = String::from_utf8_lossy(conn.pending_output()).to_string();
+        let a = out.find("/a").expect("first response present");
+        let b = out.find("/b").expect("second response present");
+        assert!(a < b, "responses keep request order");
+        assert!(conn.is_open());
+    }
+
+    #[test]
+    fn partial_requests_wait_for_more_bytes() {
+        let mut conn = HttpConn::new(peer());
+        conn.feed(b"GET /a HTTP/1.1\r\nHo");
+        assert!(conn.dispatch(&*echo_path_service(), &factory()));
+        assert!(!conn.wants_write());
+        conn.feed(b"st: x\r\n\r\n");
+        assert!(conn.dispatch(&*echo_path_service(), &factory()));
+        assert!(String::from_utf8_lossy(conn.pending_output()).contains("/a"));
+    }
+
+    #[test]
+    fn connection_close_ends_the_session_after_flush() {
+        let mut conn = HttpConn::new(peer());
+        conn.feed(b"GET /a HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+        assert!(!conn.dispatch(&*echo_path_service(), &factory()));
+        assert!(!conn.done(), "output still pending");
+        let n = conn.pending_output().len();
+        conn.advance_output(n);
+        assert!(conn.done());
+    }
+
+    #[test]
+    fn malformed_input_queues_400_and_closes() {
+        let mut conn = HttpConn::new(peer());
+        conn.feed(b"NOT A VALID REQUEST\r\n\r\n");
+        assert!(!conn.dispatch(&*echo_path_service(), &factory()));
+        assert!(String::from_utf8_lossy(conn.pending_output()).starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn flushed_output_is_compacted() {
+        let mut conn = HttpConn::new(peer());
+        let service = echo_path_service();
+        let factory = factory();
+        for i in 0..3 {
+            conn.feed(format!("GET /r{i} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes());
+            conn.dispatch(&*service, &factory);
+            let n = conn.pending_output().len();
+            conn.advance_output(n);
+        }
+        assert!(!conn.wants_write());
+        conn.feed(b"GET /last HTTP/1.1\r\nHost: x\r\n\r\n");
+        conn.dispatch(&*service, &factory);
+        let out = String::from_utf8_lossy(conn.pending_output()).to_string();
+        assert!(out.contains("/last"));
+        assert!(
+            !out.contains("/r0"),
+            "earlier responses were compacted away"
+        );
+    }
+}

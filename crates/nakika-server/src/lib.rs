@@ -1,27 +1,57 @@
-//! Real-socket front-ends for Na Kika: a blocking, thread-per-connection HTTP
-//! server and proxy, so the examples run end-to-end over localhost TCP
-//! exactly as a small deployment would (the paper's prototype embeds the same
-//! logic in Apache's prefork worker processes).
+//! Real-socket front-ends for Na Kika: two interchangeable HTTP/1.1
+//! transports over localhost TCP, selected by [`Transport`].
 //!
-//! Both servers speak [`HttpService`]: an [`HttpServer`] fronts any service
+//! - [`Transport::Threaded`] — the classic blocking, thread-per-connection
+//!   server (the paper's prototype embeds the same logic in Apache's prefork
+//!   worker processes).  Simple, and a blocking origin fetch only ever stalls
+//!   its own connection; concurrency is capped by thread count.
+//! - [`Transport::Reactor`] — a readiness-driven non-blocking server
+//!   ([`ReactorServer`]): a few event-loop threads multiplex every
+//!   connection through `epoll`/`poll`, so hundreds of simultaneous
+//!   keep-alive clients cost slab slots instead of parked threads.
+//!
+//! Both transports drive the exact same sans-IO connection state machine and
+//! the exact same [`HttpService`] stack: an [`HttpServer`] fronts any service
 //! (an origin built with [`service_fn`](nakika_core::service_fn), or a full
 //! node stack from [`NodeBuilder`](nakika_core::NodeBuilder)), mints a
-//! [`RequestCtx`] per exchange from the [`WallClock`], and maps typed
-//! [`NakikaError`]s to status codes at the wire.
+//! [`RequestCtx`](nakika_core::service::RequestCtx) per exchange from the
+//! [`WallClock`], and maps typed [`NakikaError`]s to status codes at the
+//! wire.  See `docs/ARCHITECTURE.md` for when to pick which transport.
+//!
+//! ```no_run
+//! use nakika_core::service::service_fn;
+//! use nakika_server::{http_get, HttpServer, Transport};
+//! use nakika_http::Response;
+//!
+//! let service = service_fn(|_req, _ctx| Ok(Response::ok("text/plain", "hi")));
+//! let server = HttpServer::start_with(0, service, Transport::Reactor)?;
+//! let resp = http_get(&format!("{}/x", server.base_url()))?;
+//! assert!(resp.status.is_success());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is confined to the readiness FFI in `sys`, which opts back in.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use nakika_core::service::{Clock, CtxFactory, HttpService, NakikaError, RequestCtx};
+mod conn;
+mod reactor;
+mod sys;
+
+pub use reactor::ReactorServer;
+
+use conn::HttpConn;
+use nakika_core::service::{Clock, CtxFactory, HttpService, NakikaError};
 use nakika_core::OriginFetch;
-use nakika_http::{parse_request, serialize_request, serialize_response, ParseOutcome};
-use nakika_http::{Request, Response, StatusCode};
+use nakika_http::{serialize_request, ParseOutcome};
+use nakika_http::{Request, Response};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// The real transports' [`Clock`]: seconds since the Unix epoch.
@@ -36,37 +66,94 @@ impl Clock for WallClock {
     }
 }
 
-/// A minimal blocking HTTP/1.1 server: one thread per connection, fronting
-/// any [`HttpService`].
+/// Which connection-handling strategy a front-end server uses.
+///
+/// Both transports serve the identical [`HttpService`] stack and speak the
+/// same HTTP/1.1 (keep-alive, pipelining, error mapping); they differ only
+/// in how connections map onto threads.  See the crate docs and
+/// `docs/ARCHITECTURE.md` for the trade-offs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// One blocking thread per connection (the default).
+    #[default]
+    Threaded,
+    /// A few readiness-driven event-loop threads multiplexing every
+    /// connection ([`ReactorServer`]).
+    Reactor,
+}
+
+/// The transport machinery behind a running [`HttpServer`].
+enum ServerImpl {
+    Threaded {
+        shutdown: Arc<AtomicBool>,
+        acceptor: Option<JoinHandle<()>>,
+    },
+    // Held only for its Drop, which joins the reactor threads.
+    Reactor {
+        _server: ReactorServer,
+    },
+}
+
+/// A minimal HTTP/1.1 server fronting any [`HttpService`], over either
+/// [`Transport`].
 pub struct HttpServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    transport: Transport,
+    imp: ServerImpl,
 }
 
 impl HttpServer {
-    /// Starts a server on `127.0.0.1:port` (port 0 picks a free port) and
-    /// serves `service` until the value is dropped.
+    /// Starts a thread-per-connection server on `127.0.0.1:port` (port 0
+    /// picks a free port) and serves `service` until the value is dropped.
     pub fn start(port: u16, service: Arc<dyn HttpService>) -> std::io::Result<HttpServer> {
-        let listener = TcpListener::bind(("127.0.0.1", port))?;
-        let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let shutdown_flag = shutdown.clone();
-        let ctx_factory = Arc::new(CtxFactory::new(Arc::new(WallClock)));
-        // The accept loop blocks — no polling.  Drop wakes it with a bare
-        // connect so the flag check below runs one last time.
-        std::thread::spawn(move || {
-            while let Ok((stream, peer)) = listener.accept() {
-                if shutdown_flag.load(Ordering::Relaxed) {
-                    break;
-                }
-                let service = service.clone();
-                let ctx_factory = ctx_factory.clone();
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, peer.ip(), &*service, &ctx_factory);
+        HttpServer::start_with(port, service, Transport::Threaded)
+    }
+
+    /// Starts a server using the given [`Transport`].
+    pub fn start_with(
+        port: u16,
+        service: Arc<dyn HttpService>,
+        transport: Transport,
+    ) -> std::io::Result<HttpServer> {
+        match transport {
+            Transport::Threaded => {
+                let listener = TcpListener::bind(("127.0.0.1", port))?;
+                let addr = listener.local_addr()?;
+                let shutdown = Arc::new(AtomicBool::new(false));
+                let shutdown_flag = shutdown.clone();
+                let ctx_factory = Arc::new(CtxFactory::new(Arc::new(WallClock)));
+                // The accept loop blocks — no polling.  Drop wakes it with a
+                // bare connect so the flag check below runs one last time.
+                let acceptor = std::thread::spawn(move || {
+                    while let Ok((stream, peer)) = listener.accept() {
+                        if shutdown_flag.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let service = service.clone();
+                        let ctx_factory = ctx_factory.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, peer.ip(), &*service, &ctx_factory);
+                        });
+                    }
                 });
+                Ok(HttpServer {
+                    addr,
+                    transport,
+                    imp: ServerImpl::Threaded {
+                        shutdown,
+                        acceptor: Some(acceptor),
+                    },
+                })
             }
-        });
-        Ok(HttpServer { addr, shutdown })
+            Transport::Reactor => {
+                let server = ReactorServer::start(port, service)?;
+                Ok(HttpServer {
+                    addr: server.addr(),
+                    transport,
+                    imp: ServerImpl::Reactor { _server: server },
+                })
+            }
+        }
     }
 
     /// The address the server listens on.
@@ -78,13 +165,26 @@ impl HttpServer {
     pub fn base_url(&self) -> String {
         format!("http://{}", self.addr)
     }
+
+    /// Which [`Transport`] this server runs on.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
 }
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        // Wake the blocking accept so the loop observes the flag and exits.
-        let _ = TcpStream::connect(self.addr);
+        // Joining the accept loop makes shutdown deterministic: once drop
+        // returns, nothing accepts on the port.  (The reactor variant joins
+        // its own threads in ReactorServer::drop.)
+        if let ServerImpl::Threaded { shutdown, acceptor } = &mut self.imp {
+            shutdown.store(true, Ordering::Relaxed);
+            // Wake the blocking accept so the loop observes the flag and exits.
+            let _ = TcpStream::connect(self.addr);
+            if let Some(handle) = acceptor.take() {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -97,16 +197,31 @@ pub struct ProxyServer {
 }
 
 impl ProxyServer {
-    /// Starts the proxy on `127.0.0.1:port` in front of `service`.
+    /// Starts the proxy on `127.0.0.1:port` in front of `service`, thread
+    /// per connection.
     pub fn start(port: u16, service: Arc<dyn HttpService>) -> std::io::Result<ProxyServer> {
+        ProxyServer::start_with(port, service, Transport::Threaded)
+    }
+
+    /// Starts the proxy using the given [`Transport`].
+    pub fn start_with(
+        port: u16,
+        service: Arc<dyn HttpService>,
+        transport: Transport,
+    ) -> std::io::Result<ProxyServer> {
         Ok(ProxyServer {
-            inner: HttpServer::start(port, service)?,
+            inner: HttpServer::start_with(port, service, transport)?,
         })
     }
 
     /// The address the proxy listens on.
     pub fn addr(&self) -> SocketAddr {
         self.inner.addr()
+    }
+
+    /// Which [`Transport`] this proxy runs on.
+    pub fn transport(&self) -> Transport {
+        self.inner.transport()
     }
 }
 
@@ -275,28 +390,62 @@ pub fn http_get(url: &str) -> Result<Response, NakikaError> {
     http_fetch(&Request::get(url))
 }
 
-/// Issues a GET for `url` through the proxy at `proxy` (absolute-form request
-/// line, as a browser configured with an explicit proxy would send).
-pub fn http_get_via_proxy(proxy: SocketAddr, url: &str) -> Result<Response, NakikaError> {
-    let upstream = |reason: String| NakikaError::Upstream {
-        url: url.to_string(),
-        reason,
-    };
-    let mut stream =
-        TcpStream::connect(proxy).map_err(|e| upstream(format!("connect failed: {e}")))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .map_err(|e| upstream(format!("socket setup failed: {e}")))?;
-    let mut request = Request::get(url);
-    request.headers.set("Connection", "close");
-    stream
-        .write_all(&nakika_http::serialize::serialize_request_absolute(
-            &request,
-        ))
-        .map_err(|e| upstream(format!("write failed: {e}")))?;
-    read_response(&mut stream, url)
+/// A minimal keep-alive HTTP/1.1 client for talking to a proxy: one TCP
+/// connection, absolute-form request lines, as many sequential exchanges as
+/// the caller wants.  This is what the benchmark suite and the concurrency
+/// soak test use to hold many simultaneous keep-alive sessions open.
+pub struct ProxyClient {
+    stream: TcpStream,
 }
 
+impl ProxyClient {
+    /// Connects to the proxy at `proxy`.
+    pub fn connect(proxy: SocketAddr) -> Result<ProxyClient, NakikaError> {
+        let stream = TcpStream::connect(proxy).map_err(|e| NakikaError::Upstream {
+            url: format!("http://{proxy}"),
+            reason: format!("connect failed: {e}"),
+        })?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| NakikaError::Upstream {
+                url: format!("http://{proxy}"),
+                reason: format!("socket setup failed: {e}"),
+            })?;
+        Ok(ProxyClient { stream })
+    }
+
+    /// Issues one GET for `url` on the kept-alive connection and reads the
+    /// complete response.
+    pub fn get(&mut self, url: &str) -> Result<Response, NakikaError> {
+        self.send(&Request::get(url))
+    }
+
+    /// Writes one absolute-form request and reads its response.
+    fn send(&mut self, request: &Request) -> Result<Response, NakikaError> {
+        let url = request.uri.to_string();
+        self.stream
+            .write_all(&nakika_http::serialize::serialize_request_absolute(request))
+            .map_err(|e| NakikaError::Upstream {
+                url: url.clone(),
+                reason: format!("write failed: {e}"),
+            })?;
+        read_response(&mut self.stream, &url)
+    }
+}
+
+/// Issues a GET for `url` through the proxy at `proxy` (absolute-form request
+/// line, as a browser configured with an explicit proxy would send), closing
+/// the connection after the exchange.  One-shot wrapper over [`ProxyClient`].
+pub fn http_get_via_proxy(proxy: SocketAddr, url: &str) -> Result<Response, NakikaError> {
+    let mut client = ProxyClient::connect(proxy)?;
+    let mut request = Request::get(url);
+    request.headers.set("Connection", "close");
+    client.send(&request)
+}
+
+/// The blocking transport's connection loop, over the same sans-IO
+/// [`HttpConn`] engine the reactor uses: read, feed, dispatch, flush,
+/// repeat until a request (or error) closes the session.
 fn serve_connection(
     mut stream: TcpStream,
     peer: IpAddr,
@@ -304,43 +453,24 @@ fn serve_connection(
     ctx_factory: &CtxFactory,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    let mut buffer = Vec::new();
+    let mut conn = HttpConn::new(peer);
     let mut chunk = [0u8; 8192];
     loop {
-        let request = loop {
-            match parse_request(&buffer) {
-                Ok(ParseOutcome::Complete { message, consumed }) => {
-                    buffer.drain(..consumed);
-                    break Some(message);
-                }
-                Ok(ParseOutcome::Partial) => {}
-                Err(_) => {
-                    let _ = stream.write_all(&serialize_response(&Response::error(
-                        StatusCode::BAD_REQUEST,
-                    )));
-                    return Ok(());
-                }
+        conn.dispatch(service, ctx_factory);
+        while conn.wants_write() {
+            let n = stream.write(conn.pending_output())?;
+            if n == 0 {
+                return Ok(());
             }
-            match stream.read(&mut chunk) {
-                Ok(0) => break None,
-                Ok(n) => buffer.extend_from_slice(&chunk[..n]),
-                Err(_) => break None,
-            }
-        };
-        let Some(mut request) = request else {
+            conn.advance_output(n);
+        }
+        if !conn.is_open() {
             return Ok(());
-        };
-        request.client_ip = peer;
-        let keep_alive = request.headers.keep_alive(request.version_11);
-        let ctx: RequestCtx = ctx_factory.make(peer);
-        // The wire is where platform errors become status codes.
-        let response = match service.call(request, &ctx) {
-            Ok(response) => response,
-            Err(error) => error.to_response(),
-        };
-        stream.write_all(&serialize_response(&response))?;
-        if !keep_alive {
-            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => conn.feed(&chunk[..n]),
+            Err(_) => return Ok(()),
         }
     }
 }
@@ -348,8 +478,9 @@ fn serve_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nakika_core::service::service_fn;
+    use nakika_core::service::{service_fn, RequestCtx};
     use nakika_core::NodeBuilder;
+    use nakika_http::StatusCode;
 
     fn origin_service() -> Arc<dyn HttpService> {
         service_fn(|request: Request, _ctx: &RequestCtx| {
@@ -477,13 +608,13 @@ mod tests {
     fn dropped_server_stops_accepting() {
         let server = HttpServer::start(0, origin_service()).unwrap();
         let addr = server.addr();
+        // Drop joins the accept loop, so by the time it returns the listener
+        // is closed — deterministically, with no timing window to sleep over.
         drop(server);
-        // The wake connection consumed the shutdown; subsequent connects are
-        // refused (or accepted by nothing and reset).
-        std::thread::sleep(Duration::from_millis(50));
         let refused = TcpStream::connect(addr)
             .map(|mut s| {
-                // If the OS still accepts (backlog), the read must fail/EOF.
+                // If the OS still hands out a backlogged connection, the
+                // read must fail/EOF because nothing serves it.
                 let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
                 let mut buf = [0u8; 16];
                 s.set_read_timeout(Some(Duration::from_millis(200)))
@@ -492,5 +623,45 @@ mod tests {
             })
             .unwrap_or(true);
         assert!(refused, "no handler should serve after drop");
+    }
+
+    #[test]
+    fn proxy_client_reuses_one_connection_for_many_exchanges() {
+        let origin = HttpServer::start(0, origin_service()).unwrap();
+        let edge = Arc::new(
+            NodeBuilder::plain_proxy("client-edge")
+                .origin(Arc::new(TcpOrigin::new()))
+                .build(),
+        );
+        let proxy = ProxyServer::start(0, edge.service()).unwrap();
+        let mut client = ProxyClient::connect(proxy.addr()).unwrap();
+        let url = format!("{}/ka.html", origin.base_url());
+        for _ in 0..4 {
+            let response = client.get(&url).unwrap();
+            assert_eq!(response.status, StatusCode::OK);
+        }
+        assert_eq!(edge.node().cache_stats().hits, 3);
+    }
+
+    #[test]
+    fn both_transports_serve_the_same_service_stack() {
+        let origin = HttpServer::start(0, origin_service()).unwrap();
+        let url = format!("{}/same.html", origin.base_url());
+        let mut bodies = Vec::new();
+        for transport in [Transport::Threaded, Transport::Reactor] {
+            let edge = Arc::new(
+                NodeBuilder::plain_proxy("transport-edge")
+                    .origin(Arc::new(TcpOrigin::new()))
+                    .build(),
+            );
+            let proxy = ProxyServer::start_with(0, edge.service(), transport).unwrap();
+            assert_eq!(proxy.transport(), transport);
+            let first = http_get_via_proxy(proxy.addr(), &url).unwrap();
+            let second = http_get_via_proxy(proxy.addr(), &url).unwrap();
+            assert_eq!(first.body.to_text(), second.body.to_text());
+            assert!(edge.node().cache_stats().hits >= 1);
+            bodies.push(first.body.to_text());
+        }
+        assert_eq!(bodies[0], bodies[1], "transports are byte-compatible");
     }
 }

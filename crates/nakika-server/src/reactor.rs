@@ -1,0 +1,508 @@
+//! The non-blocking reactor transport: readiness-driven HTTP/1.1 service
+//! over a handful of event-loop threads instead of a thread per connection.
+//!
+//! # Architecture
+//!
+//! A [`ReactorServer`] runs one blocking *acceptor* thread (the same
+//! accept/shutdown discipline as the threaded server) plus `N` *reactor*
+//! threads, `N` = `min(available cores, 4)`.  Each reactor owns a
+//! [`Poller`] (epoll on Linux, poll elsewhere — see [`crate::sys`]) and the
+//! set of connections assigned to it; accepted sockets are handed out
+//! round-robin, made non-blocking, and from then on all their I/O happens on
+//! that reactor's thread, driven by readiness events.
+//!
+//! Per connection the reactor keeps a sans-IO [`HttpConn`] state machine
+//! (shared verbatim with the blocking transport): readable events feed bytes
+//! in and dispatch every complete request through the [`HttpService`] stack;
+//! serialized responses drain out through non-blocking writes, with `EPOLLOUT`
+//! interest registered only while output is actually pending.  Keep-alive
+//! connections therefore cost one slab slot and one epoll registration while
+//! idle — not a parked thread — which is what lets one node hold hundreds of
+//! simultaneous keep-alive clients.
+//!
+//! Service dispatch runs inline on the reactor thread.  That is the classic
+//! reactor trade: a cache-hit response costs no hand-off, but a service call
+//! that blocks (a cold origin fetch over [`crate::TcpOrigin`]) stalls the
+//! other connections of that reactor until it returns.  The sharded proxy
+//! cache keeps the common path short; workloads dominated by slow origin
+//! fetches should prefer [`Transport::Threaded`](crate::Transport).
+//!
+//! Reactors are woken for new work through a loopback socket pair (the
+//! self-pipe trick): the acceptor pushes the socket onto the reactor's
+//! injection queue and writes one byte to the wake socket, which the poller
+//! reports like any other readable fd.  Shutdown reuses the same path, so
+//! dropping a [`ReactorServer`] joins every thread deterministically.
+
+use crate::conn::HttpConn;
+use crate::sys::{Interest, PollEvent, Poller};
+use crate::{CtxFactory, HttpService, WallClock};
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Token reserved for the wake socket; connections use their slab index.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Work handed to a reactor from outside its thread: new connections plus
+/// the shutdown signal, with a loopback wake socket to interrupt the poller.
+struct Injector {
+    queue: Mutex<Vec<(TcpStream, IpAddr)>>,
+    shutdown: AtomicBool,
+    wake_tx: TcpStream,
+}
+
+impl Injector {
+    fn wake(&self) {
+        // One byte is enough; the reactor drains the socket on wake.  A full
+        // buffer means a wake is already pending, so failure is harmless.
+        let _ = (&self.wake_tx).write(&[1u8]);
+    }
+
+    fn push(&self, stream: TcpStream, peer: IpAddr) {
+        self.queue.lock().push((stream, peer));
+        self.wake();
+    }
+
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.wake();
+    }
+}
+
+/// A connected loopback pair: the write end stays with injectors, the read
+/// end is registered in the reactor's poller.  Std-only stand-in for
+/// `pipe(2)` so the FFI surface stays minimal.
+fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    rx.set_nonblocking(true)?;
+    // The write side must be non-blocking too: if a reactor stalls and its
+    // buffers fill, a blocking wake() would park the *acceptor* thread (and
+    // Drop).  With O_NONBLOCK a full buffer just means a wake is already
+    // pending, which is exactly what the callers assume.
+    tx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    Ok((tx, rx))
+}
+
+/// One registered connection: its socket, protocol state machine, and the
+/// interest set currently installed in the poller.
+struct Conn {
+    stream: TcpStream,
+    engine: HttpConn,
+    interest: Interest,
+}
+
+/// The per-thread reactor: poller, connection slab, and service stack.
+struct Reactor {
+    poller: Poller,
+    slab: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    service: Arc<dyn HttpService>,
+    ctx_factory: Arc<CtxFactory>,
+    injector: Arc<Injector>,
+    wake_rx: TcpStream,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        use std::os::unix::io::AsRawFd;
+        if self
+            .poller
+            .add(self.wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            if self.poller.wait(&mut events, -1).is_err() {
+                return;
+            }
+            for &event in &events {
+                if event.token == WAKE_TOKEN {
+                    self.drain_wake();
+                    if self.injector.shutdown.load(Ordering::Acquire) {
+                        return; // dropping the reactor closes every socket
+                    }
+                    self.register_injected();
+                } else {
+                    self.drive(event.token as usize, event.readable, event.writable);
+                }
+            }
+        }
+    }
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 64];
+        while matches!(self.wake_rx.read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    fn register_injected(&mut self) {
+        use std::os::unix::io::AsRawFd;
+        let injected: Vec<_> = std::mem::take(&mut *self.injector.queue.lock());
+        for (stream, peer) in injected {
+            let idx = match self.free.pop() {
+                Some(idx) => idx,
+                None => {
+                    self.slab.push(None);
+                    self.slab.len() - 1
+                }
+            };
+            if self
+                .poller
+                .add(stream.as_raw_fd(), idx as u64, Interest::READ)
+                .is_err()
+            {
+                self.free.push(idx);
+                continue; // dropping the stream closes it
+            }
+            self.slab[idx] = Some(Conn {
+                stream,
+                engine: HttpConn::new(peer),
+                interest: Interest::READ,
+            });
+        }
+    }
+
+    /// Advances one connection after a readiness event: pull bytes and
+    /// dispatch requests while readable, push pending responses while
+    /// writable, then reconcile the poller interest with what is left.
+    fn drive(&mut self, idx: usize, readable: bool, writable: bool) {
+        // A stale event can name a slot freed earlier in this batch.
+        let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        if readable && conn.engine.is_open() {
+            let mut chunk = [0u8; 8192];
+            let mut eof = false;
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => conn.engine.feed(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.close(idx);
+                        return;
+                    }
+                }
+            }
+            // Dispatch before honoring EOF: a client may write a complete
+            // request and half-close in the same packet, still expecting its
+            // response — the threaded transport serves that case too.
+            conn.engine
+                .dispatch(&*self.service, self.ctx_factory.as_ref());
+            if eof {
+                conn.engine.close();
+            }
+        }
+        // Dispatch may have queued output regardless of which direction
+        // fired, so always try to flush opportunistically.
+        let _ = writable;
+        while conn.engine.wants_write() {
+            match conn.stream.write(conn.engine.pending_output()) {
+                Ok(0) => {
+                    self.close(idx);
+                    return;
+                }
+                Ok(n) => conn.engine.advance_output(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+        if conn.engine.done() {
+            self.close(idx);
+            return;
+        }
+        let wanted = Interest {
+            readable: conn.engine.is_open(),
+            writable: conn.engine.wants_write(),
+        };
+        if wanted != conn.interest {
+            use std::os::unix::io::AsRawFd;
+            let fd = conn.stream.as_raw_fd();
+            if self.poller.modify(fd, idx as u64, wanted).is_err() {
+                self.close(idx);
+                return;
+            }
+            conn.interest = wanted;
+        }
+    }
+
+    fn close(&mut self, idx: usize) {
+        use std::os::unix::io::AsRawFd;
+        if let Some(conn) = self.slab.get_mut(idx).and_then(Option::take) {
+            let _ = self.poller.remove(conn.stream.as_raw_fd());
+            self.free.push(idx);
+            // conn drops here, closing the socket.
+        }
+    }
+}
+
+/// A non-blocking HTTP/1.1 server fronting any [`HttpService`] with a small
+/// set of reactor threads (the design notes live at the top of
+/// `nakika-server/src/reactor.rs`).
+///
+/// The public surface mirrors the threaded server — `start`, [`addr`],
+/// [`base_url`] — and the usual way to get one is
+/// [`HttpServer::start_with`](crate::HttpServer::start_with) with
+/// [`Transport::Reactor`](crate::Transport).
+///
+/// [`addr`]: ReactorServer::addr
+/// [`base_url`]: ReactorServer::base_url
+pub struct ReactorServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<(Arc<Injector>, Option<JoinHandle<()>>)>,
+}
+
+impl ReactorServer {
+    /// Starts a reactor server on `127.0.0.1:port` (port 0 picks a free
+    /// port) serving `service` until the value is dropped.
+    pub fn start(port: u16, service: Arc<dyn HttpService>) -> io::Result<ReactorServer> {
+        let reactor_count = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4);
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let ctx_factory = Arc::new(CtxFactory::new(Arc::new(WallClock)));
+
+        // Create every fallible resource (wake pairs, epoll fds) before
+        // spawning any thread: a mid-loop failure (fd exhaustion) must not
+        // leave earlier reactors running un-joinable forever.
+        let mut reactors = Vec::with_capacity(reactor_count);
+        for _ in 0..reactor_count {
+            let (wake_tx, wake_rx) = wake_pair()?;
+            let injector = Arc::new(Injector {
+                queue: Mutex::new(Vec::new()),
+                shutdown: AtomicBool::new(false),
+                wake_tx,
+            });
+            reactors.push(Reactor {
+                poller: Poller::new()?,
+                slab: Vec::new(),
+                free: Vec::new(),
+                service: service.clone(),
+                ctx_factory: ctx_factory.clone(),
+                injector,
+                wake_rx,
+            });
+        }
+        let mut workers = Vec::with_capacity(reactor_count);
+        let mut injectors = Vec::with_capacity(reactor_count);
+        for reactor in reactors {
+            let injector = reactor.injector.clone();
+            let handle = std::thread::spawn(move || reactor.run());
+            injectors.push(injector.clone());
+            workers.push((injector, Some(handle)));
+        }
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = shutdown.clone();
+        // Same accept discipline as the threaded server: block in accept,
+        // let Drop wake it with a bare connect so the flag check runs.
+        let acceptor = std::thread::spawn(move || {
+            let mut next = 0usize;
+            while let Ok((stream, peer)) = listener.accept() {
+                if shutdown_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                injectors[next % injectors.len()].push(stream, peer.ip());
+                next += 1;
+            }
+        });
+
+        Ok(ReactorServer {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's base URL (`http://127.0.0.1:port`).
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+}
+
+impl Drop for ReactorServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Wake the blocking accept so the loop observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for (injector, handle) in &mut self.workers {
+            injector.shutdown();
+            if let Some(handle) = handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http_get;
+    use nakika_core::service::service_fn;
+    use nakika_http::{serialize_request, ParseOutcome, Request, Response, StatusCode};
+
+    fn origin_service() -> Arc<dyn HttpService> {
+        service_fn(|request: Request, _ctx| {
+            Ok(
+                Response::ok("text/html", format!("reactor origin: {}", request.uri.path))
+                    .with_header("Cache-Control", "max-age=60"),
+            )
+        })
+    }
+
+    #[test]
+    fn reactor_round_trip() {
+        let server = ReactorServer::start(0, origin_service()).unwrap();
+        let response = http_get(&format!("{}/index.html", server.base_url())).unwrap();
+        assert_eq!(response.status, StatusCode::OK);
+        assert!(response.body.to_text().contains("/index.html"));
+    }
+
+    #[test]
+    fn reactor_keep_alive_serves_many_requests_on_one_connection() {
+        let server = ReactorServer::start(0, origin_service()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        for i in 0..5 {
+            let req = Request::get(&format!("http://{}/r{i}", server.addr()));
+            stream.write_all(&serialize_request(&req)).unwrap();
+            let mut buffer = Vec::new();
+            let mut chunk = [0u8; 4096];
+            loop {
+                let n = stream.read(&mut chunk).unwrap();
+                assert!(n > 0, "server closed a keep-alive connection");
+                buffer.extend_from_slice(&chunk[..n]);
+                if let Ok(ParseOutcome::Complete { message, .. }) =
+                    nakika_http::parse_response(&buffer)
+                {
+                    assert!(message.body.to_text().contains(&format!("/r{i}")));
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reactor_answers_pipelined_requests_in_order() {
+        let server = ReactorServer::start(0, origin_service()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut batch = Vec::new();
+        for i in 0..3 {
+            batch.extend_from_slice(&serialize_request(&Request::get(&format!(
+                "http://{}/p{i}",
+                server.addr()
+            ))));
+        }
+        stream.write_all(&batch).unwrap();
+        let mut buffer = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let mut bodies = Vec::new();
+        while bodies.len() < 3 {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0);
+            buffer.extend_from_slice(&chunk[..n]);
+            while let Ok(ParseOutcome::Complete { message, consumed }) =
+                nakika_http::parse_response(&buffer)
+            {
+                buffer.drain(..consumed);
+                bodies.push(message.body.to_text());
+            }
+        }
+        for (i, body) in bodies.iter().enumerate() {
+            assert!(body.contains(&format!("/p{i}")), "order preserved: {body}");
+        }
+    }
+
+    #[test]
+    fn request_with_immediate_half_close_still_gets_a_response() {
+        // One-shot clients often write the request and shutdown(SHUT_WR) in
+        // one go, so the reactor can see the bytes and the FIN in a single
+        // readiness event.  The buffered request must still be answered.
+        let server = ReactorServer::start(0, origin_service()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let req = Request::get(&format!("http://{}/half-close", server.addr()));
+        stream.write_all(&serialize_request(&req)).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut buffer = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+        match nakika_http::parse_response(&buffer) {
+            Ok(ParseOutcome::Complete { message, .. }) => {
+                assert!(message.body.to_text().contains("/half-close"))
+            }
+            other => panic!("expected a complete response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reactor_rejects_malformed_requests_with_400() {
+        let server = ReactorServer::start(0, origin_service()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NOT A VALID REQUEST\r\n\r\n").unwrap();
+        let mut buffer = Vec::new();
+        let mut chunk = [0u8; 1024];
+        while let Ok(n) = stream.read(&mut chunk) {
+            if n == 0 {
+                break;
+            }
+            buffer.extend_from_slice(&chunk[..n]);
+        }
+        assert!(String::from_utf8_lossy(&buffer).starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn dropped_reactor_stops_accepting_deterministically() {
+        let server = ReactorServer::start(0, origin_service()).unwrap();
+        let addr = server.addr();
+        // Drop joins the acceptor and every reactor thread, so by the time
+        // it returns nothing serves the port — no sleep needed.
+        drop(server);
+        let refused = TcpStream::connect(addr)
+            .map(|mut s| {
+                let _ = s.write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+                let mut buf = [0u8; 16];
+                s.set_read_timeout(Some(std::time::Duration::from_millis(200)))
+                    .unwrap();
+                matches!(s.read(&mut buf), Ok(0) | Err(_))
+            })
+            .unwrap_or(true);
+        assert!(refused, "no handler should serve after drop");
+    }
+}
