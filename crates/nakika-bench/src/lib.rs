@@ -100,19 +100,25 @@ fn internal(context: &str) -> impl Fn(std::io::Error) -> NakikaError + '_ {
     move |e| NakikaError::Internal(format!("{context}: {e}"))
 }
 
+/// Body size used by the `bench_stream` scenario (1 MiB).
+pub const STREAM_SCENARIO_BODY_BYTES: usize = 1024 * 1024;
+
 /// Stands up one origin + plain-proxy edge + front-end on `transport` and
-/// runs `work` against it; returns the measured scenario.
+/// runs `work` against it; returns the measured scenario.  `body_bytes`
+/// sizes the origin's responses (the classic scenarios use the paper's
+/// 2,096-byte page; `bench_stream` uses 1 MiB).
 fn run_scenario(
     name: &str,
     transport: Transport,
     requests: usize,
     concurrency: usize,
+    body_bytes: usize,
     work: impl FnOnce(&ProxyServer, &str) -> Result<(), NakikaError>,
 ) -> Result<ProxyBenchScenario, NakikaError> {
     let origin = HttpServer::start(
         0,
-        service_fn(|_req: Request, _ctx| {
-            Ok(Response::ok("text/html", "x".repeat(2096))
+        service_fn(move |_req: Request, _ctx| {
+            Ok(Response::ok("text/html", "x".repeat(body_bytes))
                 .with_header("Cache-Control", "max-age=600"))
         }),
     )
@@ -166,6 +172,7 @@ pub fn bench_proxy_suite(
             transport,
             cold,
             1,
+            2096,
             |proxy, base| {
                 let mut client = ProxyClient::connect(proxy.addr())?;
                 for i in 0..cold {
@@ -180,6 +187,7 @@ pub fn bench_proxy_suite(
             transport,
             requests,
             1,
+            2096,
             |proxy, base| {
                 let url = format!("{base}/hot.html");
                 let mut client = ProxyClient::connect(proxy.addr())?;
@@ -199,6 +207,7 @@ pub fn bench_proxy_suite(
             transport,
             close_requests,
             1,
+            2096,
             |proxy, base| {
                 let url = format!("{base}/hot.html");
                 for _ in 0..close_requests {
@@ -215,6 +224,7 @@ pub fn bench_proxy_suite(
             transport,
             total,
             concurrency,
+            2096,
             |proxy, base| {
                 let url = format!("{base}/hot.html");
                 // Warm the cache before the clients pile in.
@@ -236,6 +246,35 @@ pub fn bench_proxy_suite(
                     worker
                         .join()
                         .map_err(|_| NakikaError::Internal("bench client panicked".into()))??;
+                }
+                Ok(())
+            },
+        )?);
+
+        // bench_stream: 1 MiB bodies over a warm cache on one keep-alive
+        // connection — the scenario the streaming `Body` redesign targets.
+        // Throughput here is dominated by how many times the stack copies
+        // (or used to double-buffer) a large response.
+        let stream_requests = (requests / 8).max(8);
+        suite.scenarios.push(run_scenario(
+            "bench_stream",
+            transport,
+            stream_requests,
+            1,
+            STREAM_SCENARIO_BODY_BYTES,
+            |proxy, base| {
+                let url = format!("{base}/stream.bin");
+                let mut client = ProxyClient::connect(proxy.addr())?;
+                // Warm the cache (the first fetch tees the streamed body in).
+                client.get(&url)?;
+                for _ in 1..stream_requests {
+                    let response = client.get(&url)?;
+                    if response.body.len() != STREAM_SCENARIO_BODY_BYTES {
+                        return Err(NakikaError::Internal(format!(
+                            "short stream body: {}",
+                            response.body.len()
+                        )));
+                    }
                 }
                 Ok(())
             },

@@ -173,6 +173,14 @@ impl ProxyCache {
         self.shards.len()
     }
 
+    /// Total byte capacity — also the largest entry the cache will admit,
+    /// and therefore the budget a streaming tee may buffer on the side
+    /// before giving up on caching a response (see
+    /// [`NaKikaNode`](crate::node::NaKikaNode)'s fetch path).
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
     /// The shard responsible for `key` (FNV-1a over the key bytes — cheap,
     /// deterministic, and good enough dispersion for URL-shaped keys).
     fn shard(&self, key: &str) -> &Mutex<ShardState> {
@@ -204,7 +212,17 @@ impl ProxyCache {
 
     /// Stores a response under `key` if HTTP's caching rules allow a shared
     /// cache to do so.  Returns true when the entry was stored.
+    ///
+    /// Only fully buffered bodies are stored: a streaming body
+    /// (`nakika_http::Body::Stream`) is refused, because the cache must not be the
+    /// thing that forces a large response into memory.  Streamed responses
+    /// are captured instead by the tee in the node's fetch path, which
+    /// calls back here with the buffered copy once the stream completes
+    /// within budget.
     pub fn put(&self, key: &str, method: &Method, response: &Response, now_secs: u64) -> bool {
+        if response.body.is_stream() {
+            return false;
+        }
         let lifetime = match freshness(method, response, self.heuristic) {
             Freshness::Fresh(lifetime) => lifetime,
             Freshness::Revalidate | Freshness::Uncacheable => return false,

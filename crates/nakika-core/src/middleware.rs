@@ -123,6 +123,13 @@ impl Layer for AdmissionLayer {
             last_control: Mutex::new(0),
         })
     }
+
+    /// Admission charges bytes from the *declared* body sizes, so streamed
+    /// responses pass through unbuffered (an undeclared stream charges 0 —
+    /// the trade this layer makes to stay off the body path).
+    fn requires_full_body(&self) -> bool {
+        false
+    }
 }
 
 struct Admitted {
@@ -196,6 +203,12 @@ impl Layer for IntegrityLayer {
             key: self.key.clone(),
             require_signature: self.require_signature,
         })
+    }
+
+    /// Verification hashes the whole body, so the pipeline buffers streamed
+    /// responses beneath this layer before they are checked.
+    fn requires_full_body(&self) -> bool {
+        true
     }
 }
 

@@ -20,7 +20,7 @@ use crate::service::NakikaError;
 use crate::vocab::VocabHooks;
 use nakika_http::cache_control::{freshness, Freshness};
 use nakika_http::pattern::Cidr;
-use nakika_http::{Method, Request, Response};
+use nakika_http::{Body, Method, Request, Response};
 use nakika_overlay::{NodeId, Overlay};
 use nakika_script::ResourceMeter;
 use nakika_state::{AccessLog, LogEntry, SiteStore};
@@ -142,25 +142,72 @@ impl ResourceFetcher {
                 if let Some(peer) = peers.iter().find(|p| p.payload != self.node_name) {
                     let response = self.origin.fetch_peer(&peer.payload, request);
                     if response.status.is_success() {
-                        self.store_and_announce(&key, request, &response, now);
                         self.stats.lock().peer_hits += 1;
-                        return response;
+                        return self.capture(key, &request.method, response, now);
                     }
                 }
             }
         }
         let response = self.origin.fetch_origin(request);
         self.stats.lock().origin_fetches += 1;
-        self.store_and_announce(&key, request, &response, now);
+        self.capture(key, &request.method, response, now)
+    }
+
+    /// Puts a fetched response on the path to the cache without ever forcing
+    /// it into memory.  A buffered body is stored right away (the historical
+    /// path — simulator, tests, script-generated content).  A *streamed*
+    /// body is instead teed: chunks flow onward to whoever is relaying them,
+    /// a bounded side copy accumulates, and only when the stream completes
+    /// cleanly within the cache's entry budget does the copy get stored and
+    /// announced.  Oversized or failed streams pass through uncached.
+    fn capture(&self, key: String, method: &Method, mut response: Response, now: u64) -> Response {
+        if !response.body.is_stream() {
+            self.store_and_announce(&key, method, &response, now);
+            return response;
+        }
+        // Don't bother teeing what the cache would refuse anyway — including
+        // a body whose declared length already exceeds the entry budget,
+        // which would otherwise accumulate a side copy only to discard it.
+        let budget = self.cache.capacity_bytes();
+        if !method.is_cacheable()
+            || !matches!(
+                freshness(method, &response, self.heuristic_ttl),
+                Freshness::Fresh(_)
+            )
+            || response
+                .body
+                .size_hint()
+                .is_some_and(|declared| declared > budget as u64)
+        {
+            return response;
+        }
+        let head = Response {
+            status: response.status,
+            version_11: response.version_11,
+            headers: response.headers.clone(),
+            body: Body::empty(),
+        };
+        let fetcher = self.clone();
+        let method = method.clone();
+        let body = std::mem::take(&mut response.body);
+        response.body = body.tee(budget, move |bytes| {
+            let mut full = head;
+            // The stored copy is a complete instance: fix the framing
+            // metadata the streamed original carried.
+            full.headers.remove("Transfer-Encoding");
+            full.headers.set("Content-Length", bytes.len().to_string());
+            full.body = Body::from_bytes(bytes);
+            fetcher.store_and_announce(&key, &method, &full, now);
+        });
         response
     }
 
-    fn store_and_announce(&self, key: &str, request: &Request, response: &Response, now: u64) {
-        if !self.cache.put(key, &request.method, response, now) {
+    fn store_and_announce(&self, key: &str, method: &Method, response: &Response, now: u64) {
+        if !self.cache.put(key, method, response, now) {
             return;
         }
         if let Some((overlay, node_id)) = &self.overlay {
-            let lifetime = match freshness(&request.method, response, self.heuristic_ttl) {
+            let lifetime = match freshness(method, response, self.heuristic_ttl) {
                 Freshness::Fresh(lifetime) => lifetime.as_secs().max(1),
                 _ => return,
             };
@@ -185,13 +232,16 @@ impl StageLoader for NodeStageLoader {
             StageLookup::Miss => {}
         }
         let request = Request::get(url);
-        let response = self.fetcher.fetch(&request, now);
+        let mut response = self.fetcher.fetch(&request, now);
+        // Scripts compile from complete sources; a stream that fails to
+        // drain is treated like an absent script until its entry expires.
+        let stream_failed = response.body.buffer().is_err();
         let fresh_until = now
             + match freshness(&Method::Get, &response, self.script_ttl) {
                 Freshness::Fresh(lifetime) => lifetime.as_secs().max(1),
                 _ => self.script_ttl.as_secs().max(1),
             };
-        if !response.status.is_success() || response.body.is_empty() {
+        if stream_failed || !response.status.is_success() || response.body.is_empty() {
             self.stage_cache.put_absent(url, fresh_until);
             return None;
         }
@@ -370,10 +420,29 @@ impl NaKikaNode {
         site: &str,
     ) -> Response {
         let resource = self.resource.clone();
+        // Scripts operate on complete instances (paper §3.1), so the
+        // pipeline's view of every fetch is buffered; a stream that fails
+        // mid-body becomes an upstream error response instead of a
+        // silently truncated instance.  The tee in `capture` still fires
+        // while draining, so buffered fetches populate the cache as usual.
+        let buffered_fetch = {
+            let fetcher = fetcher.clone();
+            move |req: &Request| {
+                let mut response = fetcher.fetch(req, now_secs);
+                if let Err(e) = response.body.buffer() {
+                    return NakikaError::Upstream {
+                        url: req.uri.to_string(),
+                        reason: format!("body stream failed: {e}"),
+                    }
+                    .to_response();
+                }
+                response
+            }
+        };
         let hooks = VocabHooks {
             fetch: Some({
-                let fetcher = fetcher.clone();
-                Arc::new(move |req: &Request| fetcher.fetch(req, now_secs))
+                let fetch = buffered_fetch.clone();
+                Arc::new(move |req: &Request| fetch(req))
             }),
             store: Some(self.store.clone()),
             access_log: Some(self.access_log.clone()),
@@ -397,10 +466,7 @@ impl NaKikaNode {
         self.resource.register_meter(site, meter.clone());
 
         let site_stage_url = format!("http://{site}/nakika.js");
-        let fetch_resource = {
-            let fetcher = fetcher.clone();
-            move |req: &Request| fetcher.fetch(req, now_secs)
-        };
+        let fetch_resource = buffered_fetch.clone();
         let outcome: PipelineOutcome = self.runner.execute(
             request,
             now_secs,

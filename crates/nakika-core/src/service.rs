@@ -305,15 +305,56 @@ where
 pub trait Layer: Send + Sync {
     /// Wraps `inner`, returning the layered service.
     fn wrap(&self, inner: Arc<dyn HttpService>) -> Arc<dyn HttpService>;
+
+    /// Whether this layer must see complete (buffered) response bodies.
+    ///
+    /// Since the v2 streaming redesign, responses may carry
+    /// [`Body::Stream`](nakika_http::Body) bodies that are pulled through
+    /// the transport one bounded chunk at a time.  Most layers — logging,
+    /// admission, redirection — operate on heads and declared sizes and
+    /// never touch body bytes, so they keep the stream intact.  A layer
+    /// that must inspect the whole body (integrity verification hashes it)
+    /// returns `true` here, and [`layered`] inserts a buffering point
+    /// *beneath* it so the stream is materialized exactly when — and only
+    /// when — such a layer demands it.
+    fn requires_full_body(&self) -> bool {
+        false
+    }
 }
 
 /// Applies `layers` around `base`; the first layer in the list ends up
 /// outermost.
+///
+/// Layers whose [`Layer::requires_full_body`] is true get a buffering
+/// adapter inserted beneath them: the inner service's streamed response is
+/// drained to a full body (surfacing mid-stream failures as
+/// [`NakikaError::Upstream`]) before the demanding layer runs.  The
+/// pipeline therefore buffers only when a layer asks, never by default.
 pub fn layered(base: Arc<dyn HttpService>, layers: Vec<Box<dyn Layer>>) -> Arc<dyn HttpService> {
-    layers
-        .into_iter()
-        .rev()
-        .fold(base, |inner, layer| layer.wrap(inner))
+    layers.into_iter().rev().fold(base, |inner, layer| {
+        let inner = if layer.requires_full_body() {
+            buffered_body(inner)
+        } else {
+            inner
+        };
+        layer.wrap(inner)
+    })
+}
+
+/// Wraps `inner` so that streamed response bodies are fully buffered before
+/// they propagate outward; a mid-stream failure (for example a peer that
+/// closed before `Content-Length` bytes arrived) surfaces as
+/// [`NakikaError::Upstream`] instead of a silently truncated body.
+pub fn buffered_body(inner: Arc<dyn HttpService>) -> Arc<dyn HttpService> {
+    service_fn(move |req: Request, ctx: &RequestCtx| {
+        let url = req.uri.to_string();
+        let mut response = inner.call(req, ctx)?;
+        response.body.buffer().map_err(|e| NakikaError::Upstream {
+            url,
+            reason: format!("body stream failed: {e}"),
+        })?;
+        Ok(response)
+    })
 }
 
 #[cfg(test)]
@@ -359,6 +400,76 @@ mod tests {
         assert_eq!(response.status, StatusCode::BAD_GATEWAY);
         assert_eq!(response.headers.get("X-Nakika-Error"), Some("upstream"));
         assert!(response.body.to_text().contains("connection refused"));
+    }
+
+    #[test]
+    fn full_body_layers_see_buffered_streams_others_see_the_stream() {
+        use bytes::Bytes;
+        use nakika_http::Body;
+
+        struct Probe {
+            wants_full: bool,
+        }
+        impl Layer for Probe {
+            fn wrap(&self, inner: Arc<dyn HttpService>) -> Arc<dyn HttpService> {
+                let wants_full = self.wants_full;
+                service_fn(move |req, ctx| {
+                    let resp = inner.call(req, ctx)?;
+                    assert_eq!(
+                        resp.body.is_stream(),
+                        !wants_full,
+                        "layer sees a stream exactly when it did not demand buffering"
+                    );
+                    Ok(resp)
+                })
+            }
+            fn requires_full_body(&self) -> bool {
+                self.wants_full
+            }
+        }
+
+        for wants_full in [false, true] {
+            let base = service_fn(|_req, _ctx| {
+                let mut resp = Response::ok("text/plain", "");
+                resp.body = Body::stream_from_iter(vec![Bytes::from_static(b"data")], Some(4));
+                Ok(resp)
+            });
+            let stack = layered(base, vec![Box::new(Probe { wants_full })]);
+            let resp = stack
+                .call(Request::get("http://a.example/"), &RequestCtx::at(0))
+                .unwrap();
+            assert_eq!(resp.body.to_text(), "data");
+        }
+    }
+
+    #[test]
+    fn buffered_body_surfaces_stream_failures_as_upstream() {
+        use bytes::Bytes;
+        use nakika_http::{Body, ChunkSource};
+
+        struct Failing(bool);
+        impl ChunkSource for Failing {
+            fn next_chunk(&mut self) -> std::io::Result<Option<Bytes>> {
+                if self.0 {
+                    return Err(std::io::Error::other("peer closed mid-body"));
+                }
+                self.0 = true;
+                Ok(Some(Bytes::from_static(b"partial")))
+            }
+        }
+        let base = service_fn(|_req, _ctx| {
+            let mut resp = Response::ok("text/plain", "");
+            resp.body = Body::stream(Failing(false), Some(100));
+            Ok(resp)
+        });
+        let stack = buffered_body(base);
+        match stack.call(Request::get("http://a.example/big"), &RequestCtx::at(0)) {
+            Err(NakikaError::Upstream { url, reason }) => {
+                assert_eq!(url, "http://a.example/big");
+                assert!(reason.contains("peer closed"), "reason: {reason}");
+            }
+            other => panic!("expected an upstream error, got {other:?}"),
+        }
     }
 
     #[test]

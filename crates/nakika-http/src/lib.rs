@@ -30,9 +30,12 @@ pub mod uri;
 pub use cache_control::{CacheControl, Freshness};
 pub use error::{HttpError, Result};
 pub use headers::Headers;
-pub use message::{Body, Request, Response};
+pub use message::{Body, BodyStream, ChunkSource, Request, Response, STREAM_CHUNK_BYTES};
 pub use method::Method;
-pub use parse::{parse_request, parse_response, ParseOutcome};
-pub use serialize::{serialize_request, serialize_response};
+pub use parse::{
+    parse_request, parse_response, parse_response_head, BodyFraming, ChunkedDecoder, ParseOutcome,
+    ResponseHead,
+};
+pub use serialize::{serialize_request, serialize_response, ResponseWriter};
 pub use status::StatusCode;
 pub use uri::Uri;

@@ -79,8 +79,34 @@ pub fn parse_request(input: &[u8]) -> Result<ParseOutcome<Request>> {
     })
 }
 
-/// Parses an HTTP response from `input`.
-pub fn parse_response(input: &[u8]) -> Result<ParseOutcome<Response>> {
+/// How a response body is delimited on the wire, as determined by its
+/// headers.  The streaming transport reads the head with
+/// [`parse_response_head`] and then pulls body bytes according to this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyFraming {
+    /// `Content-Length: n` — exactly `n` body bytes follow.
+    Length(u64),
+    /// `Transfer-Encoding: chunked` — body framed by a [`ChunkedDecoder`].
+    Chunked,
+    /// Neither header: no body (bodies terminated only by connection close
+    /// are not produced by this stack, matching the buffered parser).
+    None,
+}
+
+/// A parsed response head: the message with an *empty* body, how many input
+/// bytes the head consumed, and how the body that follows is framed.
+#[derive(Debug)]
+pub struct ResponseHead {
+    /// Status line and headers, body left empty.
+    pub response: Response,
+    /// How the body that follows is delimited.
+    pub framing: BodyFraming,
+}
+
+/// Parses just the head of an HTTP response — the entry point of the
+/// streaming read path, which then pulls the body incrementally instead of
+/// waiting for it to be complete in one buffer.
+pub fn parse_response_head(input: &[u8]) -> Result<ParseOutcome<ResponseHead>> {
     let head = match find_head(input)? {
         Some(h) => h,
         None => return Ok(ParseOutcome::Partial),
@@ -102,20 +128,52 @@ pub fn parse_response(input: &[u8]) -> Result<ParseOutcome<Response>> {
         .ok_or_else(|| HttpError::MalformedStartLine(start.to_string()))?;
     let status = StatusCode::new(code)?;
     let headers = parse_headers(lines)?;
+    let framing = if headers.is_chunked() {
+        BodyFraming::Chunked
+    } else {
+        match headers.content_length() {
+            Some(n) => BodyFraming::Length(n as u64),
+            None => {
+                if headers.contains("content-length") {
+                    return Err(HttpError::InvalidContentLength(
+                        headers.get("content-length").unwrap_or("").to_string(),
+                    ));
+                }
+                BodyFraming::None
+            }
+        }
+    };
+    Ok(ParseOutcome::Complete {
+        message: ResponseHead {
+            response: Response {
+                status,
+                version_11,
+                headers,
+                body: Body::empty(),
+            },
+            framing,
+        },
+        consumed: head + 4,
+    })
+}
 
-    let body_start = head + 4;
-    let (body, _) = parse_body(&input[body_start..], &headers, &Method::Get)?;
+/// Parses an HTTP response from `input` — the head via
+/// [`parse_response_head`], then the complete body (so the two entry
+/// points cannot diverge on head parsing).
+pub fn parse_response(input: &[u8]) -> Result<ParseOutcome<Response>> {
+    let (head, body_start) = match parse_response_head(input)? {
+        ParseOutcome::Complete { message, consumed } => (message, consumed),
+        ParseOutcome::Partial => return Ok(ParseOutcome::Partial),
+    };
+    let mut response = head.response;
+    let (body, _) = parse_body(&input[body_start..], &response.headers, &Method::Get)?;
     let (body, body_len) = match body {
         Some(b) => b,
         None => return Ok(ParseOutcome::Partial),
     };
+    response.body = body;
     Ok(ParseOutcome::Complete {
-        message: Response {
-            status,
-            version_11,
-            headers,
-            body,
-        },
+        message: response,
         consumed: body_start + body_len,
     })
 }
@@ -222,48 +280,200 @@ fn parse_body(
     Ok((Some((body, len)), len))
 }
 
-/// Parses a chunked body; returns `None` when incomplete.
+/// Parses a chunked body; returns `None` when incomplete.  One-shot wrapper
+/// over the incremental [`ChunkedDecoder`] so both paths share one state
+/// machine.
 fn parse_chunked(input: &[u8]) -> Result<Option<(Body, usize)>> {
+    // This path materializes the whole body, so the buffering cap applies.
+    let mut decoder = ChunkedDecoder::with_limit(MAX_BODY_BYTES);
     let mut chunks = Vec::new();
-    let mut pos = 0usize;
-    let mut total = 0usize;
-    loop {
-        let line_end = match window_find(&input[pos..], b"\r\n") {
-            Some(i) => pos + i,
-            None => return Ok(None),
-        };
-        let size_str = std::str::from_utf8(&input[pos..line_end])
-            .map_err(|_| HttpError::MalformedChunk("non-utf8 size".to_string()))?;
-        let size_str = size_str.split(';').next().unwrap_or("").trim();
-        let size = usize::from_str_radix(size_str, 16)
-            .map_err(|_| HttpError::MalformedChunk(size_str.to_string()))?;
-        pos = line_end + 2;
-        if size == 0 {
-            // Trailer section: skip until the final CRLF CRLF (we accept the
-            // common bare "\r\n" terminator too).
-            let rest = &input[pos..];
-            if rest.len() >= 2 && &rest[..2] == b"\r\n" {
-                return Ok(Some((Body::from_chunks(chunks), pos + 2)));
+    let consumed = decoder.feed(input, &mut chunks)?;
+    if decoder.is_done() {
+        Ok(Some((Body::from_chunks(chunks), consumed)))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Incremental decoder for `Transfer-Encoding: chunked` bodies.
+///
+/// Feed it wire bytes as they arrive; it emits decoded data chunks and
+/// reports when the terminating `0`-size chunk (plus trailers) has been
+/// seen.  Unlike the one-shot [`parse_response`] path it never needs the
+/// whole body in one buffer, which is what lets the transport relay a
+/// chunked upstream response one bounded chunk at a time.
+///
+/// ```
+/// use nakika_http::parse::ChunkedDecoder;
+///
+/// let mut decoder = ChunkedDecoder::new();
+/// let mut out = Vec::new();
+/// // Bytes may arrive split at any boundary:
+/// decoder.feed(b"4\r\nWi", &mut out).unwrap();
+/// decoder.feed(b"ki\r\n0\r\n\r\n", &mut out).unwrap();
+/// assert!(decoder.is_done());
+/// let data: Vec<u8> = out.iter().flat_map(|c| c.to_vec()).collect();
+/// assert_eq!(data, b"Wiki");
+/// ```
+#[derive(Debug)]
+pub struct ChunkedDecoder {
+    state: ChunkedState,
+    /// Carry-over for a size line or trailer split across feeds.
+    pending: Vec<u8>,
+    /// Total decoded bytes so far.
+    total: usize,
+    /// Cap on `total`, set by consumers that *materialize* the body
+    /// ([`ChunkedDecoder::with_limit`]).  The default pass-through decoder
+    /// is unlimited: a relay's memory is bounded by its chunk window, not
+    /// by body size, and capping it would break exactly the large-instance
+    /// streaming it exists for.
+    max_total: Option<usize>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum ChunkedState {
+    /// Waiting for a complete `size[;ext]\r\n` line in `pending`.
+    SizeLine,
+    /// `n` data bytes (plus the trailing CRLF) still to come.
+    Data { remaining: usize },
+    /// The CRLF after a data chunk (0, 1 or 2 bytes still missing).
+    DataCrlf { missing: usize },
+    /// After the 0-size chunk: consuming trailers until a bare CRLF.
+    Trailer,
+    /// Terminator seen; any further input belongs to the next message.
+    Done,
+}
+
+impl Default for ChunkedDecoder {
+    fn default() -> ChunkedDecoder {
+        ChunkedDecoder::new()
+    }
+}
+
+impl ChunkedDecoder {
+    /// A decoder positioned at the start of a chunked body, with no cap on
+    /// the decoded size (pass-through relays are bounded by their chunk
+    /// window, not the body).
+    pub fn new() -> ChunkedDecoder {
+        ChunkedDecoder {
+            state: ChunkedState::SizeLine,
+            pending: Vec::new(),
+            total: 0,
+            max_total: None,
+        }
+    }
+
+    /// A decoder that refuses bodies larger than `max_total` decoded bytes
+    /// — for consumers that materialize the body in memory (the one-shot
+    /// parser, buffered clients).
+    pub fn with_limit(max_total: usize) -> ChunkedDecoder {
+        ChunkedDecoder {
+            max_total: Some(max_total),
+            ..ChunkedDecoder::new()
+        }
+    }
+
+    /// True once the terminating chunk and trailer section were consumed.
+    pub fn is_done(&self) -> bool {
+        self.state == ChunkedState::Done
+    }
+
+    /// Consumes as much of `input` as the body extends over, appending
+    /// decoded data chunks to `out`.  Returns how many input bytes were
+    /// consumed; once [`is_done`](ChunkedDecoder::is_done) turns true the
+    /// unconsumed remainder belongs to the next message on the connection.
+    pub fn feed(&mut self, input: &[u8], out: &mut Vec<Bytes>) -> Result<usize> {
+        let mut pos = 0usize;
+        while pos < input.len() {
+            match &mut self.state {
+                ChunkedState::SizeLine => {
+                    // Accumulate into `pending` until the line's CRLF shows.
+                    let Some(nl) = input[pos..].iter().position(|&b| b == b'\n') else {
+                        self.pending.extend_from_slice(&input[pos..]);
+                        if self.pending.len() > 1024 {
+                            return Err(HttpError::MalformedChunk(
+                                "unterminated chunk size line".to_string(),
+                            ));
+                        }
+                        return Ok(input.len());
+                    };
+                    self.pending.extend_from_slice(&input[pos..pos + nl]);
+                    pos += nl + 1;
+                    let line = std::mem::take(&mut self.pending);
+                    let line = std::str::from_utf8(&line)
+                        .map_err(|_| HttpError::MalformedChunk("non-utf8 size".to_string()))?;
+                    let size_str = line
+                        .trim_end_matches('\r')
+                        .split(';')
+                        .next()
+                        .unwrap_or("")
+                        .trim();
+                    let size = usize::from_str_radix(size_str, 16)
+                        .map_err(|_| HttpError::MalformedChunk(size_str.to_string()))?;
+                    // checked_add: a hostile peer can send a size line like
+                    // `ffffffffffffffff` that parses but would overflow the
+                    // running total (debug panic / release guard bypass).
+                    self.total = self
+                        .total
+                        .checked_add(size)
+                        .ok_or(HttpError::BodyTooLarge {
+                            limit: self.max_total.unwrap_or(usize::MAX),
+                        })?;
+                    if let Some(limit) = self.max_total {
+                        if self.total > limit {
+                            return Err(HttpError::BodyTooLarge { limit });
+                        }
+                    }
+                    self.state = if size == 0 {
+                        ChunkedState::Trailer
+                    } else {
+                        ChunkedState::Data { remaining: size }
+                    };
+                }
+                ChunkedState::Data { remaining } => {
+                    let take = (*remaining).min(input.len() - pos);
+                    out.push(Bytes::copy_from_slice(&input[pos..pos + take]));
+                    pos += take;
+                    *remaining -= take;
+                    if *remaining == 0 {
+                        self.state = ChunkedState::DataCrlf { missing: 2 };
+                    }
+                }
+                ChunkedState::DataCrlf { missing } => {
+                    let expect = if *missing == 2 { b'\r' } else { b'\n' };
+                    if input[pos] != expect {
+                        return Err(HttpError::MalformedChunk("missing chunk CRLF".to_string()));
+                    }
+                    pos += 1;
+                    *missing -= 1;
+                    if *missing == 0 {
+                        self.state = ChunkedState::SizeLine;
+                    }
+                }
+                ChunkedState::Trailer => {
+                    // Trailer lines end at a bare CRLF; we accept the common
+                    // immediate terminator and skip any trailer fields.
+                    let Some(nl) = input[pos..].iter().position(|&b| b == b'\n') else {
+                        self.pending.extend_from_slice(&input[pos..]);
+                        if self.pending.len() > MAX_HEADER_BYTES {
+                            return Err(HttpError::BodyTooLarge {
+                                limit: MAX_HEADER_BYTES,
+                            });
+                        }
+                        return Ok(input.len());
+                    };
+                    self.pending.extend_from_slice(&input[pos..pos + nl]);
+                    pos += nl + 1;
+                    let line = std::mem::take(&mut self.pending);
+                    if line.is_empty() || line == b"\r" {
+                        self.state = ChunkedState::Done;
+                        return Ok(pos);
+                    }
+                }
+                ChunkedState::Done => return Ok(pos),
             }
-            match window_find(rest, b"\r\n\r\n") {
-                Some(i) => return Ok(Some((Body::from_chunks(chunks), pos + i + 4))),
-                None => return Ok(None),
-            }
         }
-        total += size;
-        if total > MAX_BODY_BYTES {
-            return Err(HttpError::BodyTooLarge {
-                limit: MAX_BODY_BYTES,
-            });
-        }
-        if input.len() < pos + size + 2 {
-            return Ok(None);
-        }
-        chunks.push(Bytes::copy_from_slice(&input[pos..pos + size]));
-        if &input[pos + size..pos + size + 2] != b"\r\n" {
-            return Err(HttpError::MalformedChunk("missing chunk CRLF".to_string()));
-        }
-        pos += size + 2;
+        Ok(pos)
     }
 }
 
@@ -335,7 +545,6 @@ mod tests {
         let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
         let (resp, consumed) = complete(parse_response(raw).unwrap());
         assert_eq!(resp.body.to_text(), "Wikipedia");
-        assert_eq!(resp.body.chunks().len(), 2);
         assert_eq!(consumed, raw.len());
     }
 
@@ -367,6 +576,78 @@ mod tests {
             parse_request(&raw),
             Err(HttpError::BodyTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn response_head_reports_framing() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n0123456789";
+        let (head, consumed) = complete(parse_response_head(raw).unwrap());
+        assert_eq!(head.framing, BodyFraming::Length(10));
+        assert_eq!(&raw[consumed..], b"0123456789");
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let (head, _) = complete(parse_response_head(raw).unwrap());
+        assert_eq!(head.framing, BodyFraming::Chunked);
+        let raw = b"HTTP/1.1 204 No Content\r\n\r\n";
+        let (head, _) = complete(parse_response_head(raw).unwrap());
+        assert_eq!(head.framing, BodyFraming::None);
+        assert!(matches!(
+            parse_response_head(b"HTTP/1.1 200 OK\r\nContent-Len"),
+            Ok(ParseOutcome::Partial)
+        ));
+    }
+
+    #[test]
+    fn chunked_decoder_matches_one_shot_at_every_split() {
+        let wire = b"4\r\nWiki\r\n5\r\npedia\r\n10\r\n 0123456789abcde\r\n0\r\nX-T: v\r\n\r\nNEXT";
+        let body_len = wire.len() - 4;
+        for split in 0..=body_len {
+            let mut decoder = ChunkedDecoder::new();
+            let mut out = Vec::new();
+            let a = decoder.feed(&wire[..split], &mut out).unwrap();
+            assert_eq!(a, split, "everything before Done is consumed");
+            let b = decoder.feed(&wire[split..], &mut out).unwrap();
+            assert!(decoder.is_done(), "split at {split}");
+            assert_eq!(&wire[split + b..], b"NEXT", "remainder is the next message");
+            let data: Vec<u8> = out.iter().flat_map(|c| c.to_vec()).collect();
+            assert_eq!(data, b"Wikipedia 0123456789abcde");
+        }
+    }
+
+    #[test]
+    fn chunked_decoder_guards_its_total_against_overflow_and_limit() {
+        // A size line of ffffffffffffffff parses as usize::MAX; adding it to
+        // a non-zero running total must not overflow (debug panic / release
+        // guard bypass) — it is an oversize error.
+        let mut decoder = ChunkedDecoder::with_limit(MAX_BODY_BYTES);
+        let mut out = Vec::new();
+        assert!(matches!(
+            decoder.feed(b"1\r\nX\r\nffffffffffffffff\r\n", &mut out),
+            Err(HttpError::BodyTooLarge { .. })
+        ));
+        // A limited decoder refuses totals past its cap...
+        let mut decoder = ChunkedDecoder::with_limit(16);
+        let mut out = Vec::new();
+        assert!(matches!(
+            decoder.feed(b"20\r\n", &mut out),
+            Err(HttpError::BodyTooLarge { .. })
+        ));
+        // ...while the default pass-through decoder has no body-size cap
+        // (a relay's memory is bounded by its chunk window, not the body).
+        let mut decoder = ChunkedDecoder::new();
+        let mut out = Vec::new();
+        let huge = format!("{:x}\r\n", 10usize * MAX_BODY_BYTES);
+        decoder.feed(huge.as_bytes(), &mut out).unwrap();
+        decoder.feed(&[b'z'; 64], &mut out).unwrap();
+        assert_eq!(out.iter().map(|c| c.len()).sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn chunked_decoder_rejects_malformed_input() {
+        let mut decoder = ChunkedDecoder::new();
+        let mut out = Vec::new();
+        assert!(decoder.feed(b"zz\r\n", &mut out).is_err());
+        let mut decoder = ChunkedDecoder::new();
+        assert!(decoder.feed(b"2\r\nab__", &mut out).is_err());
     }
 
     #[test]

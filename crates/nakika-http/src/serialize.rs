@@ -1,6 +1,16 @@
 //! Serialization of HTTP messages back to their wire format.
+//!
+//! Two paths exist.  The one-shot functions ([`serialize_request`],
+//! [`serialize_response`]) materialize a whole message — the right tool for
+//! requests (small) and for tests.  The incremental [`ResponseWriter`]
+//! emits a response as a head followed by bounded body chunks — with
+//! `Content-Length` framing when the body size is known and `chunked`
+//! transfer encoding when it is not — so a transport never holds more than
+//! one chunk of a large streamed body in its output buffer.
 
-use crate::message::{Request, Response};
+use crate::message::{Body, Request, Response};
+use bytes::Bytes;
+use std::io;
 
 /// Serializes a request in origin-form (path on the request line, `Host`
 /// header carrying the authority), which is what a proxy forwards upstream.
@@ -25,12 +35,15 @@ fn serialize_request_with_form(req: &Request, absolute: bool) -> Vec<u8> {
     } else {
         req.uri.path_and_query()
     };
-    let mut out = Vec::with_capacity(128 + req.body.len());
+    // Request bodies stay buffered in this stack (they are uploads the
+    // scripting pipeline inspects whole), so draining here is cheap.
+    let body = req.body.to_bytes();
+    let mut out = Vec::with_capacity(128 + body.len());
     out.extend_from_slice(format!("{} {} {}\r\n", req.method, target, version).as_bytes());
     if !req.headers.contains("host") && !req.uri.host.is_empty() {
         out.extend_from_slice(format!("Host: {}\r\n", req.uri.authority()).as_bytes());
     }
-    let body_len = req.body.len();
+    let body_len = body.len();
     let mut wrote_length = false;
     for (name, value) in req.headers.iter() {
         if name.eq_ignore_ascii_case("content-length") {
@@ -46,22 +59,39 @@ fn serialize_request_with_form(req: &Request, absolute: bool) -> Vec<u8> {
         out.extend_from_slice(format!("Content-Length: {body_len}\r\n").as_bytes());
     }
     out.extend_from_slice(b"\r\n");
-    for chunk in req.body.chunks() {
-        out.extend_from_slice(chunk);
-    }
+    out.extend_from_slice(&body);
     out
 }
 
-/// Serializes a response to its wire format.  Chunked transfer encoding is
-/// never emitted: the body length is always declared explicitly, because Na
-/// Kika scripts operate on complete instances (paper §3.1).
+/// Serializes a response to its wire format in one buffer, draining a
+/// streaming body first.  `Content-Length` framing is always used; large
+/// responses should go through [`ResponseWriter`] instead, which never
+/// materializes the body.
 pub fn serialize_response(resp: &Response) -> Vec<u8> {
+    let body = resp.body.to_bytes();
+    let mut out = response_head(resp, Framing::Length(body.len() as u64));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Wire framing chosen for a response body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Framing {
+    /// `Content-Length: n`.
+    Length(u64),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+}
+
+/// Builds the status line + headers for `resp` under `framing`, overriding
+/// any stale `Content-Length`/`Transfer-Encoding` the message carried.
+fn response_head(resp: &Response, framing: Framing) -> Vec<u8> {
     let version = if resp.version_11 {
         "HTTP/1.1"
     } else {
         "HTTP/1.0"
     };
-    let mut out = Vec::with_capacity(128 + resp.body.len());
+    let mut out = Vec::with_capacity(256);
     out.extend_from_slice(
         format!(
             "{} {} {}\r\n",
@@ -71,27 +101,172 @@ pub fn serialize_response(resp: &Response) -> Vec<u8> {
         )
         .as_bytes(),
     );
-    let body_len = resp.body.len();
-    let mut wrote_length = false;
     for (name, value) in resp.headers.iter() {
-        if name.eq_ignore_ascii_case("transfer-encoding") {
+        if name.eq_ignore_ascii_case("transfer-encoding")
+            || name.eq_ignore_ascii_case("content-length")
+        {
             continue;
         }
-        if name.eq_ignore_ascii_case("content-length") {
-            out.extend_from_slice(format!("Content-Length: {body_len}\r\n").as_bytes());
-            wrote_length = true;
-        } else {
-            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    match framing {
+        Framing::Length(n) => {
+            out.extend_from_slice(format!("Content-Length: {n}\r\n").as_bytes());
+        }
+        Framing::Chunked => {
+            out.extend_from_slice(b"Transfer-Encoding: chunked\r\n");
         }
     }
-    if !wrote_length {
-        out.extend_from_slice(format!("Content-Length: {body_len}\r\n").as_bytes());
-    }
     out.extend_from_slice(b"\r\n");
-    for chunk in resp.body.chunks() {
-        out.extend_from_slice(chunk);
-    }
     out
+}
+
+/// Incremental response serializer: yields the head, then the body one
+/// bounded chunk at a time, framed by `Content-Length` when the size is
+/// known and by `chunked` transfer encoding otherwise.
+///
+/// HTTP/1.0 peers do not understand chunked encoding, so an unknown-length
+/// body destined for a 1.0 client is buffered once to learn its size — the
+/// only case where this writer materializes a body.
+///
+/// ```
+/// use nakika_http::serialize::ResponseWriter;
+/// use nakika_http::{Body, Response};
+/// use bytes::Bytes;
+///
+/// let mut resp = Response::new(nakika_http::StatusCode::OK);
+/// resp.body = Body::stream_from_iter(vec![Bytes::from_static(b"hi")], None);
+/// let mut writer = ResponseWriter::new(resp);
+/// let mut wire = Vec::new();
+/// while let Some(part) = writer.next_part().unwrap() {
+///     wire.extend_from_slice(&part);
+/// }
+/// let text = String::from_utf8_lossy(&wire);
+/// assert!(text.contains("Transfer-Encoding: chunked"));
+/// assert!(text.ends_with("2\r\nhi\r\n0\r\n\r\n"));
+/// ```
+pub struct ResponseWriter {
+    body: Body,
+    chunked: bool,
+    /// Bytes the declared `Content-Length` still allows; `None` in chunked
+    /// mode.  Guards HTTP framing against a source that delivers more or
+    /// fewer bytes than the response declared.
+    remaining: Option<u64>,
+    head: Option<Vec<u8>>,
+    /// Set when the body failed before the head was emitted (the 1.0
+    /// buffering path): surfaced from the first `next_part` call so no
+    /// misleading head ever reaches the wire.
+    failed_early: Option<String>,
+    done: bool,
+}
+
+impl ResponseWriter {
+    /// Prepares `resp` for incremental writing.
+    pub fn new(mut resp: Response) -> ResponseWriter {
+        let mut failed_early = None;
+        let framing = match resp.body.size_hint() {
+            Some(n) => Framing::Length(n),
+            None if resp.version_11 => Framing::Chunked,
+            None => {
+                // 1.0 client: learn the length by buffering.  A failure here
+                // happens before anything reached the wire, so it is stashed
+                // and surfaced from the first next_part call instead of
+                // emitting a valid-looking empty 200.
+                if let Err(e) = resp.body.buffer() {
+                    failed_early = Some(e.to_string());
+                }
+                Framing::Length(resp.body.len() as u64)
+            }
+        };
+        ResponseWriter {
+            head: Some(response_head(&resp, framing)),
+            chunked: framing == Framing::Chunked,
+            remaining: match framing {
+                Framing::Length(n) => Some(n),
+                Framing::Chunked => None,
+            },
+            body: resp.body,
+            failed_early,
+            done: false,
+        }
+    }
+
+    /// The next piece of wire output: the head on the first call, then one
+    /// framed body chunk per call, then (for chunked framing) the
+    /// terminator; `Ok(None)` when the response is fully emitted.
+    ///
+    /// An `Err` means the body stream failed mid-response.  The head may
+    /// already be on the wire at that point, so the only safe recovery for
+    /// a transport is to abort the connection — the framing (short
+    /// `Content-Length` read or missing chunked terminator) tells the
+    /// client the message was truncated.  The same applies to a source
+    /// that ends short of the response's declared `Content-Length`.
+    pub fn next_part(&mut self) -> io::Result<Option<Bytes>> {
+        if let Some(reason) = self.failed_early.take() {
+            return Err(io::Error::other(reason));
+        }
+        if let Some(head) = self.head.take() {
+            return Ok(Some(Bytes::from(head)));
+        }
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            match self.body.read_chunk()? {
+                Some(chunk) if chunk.is_empty() => {
+                    // An empty chunk must not be framed: in chunked encoding
+                    // a zero-size chunk *is* the terminator.  Skip it.
+                    continue;
+                }
+                Some(mut chunk) => {
+                    if let Some(remaining) = &mut self.remaining {
+                        if *remaining == 0 {
+                            // Over-delivery past the declared length would
+                            // bleed into the next message on a keep-alive
+                            // connection.  Drop the misbehaving source.
+                            self.done = true;
+                            return Ok(None);
+                        }
+                        if (chunk.len() as u64) > *remaining {
+                            chunk = chunk.slice(..*remaining as usize);
+                        }
+                        *remaining -= chunk.len() as u64;
+                    }
+                    return Ok(Some(self.frame(chunk)));
+                }
+                None => {
+                    self.done = true;
+                    return if self.chunked {
+                        Ok(Some(Bytes::from_static(b"0\r\n\r\n")))
+                    } else if let Some(short) = self.remaining.filter(|r| *r > 0) {
+                        // Under-delivery: the head promised more bytes than
+                        // the source produced.  Abort so the client sees a
+                        // short read, never a silently padded-out frame.
+                        Err(io::Error::other(format!(
+                            "body ended {short} bytes short of its declared Content-Length"
+                        )))
+                    } else {
+                        Ok(None)
+                    };
+                }
+            }
+        }
+    }
+
+    /// Wire-frames one body chunk.  `Content-Length` framing passes the
+    /// chunk through untouched (zero-copy on the relay hot path); chunked
+    /// framing wraps it in its size line and CRLF.
+    fn frame(&self, chunk: Bytes) -> Bytes {
+        if self.chunked {
+            let mut out = Vec::with_capacity(chunk.len() + 16);
+            out.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+            out.extend_from_slice(&chunk);
+            out.extend_from_slice(b"\r\n");
+            Bytes::from(out)
+        } else {
+            chunk
+        }
+    }
 }
 
 #[cfg(test)]
@@ -145,7 +320,7 @@ mod tests {
     }
 
     #[test]
-    fn chunked_header_is_dropped_on_output() {
+    fn stale_chunked_header_is_dropped_on_buffered_output() {
         let mut resp = Response::ok("text/plain", "data");
         resp.headers.set("Transfer-Encoding", "chunked");
         let raw = serialize_response(&resp);
@@ -159,5 +334,153 @@ mod tests {
         let resp = Response::new(StatusCode::NO_CONTENT);
         let raw = serialize_response(&resp);
         assert!(String::from_utf8_lossy(&raw).contains("Content-Length: 0"));
+    }
+
+    fn drain(mut writer: ResponseWriter) -> Vec<u8> {
+        let mut wire = Vec::new();
+        while let Some(part) = writer.next_part().unwrap() {
+            wire.extend_from_slice(&part);
+        }
+        wire
+    }
+
+    #[test]
+    fn writer_uses_content_length_for_sized_bodies() {
+        use bytes::Bytes;
+        let resp = Response::ok("text/plain", "sized body");
+        let wire = drain(ResponseWriter::new(resp));
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.contains("Content-Length: 10\r\n"));
+        assert!(text.ends_with("sized body"));
+
+        // A stream with a declared length keeps Content-Length framing.
+        let mut resp = Response::new(StatusCode::OK);
+        resp.body = Body::stream_from_iter(
+            vec![Bytes::from_static(b"01234"), Bytes::from_static(b"56789")],
+            Some(10),
+        );
+        let wire = drain(ResponseWriter::new(resp));
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.contains("Content-Length: 10\r\n"));
+        assert!(text.ends_with("0123456789"));
+    }
+
+    #[test]
+    fn writer_chunk_encodes_unknown_lengths_and_round_trips() {
+        use bytes::Bytes;
+        let mut resp = Response::new(StatusCode::OK);
+        resp.headers.set("Content-Type", "video/mpeg");
+        // A stale Content-Length from upstream must not leak next to the
+        // chunked framing.
+        resp.headers.set("Content-Length", "999");
+        resp.body = Body::stream_from_iter(
+            vec![
+                Bytes::from_static(b"part one, "),
+                Bytes::from_static(b"part two"),
+            ],
+            None,
+        );
+        let wire = drain(ResponseWriter::new(resp));
+        match parse_response(&wire).unwrap() {
+            ParseOutcome::Complete { message, consumed } => {
+                assert_eq!(consumed, wire.len());
+                assert!(message.headers.is_chunked());
+                assert!(!message.headers.contains("content-length"));
+                assert_eq!(message.body.to_text(), "part one, part two");
+            }
+            ParseOutcome::Partial => panic!("chunked round trip incomplete"),
+        }
+    }
+
+    #[test]
+    fn writer_skips_empty_chunks_instead_of_emitting_a_premature_terminator() {
+        use bytes::Bytes;
+        let mut resp = Response::new(StatusCode::OK);
+        resp.body = Body::stream_from_iter(
+            vec![
+                Bytes::new(),
+                Bytes::from_static(b"data"),
+                Bytes::new(),
+                Bytes::from_static(b"!"),
+            ],
+            None,
+        );
+        let wire = drain(ResponseWriter::new(resp));
+        match parse_response(&wire).unwrap() {
+            ParseOutcome::Complete { message, consumed } => {
+                assert_eq!(consumed, wire.len(), "no bytes bleed past the body");
+                assert_eq!(message.body.to_text(), "data!");
+            }
+            ParseOutcome::Partial => panic!("terminator missing"),
+        }
+    }
+
+    #[test]
+    fn writer_enforces_the_declared_length_against_the_source() {
+        use bytes::Bytes;
+        // Under-delivery: the declared length cannot be met — the writer
+        // must error (the transport aborts) rather than end cleanly.
+        let mut resp = Response::new(StatusCode::OK);
+        resp.body = Body::stream_from_iter(vec![Bytes::from_static(b"abc")], Some(10));
+        let mut writer = ResponseWriter::new(resp);
+        let mut saw_error = false;
+        loop {
+            match writer.next_part() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    saw_error = true;
+                    assert!(e.to_string().contains("7 bytes short"), "{e}");
+                    break;
+                }
+            }
+        }
+        assert!(saw_error, "short delivery must not end cleanly");
+
+        // Over-delivery: bytes past the declared length are cut off so they
+        // cannot bleed into the next keep-alive response.
+        let mut resp = Response::new(StatusCode::OK);
+        resp.body = Body::stream_from_iter(
+            vec![
+                Bytes::from_static(b"0123456789"),
+                Bytes::from_static(b"EXTRA"),
+            ],
+            Some(10),
+        );
+        let wire = drain(ResponseWriter::new(resp));
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.ends_with("0123456789"), "wire: {text}");
+        assert!(!text.contains("EXTRA"));
+    }
+
+    #[test]
+    fn writer_aborts_before_the_head_when_http10_buffering_fails() {
+        struct Failing;
+        impl crate::message::ChunkSource for Failing {
+            fn next_chunk(&mut self) -> io::Result<Option<bytes::Bytes>> {
+                Err(io::Error::other("upstream died"))
+            }
+        }
+        let mut resp = Response::new(StatusCode::OK);
+        resp.version_11 = false;
+        resp.body = Body::stream(Failing, None);
+        let mut writer = ResponseWriter::new(resp);
+        // The failure must surface before any head bytes are produced — a
+        // 1.0 client must never see a valid-looking empty 200.
+        let err = writer.next_part().unwrap_err();
+        assert!(err.to_string().contains("upstream died"), "{err}");
+    }
+
+    #[test]
+    fn writer_buffers_unknown_lengths_for_http10_clients() {
+        use bytes::Bytes;
+        let mut resp = Response::new(StatusCode::OK);
+        resp.version_11 = false;
+        resp.body = Body::stream_from_iter(vec![Bytes::from_static(b"legacy")], None);
+        let wire = drain(ResponseWriter::new(resp));
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 6\r\n"));
+        assert!(text.ends_with("legacy"));
     }
 }

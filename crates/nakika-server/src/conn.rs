@@ -10,10 +10,64 @@
 //! bytes, so the two transports differ only in *how* they move bytes —
 //! blocking reads on a dedicated thread versus readiness-driven
 //! non-blocking reads on a shared reactor thread.
+//!
+//! # Streaming output
+//!
+//! Since the v2 streaming redesign, a service may answer with a
+//! [`Body::Stream`](nakika_http::Body) whose chunks are pulled from an
+//! upstream source as they are relayed.  The engine therefore no longer
+//! serializes whole responses: dispatched responses enter a FIFO, and the
+//! engine *pumps* the response at the head of the queue — via the
+//! incremental [`ResponseWriter`] — into its output buffer only while the
+//! buffered backlog stays under a bounded window
+//! ([`OUTPUT_WINDOW_BYTES`]).  Each flush of the socket makes room and
+//! pulls the next chunk, so an 8 MiB relay holds at most one window of
+//! bytes per connection, and on the reactor the pull rate is governed by
+//! the client's write-readiness (natural backpressure).  A body stream
+//! that fails mid-response cannot be turned into an error status (the head
+//! is already on the wire); the engine aborts the connection so the
+//! framing tells the client the message was truncated.
 
 use crate::{CtxFactory, HttpService};
-use nakika_http::{parse_request, serialize_response, ParseOutcome, Response, StatusCode};
+use nakika_http::{
+    parse_request, ParseOutcome, Response, ResponseWriter, StatusCode, STREAM_CHUNK_BYTES,
+};
+use std::collections::VecDeque;
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on serialized-but-unsent bytes held per connection.  One
+/// window must fit at least one head plus one body chunk; the default (256
+/// KiB) amortizes syscalls on small pipelined responses while keeping the
+/// per-connection memory for large relays bounded.
+pub const OUTPUT_WINDOW_BYTES: usize = 256 * 1024;
+
+/// Headroom reserved inside the window for one more part (a body chunk
+/// plus its framing, or a response head), so pumping never overshoots
+/// [`OUTPUT_WINDOW_BYTES`].
+const PART_HEADROOM_BYTES: usize = STREAM_CHUNK_BYTES + 4 * 1024;
+
+/// Process-wide high-water mark of per-connection buffered output, across
+/// both transports — the instrumentation behind the large-body bounded-
+/// memory tests and `examples/streaming_brigade.rs`.
+static PEAK_OUTPUT_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+fn note_buffered(bytes: usize) {
+    PEAK_OUTPUT_BYTES.fetch_max(bytes, Ordering::Relaxed);
+}
+
+/// Highest number of serialized-but-unsent bytes any connection has held
+/// since the last [`reset_peak_buffered_output`] — across every server in
+/// the process, on both transports.
+pub fn peak_buffered_output() -> usize {
+    PEAK_OUTPUT_BYTES.load(Ordering::Relaxed)
+}
+
+/// Resets the [`peak_buffered_output`] high-water mark (tests bracket a
+/// workload with this to assert the bounded-buffering invariant).
+pub fn reset_peak_buffered_output() {
+    PEAK_OUTPUT_BYTES.store(0, Ordering::Relaxed);
+}
 
 /// Sans-IO state machine for one server-side HTTP/1.1 connection.
 pub(crate) struct HttpConn {
@@ -21,6 +75,10 @@ pub(crate) struct HttpConn {
     inbuf: Vec<u8>,
     outbuf: Vec<u8>,
     written: usize,
+    /// The response currently being emitted incrementally.
+    active: Option<ResponseWriter>,
+    /// Responses dispatched but not yet started (pipelining).
+    queued: VecDeque<Response>,
     open: bool,
 }
 
@@ -32,6 +90,8 @@ impl HttpConn {
             inbuf: Vec::new(),
             outbuf: Vec::new(),
             written: 0,
+            active: None,
+            queued: VecDeque::new(),
             open: true,
         }
     }
@@ -42,10 +102,12 @@ impl HttpConn {
     }
 
     /// Parses and dispatches every complete request currently buffered,
-    /// appending serialized responses to the output buffer.  Handles
-    /// pipelined requests in one pass.  Returns the connection's liveness:
-    /// `false` means close once the pending output is flushed (the client
-    /// asked for it, or the input was malformed and a 400 was queued).
+    /// queueing their responses in order (pipelined requests are handled in
+    /// one pass), then pumps response bytes into the output buffer up to
+    /// the window.  Returns the connection's liveness: `false` means close
+    /// once the pending output is flushed (the client asked for it, the
+    /// input was malformed and a 400 was queued, or a relayed body stream
+    /// failed mid-response).
     pub fn dispatch(&mut self, service: &dyn HttpService, ctx_factory: &CtxFactory) -> bool {
         while self.open {
             let (mut request, consumed) = match parse_request(&self.inbuf) {
@@ -54,7 +116,8 @@ impl HttpConn {
                 Err(_) => {
                     // The stream is unrecoverable past a parse error: answer
                     // 400 and close without looking at later bytes.
-                    self.queue(&Response::error(StatusCode::BAD_REQUEST));
+                    self.queued
+                        .push_back(Response::error(StatusCode::BAD_REQUEST));
                     self.open = false;
                     break;
                 }
@@ -68,22 +131,56 @@ impl HttpConn {
                 Ok(response) => response,
                 Err(error) => error.to_response(),
             };
-            self.queue(&response);
+            self.queued.push_back(response);
             if !keep_alive {
                 self.open = false;
             }
         }
+        self.pump();
         self.open
     }
 
-    fn queue(&mut self, response: &Response) {
-        // Compact the flushed prefix before growing, so a long-lived
-        // keep-alive connection does not accrete every response it ever sent.
-        if self.written > 0 {
-            self.outbuf.drain(..self.written);
-            self.written = 0;
+    /// Moves response bytes into the output buffer until the window is full
+    /// or there is nothing left to emit.  Called after dispatch and after
+    /// every flush, so a draining socket keeps pulling the next chunk of a
+    /// streamed body — and nothing pulls chunks faster than the socket
+    /// drains them.
+    fn pump(&mut self) {
+        loop {
+            if self.pending_len() + PART_HEADROOM_BYTES > OUTPUT_WINDOW_BYTES {
+                break;
+            }
+            if self.active.is_none() {
+                match self.queued.pop_front() {
+                    Some(response) => self.active = Some(ResponseWriter::new(response)),
+                    None => break,
+                }
+            }
+            let writer = self.active.as_mut().expect("writer installed above");
+            match writer.next_part() {
+                Ok(Some(part)) => {
+                    // Compact the flushed prefix before growing, so a
+                    // long-lived keep-alive connection does not accrete
+                    // every response it ever sent.
+                    if self.written > 0 {
+                        self.outbuf.drain(..self.written);
+                        self.written = 0;
+                    }
+                    self.outbuf.extend_from_slice(&part);
+                    note_buffered(self.pending_len());
+                }
+                Ok(None) => self.active = None,
+                Err(_) => {
+                    // Mid-body failure after the head went out: the only
+                    // honest signal left is truncation.  Abort the
+                    // connection (later pipelined responses die with it).
+                    self.active = None;
+                    self.queued.clear();
+                    self.open = false;
+                    break;
+                }
+            }
         }
-        self.outbuf.extend_from_slice(&serialize_response(response));
     }
 
     /// The serialized bytes not yet written to the socket.
@@ -91,15 +188,24 @@ impl HttpConn {
         &self.outbuf[self.written..]
     }
 
-    /// Records that `n` bytes of pending output reached the socket.
+    fn pending_len(&self) -> usize {
+        self.outbuf.len() - self.written
+    }
+
+    /// Records that `n` bytes of pending output reached the socket, and
+    /// pulls more of the in-flight response into the freed window.
     pub fn advance_output(&mut self, n: usize) {
         self.written += n;
         debug_assert!(self.written <= self.outbuf.len());
+        self.pump();
     }
 
-    /// True while there are response bytes waiting for the socket.
+    /// True while there are response bytes waiting for the socket.  After
+    /// every [`dispatch`](HttpConn::dispatch)/
+    /// [`advance_output`](HttpConn::advance_output) the pump guarantees
+    /// this implies non-empty [`pending_output`](HttpConn::pending_output).
     pub fn wants_write(&self) -> bool {
-        self.written < self.outbuf.len()
+        self.pending_len() > 0 || self.active.is_some() || !self.queued.is_empty()
     }
 
     /// Marks the connection closed by the transport (EOF or socket error):
@@ -125,8 +231,9 @@ impl HttpConn {
 mod tests {
     use super::*;
     use crate::WallClock;
+    use bytes::Bytes;
     use nakika_core::service::service_fn;
-    use nakika_http::Request;
+    use nakika_http::{Body, Request};
     use std::net::{IpAddr, Ipv4Addr};
     use std::sync::Arc;
 
@@ -204,5 +311,72 @@ mod tests {
             !out.contains("/r0"),
             "earlier responses were compacted away"
         );
+    }
+
+    #[test]
+    fn streamed_responses_emit_in_bounded_windows() {
+        const TOTAL: usize = 4 * 1024 * 1024;
+        let service = service_fn(|_req: Request, _ctx| {
+            let chunks = (0..TOTAL / STREAM_CHUNK_BYTES)
+                .map(|i| Bytes::from(vec![(i % 251) as u8; STREAM_CHUNK_BYTES]));
+            let mut resp = Response::new(StatusCode::OK);
+            resp.body = Body::stream_from_iter(chunks, Some(TOTAL as u64));
+            Ok(resp)
+        });
+        let mut conn = HttpConn::new(peer());
+        conn.feed(b"GET /big HTTP/1.1\r\nHost: x\r\n\r\n");
+        conn.dispatch(&*service, &factory());
+        let mut received = Vec::new();
+        let mut iterations = 0usize;
+        while conn.wants_write() {
+            let pending = conn.pending_output();
+            assert!(
+                pending.len() <= OUTPUT_WINDOW_BYTES,
+                "window exceeded: {}",
+                pending.len()
+            );
+            assert!(!pending.is_empty(), "wants_write implies pending bytes");
+            // Drain like a slow socket: half the pending bytes at a time.
+            let take = (pending.len() / 2).max(1);
+            received.extend_from_slice(&pending[..take]);
+            conn.advance_output(take);
+            iterations += 1;
+            assert!(iterations < 1_000_000, "pump makes progress");
+        }
+        let text_head_end = received
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("head terminator")
+            + 4;
+        assert_eq!(received.len() - text_head_end, TOTAL, "full body relayed");
+    }
+
+    #[test]
+    fn failed_body_stream_aborts_the_connection() {
+        struct Failing(u32);
+        impl nakika_http::ChunkSource for Failing {
+            fn next_chunk(&mut self) -> std::io::Result<Option<Bytes>> {
+                self.0 += 1;
+                if self.0 == 1 {
+                    Ok(Some(Bytes::from_static(b"partial")))
+                } else {
+                    Err(std::io::Error::other("upstream died"))
+                }
+            }
+        }
+        let service = service_fn(|_req: Request, _ctx| {
+            let mut resp = Response::new(StatusCode::OK);
+            resp.body = Body::stream(Failing(0), Some(1_000_000));
+            Ok(resp)
+        });
+        let mut conn = HttpConn::new(peer());
+        conn.feed(b"GET /dies HTTP/1.1\r\nHost: x\r\n\r\n");
+        conn.dispatch(&*service, &factory());
+        // The head (and the partial chunk) may be pending; the connection
+        // must be marked for close so the client sees the truncation.
+        assert!(!conn.is_open());
+        let n = conn.pending_output().len();
+        conn.advance_output(n);
+        assert!(conn.done());
     }
 }

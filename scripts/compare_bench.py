@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_proxy.json files and fail on throughput regressions.
+
+Usage: compare_bench.py BASELINE CURRENT [--threshold PCT]
+
+Scenarios are matched by (name, transport).  A scenario present in the
+baseline but slower in the current run by more than the threshold fails the
+check; new scenarios (no baseline) and removed ones only inform.  CI wires
+this against the previous successful run's artifact (see the "perf
+trajectory" item in ROADMAP.md).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        (s["name"], s["transport"]): float(s["requests_per_sec"])
+        for s in doc.get("scenarios", [])
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="maximum tolerated throughput drop, in percent (default 25)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    print(f"{'scenario':<18} {'transport':<10} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for key in sorted(baseline):
+        name, transport = key
+        base_rps = baseline[key]
+        if key not in current:
+            print(f"{name:<18} {transport:<10} {base_rps:>12.0f} {'(removed)':>12} {'-':>8}")
+            continue
+        cur_rps = current[key]
+        delta_pct = (cur_rps - base_rps) / base_rps * 100.0 if base_rps > 0 else 0.0
+        marker = ""
+        if delta_pct < -args.threshold:
+            failures.append((name, transport, base_rps, cur_rps, delta_pct))
+            marker = "  << REGRESSION"
+        print(
+            f"{name:<18} {transport:<10} {base_rps:>12.0f} {cur_rps:>12.0f} "
+            f"{delta_pct:>+7.1f}%{marker}"
+        )
+    for key in sorted(set(current) - set(baseline)):
+        name, transport = key
+        print(f"{name:<18} {transport:<10} {'(new)':>12} {current[key]:>12.0f} {'-':>8}")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} scenario(s) regressed by more than "
+            f"{args.threshold:.0f}%:",
+            file=sys.stderr,
+        )
+        for name, transport, base_rps, cur_rps, delta_pct in failures:
+            print(
+                f"  {name}/{transport}: {base_rps:.0f} -> {cur_rps:.0f} rps "
+                f"({delta_pct:+.1f}%)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\nOK: no scenario regressed by more than {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

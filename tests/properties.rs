@@ -64,6 +64,102 @@ proptest! {
     }
 
     #[test]
+    fn incremental_parse_agrees_with_one_shot_at_every_split(
+        body in prop::collection::vec(any::<u8>(), 0..300),
+        split_seed in any::<u64>(),
+        chunked in any::<bool>(),
+    ) {
+        // Build a response wire image with either framing, then feed it to
+        // the incremental parser split at a random boundary; the outcome
+        // must be Partial before the message completes and identical to the
+        // one-shot parse afterwards.
+        let wire = if chunked {
+            let mut resp = nakika_http::Response::new(nakika_http::StatusCode::OK);
+            resp.body = nakika_http::Body::stream_from_iter(
+                body.chunks(37).map(bytes::Bytes::copy_from_slice).collect::<Vec<_>>(),
+                None,
+            );
+            let mut writer = nakika_http::ResponseWriter::new(resp);
+            let mut wire = Vec::new();
+            while let Some(part) = writer.next_part().unwrap() {
+                wire.extend_from_slice(&part);
+            }
+            wire
+        } else {
+            serialize_response(&Response::ok("application/octet-stream", body.clone()))
+        };
+        let reference = match parse_response(&wire).unwrap() {
+            ParseOutcome::Complete { message, consumed } => {
+                prop_assert_eq!(consumed, wire.len());
+                message
+            }
+            ParseOutcome::Partial => { prop_assert!(false, "one-shot incomplete"); unreachable!() }
+        };
+        prop_assert_eq!(reference.body.to_bytes().to_vec(), body.clone());
+        let split = (split_seed as usize) % wire.len().max(1);
+        match parse_response(&wire[..split]).unwrap() {
+            ParseOutcome::Partial => {}
+            ParseOutcome::Complete { consumed, .. } => {
+                // Only an empty-body message can complete early (header-only
+                // prefix of a chunked message cannot).
+                prop_assert_eq!(consumed, split);
+            }
+        }
+        match parse_response(&wire).unwrap() {
+            ParseOutcome::Complete { message, .. } => {
+                prop_assert_eq!(message.body.to_bytes(), reference.body.to_bytes());
+                prop_assert_eq!(message.status, reference.status);
+            }
+            ParseOutcome::Partial => prop_assert!(false, "full buffer must complete"),
+        }
+    }
+
+    #[test]
+    fn chunked_decoder_is_split_invariant(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..60), 0..8),
+        split_seed in any::<u64>(),
+        with_trailer in any::<bool>(),
+    ) {
+        // Encode a chunked body by hand...
+        let mut wire = Vec::new();
+        for chunk in &chunks {
+            wire.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+            wire.extend_from_slice(chunk);
+            wire.extend_from_slice(b"\r\n");
+        }
+        wire.extend_from_slice(b"0\r\n");
+        if with_trailer {
+            wire.extend_from_slice(b"X-Checksum: abc\r\n");
+        }
+        wire.extend_from_slice(b"\r\n");
+        let expected: Vec<u8> = chunks.concat();
+
+        // ...and decode it byte-split at a random point: the incremental
+        // decoder must produce exactly the same data as a whole-buffer feed,
+        // consuming exactly the wire length.
+        let split = (split_seed as usize) % (wire.len() + 1);
+        let mut decoder = nakika_http::ChunkedDecoder::new();
+        let mut out = Vec::new();
+        let consumed_a = decoder.feed(&wire[..split], &mut out).unwrap();
+        prop_assert_eq!(consumed_a, split);
+        let consumed_b = decoder.feed(&wire[split..], &mut out).unwrap();
+        prop_assert!(decoder.is_done());
+        prop_assert_eq!(consumed_a + consumed_b, wire.len());
+        let data: Vec<u8> = out.iter().flat_map(|c| c.to_vec()).collect();
+        prop_assert_eq!(data, expected);
+
+        // Degenerate resplit: one byte at a time must agree too.
+        let mut decoder = nakika_http::ChunkedDecoder::new();
+        let mut out = Vec::new();
+        for byte in &wire {
+            decoder.feed(std::slice::from_ref(byte), &mut out).unwrap();
+        }
+        prop_assert!(decoder.is_done());
+        let data: Vec<u8> = out.iter().flat_map(|c| c.to_vec()).collect();
+        prop_assert_eq!(data, chunks.concat());
+    }
+
+    #[test]
     fn nakika_url_rewriting_is_reversible(
         host in "[a-z]{1,10}(\\.[a-z]{2,6}){1,2}",
         segs in prop::collection::vec(path_segment(), 0..4),
