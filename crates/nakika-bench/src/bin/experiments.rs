@@ -89,8 +89,9 @@ fn main() {
     println!("{}", format_spec(&rows));
 
     println!("== end-to-end proxy throughput (real TCP), per scenario and transport ==");
-    println!("(cold cache / warm keep-alive / warm close / 64-way concurrent keep-alive,");
-    println!(" threaded vs reactor transport)\n");
+    println!("(cold cache / warm keep-alive / warm close / 64-way concurrent keep-alive /");
+    println!(" 1 MiB streamed bodies / mixed warm+slow-cold-origin, threaded vs reactor;");
+    println!(" see docs/BENCHMARKING.md for what each scenario isolates)\n");
     match bench_proxy_suite(if quick { 240 } else { 2_048 }, 64) {
         Ok(suite) => {
             println!("{}", format_proxy_suite(&suite));
@@ -102,6 +103,15 @@ fn main() {
                     "reactor vs threaded at {} keep-alive clients: {:.2}x",
                     reactor.concurrency,
                     reactor.requests_per_sec / threaded.requests_per_sec.max(1e-9)
+                );
+            }
+            if let (Some(pure), Some(mixed)) = (
+                suite.scenario("warm-concurrent", "reactor"),
+                suite.scenario("bench_mixed", "reactor"),
+            ) {
+                println!(
+                    "reactor warm throughput retained under slow cold misses: {:.0}%",
+                    100.0 * mixed.requests_per_sec / pure.requests_per_sec.max(1e-9)
                 );
             }
             match suite.write_json("BENCH_proxy.json") {

@@ -103,10 +103,40 @@ fn internal(context: &str) -> impl Fn(std::io::Error) -> NakikaError + '_ {
 /// Body size used by the `bench_stream` scenario (1 MiB).
 pub const STREAM_SCENARIO_BODY_BYTES: usize = 1024 * 1024;
 
-/// Stands up one origin + plain-proxy edge + front-end on `transport` and
-/// runs `work` against it; returns the measured scenario.  `body_bytes`
-/// sizes the origin's responses (the classic scenarios use the paper's
-/// 2,096-byte page; `bench_stream` uses 1 MiB).
+/// Latency the `bench_mixed` origin injects into every cold fetch (25 ms —
+/// a plausible slow-origin round trip, long enough that a transport which
+/// blocks its event loop on origin I/O visibly collapses).
+pub const MIXED_SCENARIO_ORIGIN_DELAY_MS: u64 = 25;
+
+/// The `transport` field value recorded for a scenario.
+fn transport_name(transport: Transport) -> String {
+    match transport {
+        Transport::Threaded => "threaded".to_string(),
+        Transport::Reactor => "reactor".to_string(),
+    }
+}
+
+/// Stands up the deployment every scenario measures against: an origin
+/// serving `origin_service`, a plain-proxy edge fetching through
+/// `TcpOrigin`, and a front-end on `transport`.
+fn stand_up(
+    origin_service: Arc<dyn nakika_core::service::HttpService>,
+    transport: Transport,
+) -> Result<(HttpServer, ProxyServer), NakikaError> {
+    let origin =
+        HttpServer::start(0, origin_service).map_err(internal("origin server failed to start"))?;
+    let edge = NodeBuilder::plain_proxy("bench-proxy")
+        .origin(Arc::new(TcpOrigin::new()))
+        .build();
+    let proxy = ProxyServer::start_with(0, edge.service(), transport)
+        .map_err(internal("proxy failed to start"))?;
+    Ok((origin, proxy))
+}
+
+/// Runs `work` against a fresh [`stand_up`] deployment and times it;
+/// returns the measured scenario.  `body_bytes` sizes the origin's
+/// responses (the classic scenarios use the paper's 2,096-byte page;
+/// `bench_stream` uses 1 MiB).
 fn run_scenario(
     name: &str,
     transport: Transport,
@@ -115,32 +145,109 @@ fn run_scenario(
     body_bytes: usize,
     work: impl FnOnce(&ProxyServer, &str) -> Result<(), NakikaError>,
 ) -> Result<ProxyBenchScenario, NakikaError> {
-    let origin = HttpServer::start(
-        0,
+    let (origin, proxy) = stand_up(
         service_fn(move |_req: Request, _ctx| {
             Ok(Response::ok("text/html", "x".repeat(body_bytes))
                 .with_header("Cache-Control", "max-age=600"))
         }),
-    )
-    .map_err(internal("origin server failed to start"))?;
-    let edge = NodeBuilder::plain_proxy("bench-proxy")
-        .origin(Arc::new(TcpOrigin::new()))
-        .build();
-    let proxy = ProxyServer::start_with(0, edge.service(), transport)
-        .map_err(internal("proxy failed to start"))?;
+        transport,
+    )?;
     let start = Instant::now();
     work(&proxy, &origin.base_url())?;
     let elapsed_secs = start.elapsed().as_secs_f64().max(1e-9);
     Ok(ProxyBenchScenario {
         name: name.to_string(),
-        transport: match transport {
-            Transport::Threaded => "threaded".to_string(),
-            Transport::Reactor => "reactor".to_string(),
-        },
+        transport: transport_name(transport),
         requests,
         concurrency,
         elapsed_secs,
         requests_per_sec: requests as f64 / elapsed_secs,
+    })
+}
+
+/// Measures `bench_mixed` on one transport: `concurrency` warm keep-alive
+/// clients hammer a cached URL while one background client keeps cold
+/// misses against a deliberately slow origin
+/// ([`MIXED_SCENARIO_ORIGIN_DELAY_MS`] per fetch) in flight for the whole
+/// run.  The recorded throughput counts only the warm requests — the
+/// number under threat when origin I/O shares a thread with the event
+/// loop.  Reuses the [`stand_up`] deployment but keeps its own timing
+/// discipline: the cache warm-up, the cold-client spawn, and the cold
+/// client's join (which can tail out by one slow origin round trip) must
+/// all sit outside the measured window, which `run_scenario`'s
+/// whole-closure timer cannot express.
+fn run_mixed_scenario(
+    transport: Transport,
+    warm_requests: usize,
+    concurrency: usize,
+) -> Result<ProxyBenchScenario, NakikaError> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let (origin, proxy) = stand_up(
+        service_fn(|req: Request, _ctx| {
+            if req.uri.path.starts_with("/slow/") {
+                std::thread::sleep(std::time::Duration::from_millis(
+                    MIXED_SCENARIO_ORIGIN_DELAY_MS,
+                ));
+            }
+            Ok(Response::ok("text/html", "x".repeat(2096))
+                .with_header("Cache-Control", "max-age=600"))
+        }),
+        transport,
+    )?;
+
+    let hot_url = format!("{}/hot.html", origin.base_url());
+    http_get_via_proxy(proxy.addr(), &hot_url)?; // warm the cache
+
+    let per_client = (warm_requests / concurrency).max(8);
+    let total = per_client * concurrency;
+    let stop = Arc::new(AtomicBool::new(false));
+    let cold_client = {
+        let stop = stop.clone();
+        let base = origin.base_url();
+        let addr = proxy.addr();
+        std::thread::spawn(move || -> Result<(), NakikaError> {
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                // Distinct URLs: every fetch misses and pays the delay.
+                http_get_via_proxy(addr, &format!("{base}/slow/{i}.html"))?;
+                i += 1;
+            }
+            Ok(())
+        })
+    };
+    let start = Instant::now();
+    let warm_clients: Vec<_> = (0..concurrency)
+        .map(|_| {
+            let url = hot_url.clone();
+            let addr = proxy.addr();
+            std::thread::spawn(move || -> Result<(), NakikaError> {
+                let mut client = ProxyClient::connect(addr)?;
+                for _ in 0..per_client {
+                    client.get(&url)?;
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    for worker in warm_clients {
+        worker
+            .join()
+            .map_err(|_| NakikaError::Internal("mixed warm client panicked".into()))??;
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64().max(1e-9);
+    stop.store(true, Ordering::Relaxed);
+    cold_client
+        .join()
+        .map_err(|_| NakikaError::Internal("mixed cold client panicked".into()))??;
+
+    Ok(ProxyBenchScenario {
+        name: "bench_mixed".to_string(),
+        transport: transport_name(transport),
+        requests: total,
+        concurrency,
+        elapsed_secs,
+        requests_per_sec: total as f64 / elapsed_secs,
     })
 }
 
@@ -155,9 +262,17 @@ fn run_scenario(
 /// - `warm-concurrent` — `concurrency` simultaneous keep-alive clients
 ///   hammering the hot URL, the scenario where transport architecture and
 ///   cache sharding actually matter.
+/// - `bench_stream` — 1 MiB bodies over a warm cache, isolating large-body
+///   copy/buffering cost on the streaming path.
+/// - `bench_mixed` — the warm-concurrent workload with continuous cold
+///   misses against a slow origin interleaved; measures whether cold
+///   origin I/O steals throughput from warm hits (the reactor origin
+///   offload exists for exactly this number).
 ///
 /// `requests` scales every scenario (the slower workloads run a fraction of
-/// it); `concurrency` is the client count for `warm-concurrent`.
+/// it); `concurrency` is the client count for `warm-concurrent` and
+/// `bench_mixed`.  `docs/BENCHMARKING.md` documents each scenario and how
+/// CI gates on the recorded numbers.
 pub fn bench_proxy_suite(
     requests: usize,
     concurrency: usize,
@@ -279,6 +394,13 @@ pub fn bench_proxy_suite(
                 Ok(())
             },
         )?);
+
+        // bench_mixed: warm concurrency under continuous slow cold misses —
+        // the workload that used to collapse the reactor to origin latency
+        // before cold fetches were offloaded from its event loop.
+        suite
+            .scenarios
+            .push(run_mixed_scenario(transport, requests, concurrency)?);
     }
     Ok(suite)
 }

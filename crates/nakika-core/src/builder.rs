@@ -23,7 +23,7 @@
 use crate::node::{origin_from_fn, NaKikaNode, NodeConfig, NodeMode, OriginFetch};
 use crate::pipeline::{CLIENT_WALL_URL, SERVER_WALL_URL};
 use crate::resource::{ResourceKind, ResourceManagerConfig};
-use crate::service::{layered, HttpService, Layer, NakikaError, RequestCtx};
+use crate::service::{layered, DispatchHint, HttpService, Layer, NakikaError, RequestCtx};
 use nakika_http::pattern::Cidr;
 use nakika_http::{Request, Response};
 use nakika_overlay::{NodeId, Overlay};
@@ -50,6 +50,10 @@ impl HttpService for NodeService {
             req.client_ip = ctx.client_ip;
         }
         self.node.process(req, ctx.arrival_secs, &self.origin)
+    }
+
+    fn dispatch_hint(&self, req: &Request, ctx: &RequestCtx) -> DispatchHint {
+        self.node.dispatch_hint(req, ctx.arrival_secs)
     }
 }
 
@@ -91,6 +95,10 @@ impl NodeHandle {
 impl HttpService for NodeHandle {
     fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
         self.service.call(req, ctx)
+    }
+
+    fn dispatch_hint(&self, req: &Request, ctx: &RequestCtx) -> DispatchHint {
+        self.service.dispatch_hint(req, ctx)
     }
 }
 

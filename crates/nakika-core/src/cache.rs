@@ -192,6 +192,21 @@ impl ProxyCache {
         &self.shards[(hash % self.shards.len() as u64) as usize]
     }
 
+    /// Non-mutating freshness probe: true when a fresh entry for `key`
+    /// exists at `now_secs`.  Unlike [`ProxyCache::get`] it counts no
+    /// hit/miss and touches no recency, so probing is free of statistical
+    /// side effects — readiness transports use it (through
+    /// [`NaKikaNode::dispatch_hint`](crate::node::NaKikaNode::dispatch_hint))
+    /// to classify a request as a warm hit before deciding where to run
+    /// the service call.
+    pub fn contains_fresh(&self, key: &str, now_secs: u64) -> bool {
+        let shard = self.shard(key).lock();
+        shard
+            .entries
+            .get(key)
+            .is_some_and(|entry| entry.fresh_until > now_secs)
+    }
+
     /// Looks up a fresh response for `key` at time `now_secs`.
     pub fn get(&self, key: &str, now_secs: u64) -> Option<Response> {
         let mut shard = self.shard(key).lock();

@@ -61,6 +61,7 @@ pub use pipeline::{PipelineOutcome, PipelineRunner};
 pub use policy::{Matcher, Policy, PolicySet};
 pub use resource::{ResourceKind, ResourceManager, ResourceManagerConfig, SiteUsage};
 pub use service::{
-    service_fn, Clock, CtxFactory, HttpService, Layer, ManualClock, NakikaError, RequestCtx,
+    service_fn, Clock, CtxFactory, DispatchHint, HttpService, Layer, ManualClock, NakikaError,
+    RequestCtx,
 };
 pub use vocab::Exchange;

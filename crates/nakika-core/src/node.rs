@@ -16,7 +16,7 @@ use crate::pipeline::{
     CompiledStage, PipelineOutcome, PipelineRunner, StageCache, StageLoader, StageLookup,
 };
 use crate::resource::{Admission, ResourceKind, ResourceManager, ResourceManagerConfig};
-use crate::service::NakikaError;
+use crate::service::{DispatchHint, NakikaError};
 use crate::vocab::VocabHooks;
 use nakika_http::cache_control::{freshness, Freshness};
 use nakika_http::pattern::Cidr;
@@ -347,6 +347,38 @@ impl NaKikaNode {
     /// Node statistics snapshot.
     pub fn stats(&self) -> NodeStats {
         *self.stats.lock()
+    }
+
+    /// Classifies one upcoming exchange for readiness-driven transports
+    /// (see [`DispatchHint`]): [`DispatchHint::Inline`] when the node can
+    /// answer `request` at `now_secs` from its warm cache without any
+    /// origin, peer, or script I/O — the probe is the cache's
+    /// [`contains_fresh`](ProxyCache::contains_fresh), which mutates
+    /// nothing — and [`DispatchHint::MayBlock`] otherwise.
+    ///
+    /// Scripted nodes always answer `MayBlock`: even a warm page may pull
+    /// wall/site scripts through the fetch path, and pipeline execution is
+    /// CPU work that does not belong on an event loop either.
+    ///
+    /// The probe is a heuristic, not a lock: an entry can expire or be
+    /// evicted between the probe and the call, in which case an `Inline`
+    /// call degenerates into a blocking origin fetch on the event loop —
+    /// exactly the pre-offload behavior, for that one request.  Transports
+    /// pass the same context to both, so probe and lookup at least agree
+    /// on the time.
+    pub fn dispatch_hint(&self, request: &Request, now_secs: u64) -> DispatchHint {
+        if self.config.mode == NodeMode::Scripted {
+            return DispatchHint::MayBlock;
+        }
+        if !request.method.is_cacheable() {
+            return DispatchHint::MayBlock;
+        }
+        let key = ResourceFetcher::cache_key(request);
+        if self.cache.contains_fresh(&key, now_secs) {
+            DispatchHint::Inline
+        } else {
+            DispatchHint::MayBlock
+        }
     }
 
     /// Mediates one HTTP exchange at time `now_secs`, fetching whatever it

@@ -237,6 +237,30 @@ impl From<HttpError> for NakikaError {
     }
 }
 
+/// How a readiness-driven transport should schedule one service call.
+///
+/// An event-loop transport (the reactor in `nakika-server`) runs cheap
+/// calls inline — a warm cache hit costs no thread hand-off — but a call
+/// that may *block* (a cold origin fetch, a peer fetch, a scripted
+/// pipeline that loads scripts) must run off the loop, or it stalls every
+/// other connection on that reactor thread.  Services advertise which case
+/// a request falls into through [`HttpService::dispatch_hint`].
+///
+/// The hint is a scheduling heuristic, not a contract about the outcome: a
+/// wrongly-`MayBlock` call merely pays one hand-off, while a
+/// wrongly-`Inline` call degrades the event loop for the call's duration.
+/// Implementations must therefore only answer `Inline` when the call is
+/// guaranteed free of blocking I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchHint {
+    /// The call performs no blocking I/O and may run on an event-loop
+    /// thread (a warm cache hit, an in-memory handler known to be pure).
+    Inline,
+    /// The call may wait on external I/O (or burn significant CPU) and
+    /// must be offloaded by readiness-driven transports.
+    MayBlock,
+}
+
 /// The single boundary between transports and everything else: one HTTP
 /// exchange in, one HTTP exchange (or platform error) out.
 ///
@@ -254,11 +278,27 @@ pub trait HttpService: Send + Sync {
     /// Mediates one exchange described by `req` under the ambient facts in
     /// `ctx`.
     fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError>;
+
+    /// Classifies the upcoming [`call`](HttpService::call) for `req` so a
+    /// readiness-driven transport can decide where to run it (see
+    /// [`DispatchHint`]).  The default is conservatively
+    /// [`DispatchHint::MayBlock`]: a service that cannot prove its call
+    /// free of blocking I/O must not claim the event loop.  The node stack
+    /// overrides this with a warm-cache probe so cache hits stay on the
+    /// inline fast path.
+    fn dispatch_hint(&self, req: &Request, ctx: &RequestCtx) -> DispatchHint {
+        let _ = (req, ctx);
+        DispatchHint::MayBlock
+    }
 }
 
 impl HttpService for Arc<dyn HttpService> {
     fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
         (**self).call(req, ctx)
+    }
+
+    fn dispatch_hint(&self, req: &Request, ctx: &RequestCtx) -> DispatchHint {
+        (**self).dispatch_hint(req, ctx)
     }
 }
 
@@ -330,15 +370,47 @@ pub trait Layer: Send + Sync {
 /// drained to a full body (surfacing mid-stream failures as
 /// [`NakikaError::Upstream`]) before the demanding layer runs.  The
 /// pipeline therefore buffers only when a layer asks, never by default.
+///
+/// The layered stack keeps `base`'s [`HttpService::dispatch_hint`]: layers
+/// wrap through closures (which cannot forward the hint) but are assumed
+/// non-blocking themselves — they log, reject, redirect, or hash bytes the
+/// inner call already produced — so the question "may this call block?" is
+/// answered by the service at the bottom of the stack.  Note the buffering
+/// adapter respects this too: it only ever drains a *stream*, and streams
+/// appear only on requests `base` already classified `MayBlock` (a warm
+/// cache hit is a buffered body).
 pub fn layered(base: Arc<dyn HttpService>, layers: Vec<Box<dyn Layer>>) -> Arc<dyn HttpService> {
-    layers.into_iter().rev().fold(base, |inner, layer| {
+    if layers.is_empty() {
+        return base;
+    }
+    let classifier = base.clone();
+    let stack = layers.into_iter().rev().fold(base, |inner, layer| {
         let inner = if layer.requires_full_body() {
             buffered_body(inner)
         } else {
             inner
         };
         layer.wrap(inner)
-    })
+    });
+    Arc::new(HintPreserving { stack, classifier })
+}
+
+/// The adapter [`layered`] wraps its result in: calls go through the full
+/// layer stack, dispatch hints come from the base service (layers are
+/// non-blocking, so the base owns the answer).
+struct HintPreserving {
+    stack: Arc<dyn HttpService>,
+    classifier: Arc<dyn HttpService>,
+}
+
+impl HttpService for HintPreserving {
+    fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
+        self.stack.call(req, ctx)
+    }
+
+    fn dispatch_hint(&self, req: &Request, ctx: &RequestCtx) -> DispatchHint {
+        self.classifier.dispatch_hint(req, ctx)
+    }
 }
 
 /// Wraps `inner` so that streamed response bodies are fully buffered before

@@ -69,6 +69,16 @@ fn drain_source(source: &mut Box<dyn ChunkSource>, declared: Option<u64>) -> io:
 pub trait ChunkSource: Send {
     /// Pulls the next chunk, blocking if the source needs to wait for data.
     fn next_chunk(&mut self) -> io::Result<Option<Bytes>>;
+
+    /// Whether [`next_chunk`](ChunkSource::next_chunk) may *block* waiting
+    /// on external I/O (an upstream socket, a pipe).  Sources whose chunks
+    /// are already in memory — iterators, buffered bodies — leave the
+    /// default `false`; a source that reads a socket returns `true` so that
+    /// readiness-driven transports know to pull its chunks off the event
+    /// loop (see the reactor's origin offload in `nakika-server`).
+    fn may_block(&self) -> bool {
+        false
+    }
 }
 
 impl<I> ChunkSource for I
@@ -177,6 +187,20 @@ impl Body {
     /// True when the body is still a stream (not yet buffered).
     pub fn is_stream(&self) -> bool {
         matches!(self, Body::Stream(_))
+    }
+
+    /// True when consuming the next chunk of this body may block on
+    /// external I/O (the [`ChunkSource::may_block`] of a still-active
+    /// stream).  Full and already-buffered bodies never block; neither do
+    /// failed streams (they report their stored error immediately).
+    pub fn may_block(&self) -> bool {
+        match self {
+            Body::Full(_) => false,
+            Body::Stream(stream) => match &*stream.state.lock().unwrap() {
+                StreamState::Active(source) => source.may_block(),
+                StreamState::Buffered(_) | StreamState::Failed(_) => false,
+            },
+        }
     }
 
     /// Number of body bytes *known* to this message: the buffer length for a
@@ -417,6 +441,12 @@ struct TeeSource {
 }
 
 impl ChunkSource for TeeSource {
+    fn may_block(&self) -> bool {
+        // The tee adds no waiting of its own: it blocks exactly when the
+        // wrapped body does.
+        self.inner.may_block()
+    }
+
     fn next_chunk(&mut self) -> io::Result<Option<Bytes>> {
         match self.inner.read_chunk() {
             Ok(Some(chunk)) => {

@@ -212,45 +212,93 @@ impl ResponseWriter {
             if self.done {
                 return Ok(None);
             }
-            match self.body.read_chunk()? {
-                Some(chunk) if chunk.is_empty() => {
-                    // An empty chunk must not be framed: in chunked encoding
-                    // a zero-size chunk *is* the terminator.  Skip it.
-                    continue;
-                }
-                Some(mut chunk) => {
-                    if let Some(remaining) = &mut self.remaining {
-                        if *remaining == 0 {
-                            // Over-delivery past the declared length would
-                            // bleed into the next message on a keep-alive
-                            // connection.  Drop the misbehaving source.
-                            self.done = true;
-                            return Ok(None);
-                        }
-                        if (chunk.len() as u64) > *remaining {
-                            chunk = chunk.slice(..*remaining as usize);
-                        }
-                        *remaining -= chunk.len() as u64;
+            let read = self.body.read_chunk();
+            if let Some(part) = self.accept_chunk(read)? {
+                return Ok(Some(part));
+            }
+        }
+    }
+
+    /// True when the next wire part must be *pulled* from a body source
+    /// that may block on external I/O ([`Body::may_block`]).  Readiness
+    /// transports check this before calling [`next_part`] on an event-loop
+    /// thread: when it is true they instead run the pull elsewhere — on a
+    /// clone from [`body_handle`] — and feed the result back through
+    /// [`accept_chunk`].  The head and any already-buffered data are never
+    /// a blocking pull, so this is false until the head has been emitted.
+    ///
+    /// [`next_part`]: ResponseWriter::next_part
+    /// [`body_handle`]: ResponseWriter::body_handle
+    /// [`accept_chunk`]: ResponseWriter::accept_chunk
+    pub fn next_pull_may_block(&self) -> bool {
+        self.failed_early.is_none() && self.head.is_none() && !self.done && self.body.may_block()
+    }
+
+    /// A shared handle on the response body, for pulling the next chunk off
+    /// the calling thread.  Stream clones share one underlying source, so a
+    /// chunk pulled through the handle (`Body::read_chunk`) is the same
+    /// chunk [`next_part`](ResponseWriter::next_part) would have pulled;
+    /// hand it back via [`accept_chunk`](ResponseWriter::accept_chunk).
+    pub fn body_handle(&self) -> Body {
+        self.body.clone()
+    }
+
+    /// Feeds one raw body-read result (a `Body::read_chunk` outcome, pulled
+    /// by the caller — possibly on another thread) into the writer,
+    /// returning the wire part it produces, if any.
+    ///
+    /// `Ok(None)` while [`is_done`](ResponseWriter::is_done) is false means
+    /// the read produced nothing emittable (an empty chunk, which must not
+    /// be framed — in chunked encoding a zero-size chunk *is* the
+    /// terminator) and the caller should pull again; once `is_done` is
+    /// true the response is fully emitted.  Errors follow the
+    /// [`next_part`](ResponseWriter::next_part) contract: the connection
+    /// must be aborted.
+    pub fn accept_chunk(&mut self, read: io::Result<Option<Bytes>>) -> io::Result<Option<Bytes>> {
+        if self.done {
+            return Ok(None);
+        }
+        match read? {
+            Some(chunk) if chunk.is_empty() => Ok(None),
+            Some(mut chunk) => {
+                if let Some(remaining) = &mut self.remaining {
+                    if *remaining == 0 {
+                        // Over-delivery past the declared length would
+                        // bleed into the next message on a keep-alive
+                        // connection.  Drop the misbehaving source.
+                        self.done = true;
+                        return Ok(None);
                     }
-                    return Ok(Some(self.frame(chunk)));
+                    if (chunk.len() as u64) > *remaining {
+                        chunk = chunk.slice(..*remaining as usize);
+                    }
+                    *remaining -= chunk.len() as u64;
                 }
-                None => {
-                    self.done = true;
-                    return if self.chunked {
-                        Ok(Some(Bytes::from_static(b"0\r\n\r\n")))
-                    } else if let Some(short) = self.remaining.filter(|r| *r > 0) {
-                        // Under-delivery: the head promised more bytes than
-                        // the source produced.  Abort so the client sees a
-                        // short read, never a silently padded-out frame.
-                        Err(io::Error::other(format!(
-                            "body ended {short} bytes short of its declared Content-Length"
-                        )))
-                    } else {
-                        Ok(None)
-                    };
+                Ok(Some(self.frame(chunk)))
+            }
+            None => {
+                self.done = true;
+                if self.chunked {
+                    Ok(Some(Bytes::from_static(b"0\r\n\r\n")))
+                } else if let Some(short) = self.remaining.filter(|r| *r > 0) {
+                    // Under-delivery: the head promised more bytes than
+                    // the source produced.  Abort so the client sees a
+                    // short read, never a silently padded-out frame.
+                    Err(io::Error::other(format!(
+                        "body ended {short} bytes short of its declared Content-Length"
+                    )))
+                } else {
+                    Ok(None)
                 }
             }
         }
+    }
+
+    /// True once the response is fully emitted (every part of
+    /// [`next_part`](ResponseWriter::next_part) /
+    /// [`accept_chunk`](ResponseWriter::accept_chunk) has been handed out).
+    pub fn is_done(&self) -> bool {
+        self.done
     }
 
     /// Wire-frames one body chunk.  `Content-Length` framing passes the

@@ -4,12 +4,13 @@
 //! readiness [`reactor`](crate::ReactorServer) — speak the same protocol:
 //! accumulate bytes, parse complete requests (including pipelined ones),
 //! dispatch each through the [`HttpService`] stack with a freshly minted
-//! [`RequestCtx`], serialize the responses, and honor keep-alive.  This
-//! module holds that logic as a sans-IO state machine: [`HttpConn`] never
-//! touches a socket, it just consumes input bytes and produces output
-//! bytes, so the two transports differ only in *how* they move bytes —
-//! blocking reads on a dedicated thread versus readiness-driven
-//! non-blocking reads on a shared reactor thread.
+//! [`RequestCtx`](nakika_core::service::RequestCtx), serialize the
+//! responses, and honor keep-alive.  This module holds that logic as a
+//! sans-IO state machine: [`HttpConn`] never touches a socket, it just
+//! consumes input bytes and produces output bytes, so the two transports
+//! differ only in *how* they move bytes — blocking reads on a dedicated
+//! thread versus readiness-driven non-blocking reads on a shared reactor
+//! thread.
 //!
 //! # Streaming output
 //!
@@ -27,14 +28,55 @@
 //! that fails mid-response cannot be turned into an error status (the head
 //! is already on the wire); the engine aborts the connection so the
 //! framing tells the client the message was truncated.
+//!
+//! # Offloading blocking work
+//!
+//! A blocking transport simply lets the engine run everything inline
+//! ([`HttpConn::dispatch`]): a service call or a streamed-body pull that
+//! blocks parks only its own thread.  An event-loop transport cannot
+//! afford that, so the engine has a second driving mode
+//! ([`HttpConn::offloading`]) in which it never performs a
+//! potentially-blocking operation itself.  Instead, [`HttpConn::advance`]
+//! runs as far as it can without blocking — parsing input, executing
+//! service calls the stack classified
+//! [`DispatchHint::Inline`](nakika_core::service::DispatchHint), pumping
+//! already-available output — and hands back a unit of [`Work`] whenever
+//! the next step might block:
+//!
+//! - [`Work::Call`] — the service call for a parsed request whose
+//!   [`dispatch_hint`](HttpService::dispatch_hint) said `MayBlock` (a cold
+//!   cache miss heading for the origin).  Until the matching
+//!   [`Done::Call`] is fed back through [`HttpConn::complete`], the engine
+//!   *parks its input side*: no further requests are parsed
+//!   ([`HttpConn::wants_read`] turns false), which both preserves response
+//!   order and backpressures a flooding client.
+//! - [`Work::Pull`] — the next chunk of the active streamed response must
+//!   be pulled from a source that may block (an origin socket,
+//!   [`Body::may_block`](nakika_http::Body::may_block)).  The pull runs on
+//!   a shared handle of the body; the result comes back as
+//!   [`Done::Pull`].
+//! - [`Work::Buffer`] — the rare HTTP/1.0 activation path: a response with
+//!   an unknown-length streamed body headed for a 1.0 client must be
+//!   buffered to learn its `Content-Length`, and that drain would block.
+//!   The response waits un-activated until [`Done::Buffer`] arrives.
+//!
+//! The transport decides where the work runs: the reactor ships it to a
+//! worker pool and re-arms the connection when the completion comes back
+//! through its wakeup pipe; a test can run it on the spot.  At most one
+//! `Call` and one `Pull`/`Buffer` are outstanding per connection — enough
+//! to keep an earlier response streaming while a later request's origin
+//! fetch is in flight, without reordering anything.
 
 use crate::{CtxFactory, HttpService};
+use nakika_core::service::DispatchHint;
 use nakika_http::{
-    parse_request, ParseOutcome, Response, ResponseWriter, StatusCode, STREAM_CHUNK_BYTES,
+    parse_request, Body, ParseOutcome, Response, ResponseWriter, StatusCode, STREAM_CHUNK_BYTES,
 };
 use std::collections::VecDeque;
+use std::io;
 use std::net::IpAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Upper bound on serialized-but-unsent bytes held per connection.  One
 /// window must fit at least one head plus one body chunk; the default (256
@@ -47,26 +89,102 @@ pub const OUTPUT_WINDOW_BYTES: usize = 256 * 1024;
 /// [`OUTPUT_WINDOW_BYTES`].
 const PART_HEADROOM_BYTES: usize = STREAM_CHUNK_BYTES + 4 * 1024;
 
-/// Process-wide high-water mark of per-connection buffered output, across
-/// both transports — the instrumentation behind the large-body bounded-
-/// memory tests and `examples/streaming_brigade.rs`.
-static PEAK_OUTPUT_BYTES: AtomicUsize = AtomicUsize::new(0);
-
-fn note_buffered(bytes: usize) {
-    PEAK_OUTPUT_BYTES.fetch_max(bytes, Ordering::Relaxed);
+/// Per-server high-water mark of serialized-but-unsent bytes across that
+/// server's connections — the instrumentation behind the large-body
+/// bounded-memory tests and `examples/streaming_brigade.rs`.  One gauge is
+/// created per server (threaded or reactor) and shared with every
+/// connection engine it spawns, so concurrently running servers (parallel
+/// tests!) no longer contaminate each other's measurements; read it with
+/// `HttpServer::peak_buffered_output` and friends.
+#[derive(Debug, Default)]
+pub(crate) struct OutputGauge {
+    peak: AtomicUsize,
 }
 
-/// Highest number of serialized-but-unsent bytes any connection has held
-/// since the last [`reset_peak_buffered_output`] — across every server in
-/// the process, on both transports.
-pub fn peak_buffered_output() -> usize {
-    PEAK_OUTPUT_BYTES.load(Ordering::Relaxed)
+impl OutputGauge {
+    fn note(&self, bytes: usize) {
+        self.peak.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
 }
 
-/// Resets the [`peak_buffered_output`] high-water mark (tests bracket a
-/// workload with this to assert the bounded-buffering invariant).
-pub fn reset_peak_buffered_output() {
-    PEAK_OUTPUT_BYTES.store(0, Ordering::Relaxed);
+/// A potentially-blocking unit of work the engine asks its transport to
+/// run (see the module docs).  Produced by [`HttpConn::advance`]; the
+/// matching [`Done`] goes back through [`HttpConn::complete`].
+pub(crate) enum Work {
+    /// Run the service call for a request classified `MayBlock`.  The
+    /// request is boxed so the enum stays small next to the handle-sized
+    /// variants (it crosses a thread hand-off anyway).
+    Call {
+        request: Box<nakika_http::Request>,
+        ctx: nakika_core::service::RequestCtx,
+    },
+    /// Pull the next chunk of the active streamed response from `body` (a
+    /// shared handle; the pull advances the one underlying source).
+    Pull { body: Body },
+    /// Fully buffer `body` (the HTTP/1.0 unknown-length activation path).
+    Buffer { body: Body },
+}
+
+/// Runs one service call with panic containment: a panicking service
+/// becomes an internal error (mapped to a 500) instead of unwinding the
+/// calling thread — which on the reactor would take a whole event loop
+/// (and every connection on it) down.
+fn contained_call(
+    service: &dyn HttpService,
+    request: nakika_http::Request,
+    ctx: &nakika_core::service::RequestCtx,
+) -> Result<Response, nakika_core::service::NakikaError> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    catch_unwind(AssertUnwindSafe(|| service.call(request, ctx))).unwrap_or_else(|_| {
+        Err(nakika_core::service::NakikaError::Internal(
+            "service call panicked".to_string(),
+        ))
+    })
+}
+
+impl Work {
+    /// Executes the work against `service`, producing the completion to
+    /// feed back into [`HttpConn::complete`].  Panics in service/source
+    /// code are contained: a panicking `Call` completes as an internal
+    /// error (mapped to a 500), a panicking `Pull`/`Buffer` as a failure
+    /// that aborts its connection, instead of killing the executing
+    /// thread's loop.
+    pub(crate) fn run(self, service: &dyn HttpService) -> Done {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        match self {
+            Work::Call { request, ctx } => Done::Call(contained_call(service, *request, &ctx)),
+            Work::Pull { mut body } => match catch_unwind(AssertUnwindSafe(|| body.read_chunk())) {
+                Ok(read) => Done::Pull(read),
+                Err(_) => Done::Pull(Err(io::Error::other("body source panicked"))),
+            },
+            Work::Buffer { mut body } => {
+                // On a clean run the outcome lives in the stream's shared
+                // state (`Buffered`, or `Failed` which the writer surfaces
+                // as an abort).  A *panicking* source leaves that state
+                // poisoned and unusable, so the panic is reported out of
+                // band: the engine must abort without touching the body
+                // again.
+                let panicked = catch_unwind(AssertUnwindSafe(|| body.buffer())).is_err();
+                Done::Buffer { panicked }
+            }
+        }
+    }
+}
+
+/// The completion of one unit of [`Work`].
+pub(crate) enum Done {
+    /// Outcome of a [`Work::Call`].
+    Call(Result<Response, nakika_core::service::NakikaError>),
+    /// Outcome of a [`Work::Pull`].
+    Pull(io::Result<Option<bytes::Bytes>>),
+    /// A [`Work::Buffer`] finished.  When `panicked`, the body's shared
+    /// state is poisoned and must never be touched again — the connection
+    /// aborts instead of building a writer over it.
+    Buffer { panicked: bool },
 }
 
 /// Sans-IO state machine for one server-side HTTP/1.1 connection.
@@ -79,12 +197,30 @@ pub(crate) struct HttpConn {
     active: Option<ResponseWriter>,
     /// Responses dispatched but not yet started (pipelining).
     queued: VecDeque<Response>,
+    /// Protocol liveness: false once a request (`Connection: close`), a
+    /// parse error, a stream abort, or exhausted-after-EOF input decided
+    /// the connection must close.
     open: bool,
+    /// The transport saw EOF: whatever is buffered is the last input.
+    eof: bool,
+    /// Offloading mode: never run a may-block operation inside the engine.
+    offload: bool,
+    /// Keep-alive decision of the offloaded in-flight service call, if one
+    /// is outstanding (input parsing pauses while it is).
+    pending_call: Option<bool>,
+    /// A chunk pull for the active writer is running off-engine.
+    pending_pull: bool,
+    /// Response whose body is being buffered off-engine before activation
+    /// (the HTTP/1.0 unknown-length path).
+    pending_activation: Option<Response>,
+    gauge: Arc<OutputGauge>,
 }
 
 impl HttpConn {
-    /// A fresh connection from `peer`.
-    pub fn new(peer: IpAddr) -> HttpConn {
+    /// A fresh inline-mode connection from `peer`: service calls and body
+    /// pulls run inside the engine, blocking the calling thread (the
+    /// threaded transport).
+    pub fn new(peer: IpAddr, gauge: Arc<OutputGauge>) -> HttpConn {
         HttpConn {
             peer,
             inbuf: Vec::new(),
@@ -93,6 +229,22 @@ impl HttpConn {
             active: None,
             queued: VecDeque::new(),
             open: true,
+            eof: false,
+            offload: false,
+            pending_call: None,
+            pending_pull: false,
+            pending_activation: None,
+            gauge,
+        }
+    }
+
+    /// A fresh offloading-mode connection from `peer`: may-block
+    /// operations are returned as [`Work`] instead of being executed (the
+    /// reactor transport).
+    pub fn offloading(peer: IpAddr, gauge: Arc<OutputGauge>) -> HttpConn {
+        HttpConn {
+            offload: true,
+            ..HttpConn::new(peer, gauge)
         }
     }
 
@@ -101,86 +253,217 @@ impl HttpConn {
         self.inbuf.extend_from_slice(bytes);
     }
 
-    /// Parses and dispatches every complete request currently buffered,
-    /// queueing their responses in order (pipelined requests are handled in
-    /// one pass), then pumps response bytes into the output buffer up to
-    /// the window.  Returns the connection's liveness: `false` means close
-    /// once the pending output is flushed (the client asked for it, the
-    /// input was malformed and a 400 was queued, or a relayed body stream
-    /// failed mid-response).
+    /// Inline-mode driver: parses and dispatches every complete request
+    /// currently buffered, queueing their responses in order (pipelined
+    /// requests are handled in one pass), then pumps response bytes into
+    /// the output buffer up to the window.  Returns the connection's
+    /// liveness: `false` means close once the pending output is flushed
+    /// (the client asked for it, the input was malformed and a 400 was
+    /// queued, or a relayed body stream failed mid-response).
     pub fn dispatch(&mut self, service: &dyn HttpService, ctx_factory: &CtxFactory) -> bool {
-        while self.open {
-            let (mut request, consumed) = match parse_request(&self.inbuf) {
-                Ok(ParseOutcome::Complete { message, consumed }) => (message, consumed),
-                Ok(ParseOutcome::Partial) => break,
-                Err(_) => {
-                    // The stream is unrecoverable past a parse error: answer
-                    // 400 and close without looking at later bytes.
-                    self.queued
-                        .push_back(Response::error(StatusCode::BAD_REQUEST));
-                    self.open = false;
-                    break;
-                }
-            };
-            self.inbuf.drain(..consumed);
-            request.client_ip = self.peer;
-            let keep_alive = request.headers.keep_alive(request.version_11);
-            let ctx = ctx_factory.make(self.peer);
-            // The wire is where platform errors become status codes.
-            let response = match service.call(request, &ctx) {
-                Ok(response) => response,
-                Err(error) => error.to_response(),
-            };
-            self.queued.push_back(response);
-            if !keep_alive {
-                self.open = false;
-            }
-        }
-        self.pump();
+        debug_assert!(!self.offload, "dispatch() is the inline-mode driver");
+        let work = self.advance(service, ctx_factory);
+        debug_assert!(work.is_none(), "inline mode never offloads");
         self.open
     }
 
-    /// Moves response bytes into the output buffer until the window is full
-    /// or there is nothing left to emit.  Called after dispatch and after
-    /// every flush, so a draining socket keeps pulling the next chunk of a
-    /// streamed body — and nothing pulls chunks faster than the socket
-    /// drains them.
-    fn pump(&mut self) {
-        loop {
-            if self.pending_len() + PART_HEADROOM_BYTES > OUTPUT_WINDOW_BYTES {
-                break;
-            }
-            if self.active.is_none() {
-                match self.queued.pop_front() {
-                    Some(response) => self.active = Some(ResponseWriter::new(response)),
-                    None => break,
-                }
-            }
-            let writer = self.active.as_mut().expect("writer installed above");
-            match writer.next_part() {
-                Ok(Some(part)) => {
-                    // Compact the flushed prefix before growing, so a
-                    // long-lived keep-alive connection does not accrete
-                    // every response it ever sent.
-                    if self.written > 0 {
-                        self.outbuf.drain(..self.written);
-                        self.written = 0;
+    /// Advances the engine as far as it can without risking a blocking
+    /// operation: parses buffered input, runs inline-classified service
+    /// calls, and pumps response bytes into the output window.  In
+    /// offloading mode, returns the next unit of [`Work`] that must run
+    /// elsewhere (marking it in-flight — call `advance` again to keep
+    /// going; it returns `None` once nothing can proceed without a
+    /// completion, more input, or a flush).  In inline mode it executes
+    /// everything itself and always returns `None`.
+    pub fn advance(&mut self, service: &dyn HttpService, ctx_factory: &CtxFactory) -> Option<Work> {
+        if self.pending_call.is_none() {
+            while self.open {
+                let (mut request, consumed) = match parse_request(&self.inbuf) {
+                    Ok(ParseOutcome::Complete { message, consumed }) => (message, consumed),
+                    Ok(ParseOutcome::Partial) => {
+                        if self.eof {
+                            // No more bytes are coming; whatever is left
+                            // can never become a request.
+                            self.open = false;
+                        }
+                        break;
                     }
-                    self.outbuf.extend_from_slice(&part);
-                    note_buffered(self.pending_len());
+                    Err(_) => {
+                        // The stream is unrecoverable past a parse error:
+                        // answer 400 and close without looking at later
+                        // bytes.
+                        self.queued
+                            .push_back(Response::error(StatusCode::BAD_REQUEST));
+                        self.open = false;
+                        break;
+                    }
+                };
+                self.inbuf.drain(..consumed);
+                request.client_ip = self.peer;
+                let keep_alive = request.headers.keep_alive(request.version_11);
+                let ctx = ctx_factory.make(self.peer);
+                if self.offload
+                    && matches!(
+                        service.dispatch_hint(&request, &ctx),
+                        DispatchHint::MayBlock
+                    )
+                {
+                    // Park the input side until the call completes; the
+                    // output side keeps pumping earlier responses.
+                    self.pending_call = Some(keep_alive);
+                    return Some(Work::Call {
+                        request: Box::new(request),
+                        ctx,
+                    });
                 }
-                Ok(None) => self.active = None,
-                Err(_) => {
-                    // Mid-body failure after the head went out: the only
-                    // honest signal left is truncation.  Abort the
-                    // connection (later pipelined responses die with it).
-                    self.active = None;
-                    self.queued.clear();
+                // The wire is where platform errors become status codes —
+                // and panics become 500s rather than unwinding the thread
+                // driving this engine (on the reactor that thread is an
+                // event loop serving every other connection too).
+                let response = match contained_call(service, request, &ctx) {
+                    Ok(response) => response,
+                    Err(error) => error.to_response(),
+                };
+                self.queued.push_back(response);
+                if !keep_alive {
                     self.open = false;
-                    break;
                 }
             }
         }
+        self.pump()
+    }
+
+    /// Feeds the completion of an offloaded unit of [`Work`] back into the
+    /// engine.  The caller should [`advance`](HttpConn::advance) (and
+    /// flush) afterwards — a completed call unparks input parsing, a
+    /// completed pull usually makes the next pull possible.
+    pub fn complete(&mut self, done: Done) {
+        match done {
+            Done::Call(result) => {
+                let keep_alive = self
+                    .pending_call
+                    .take()
+                    .expect("call completion without a call in flight");
+                let response = match result {
+                    Ok(response) => response,
+                    Err(error) => error.to_response(),
+                };
+                self.queued.push_back(response);
+                if !keep_alive {
+                    self.open = false;
+                }
+            }
+            Done::Pull(read) => {
+                debug_assert!(
+                    self.pending_pull,
+                    "pull completion without a pull in flight"
+                );
+                self.pending_pull = false;
+                let Some(writer) = self.active.as_mut() else {
+                    return;
+                };
+                match writer.accept_chunk(read) {
+                    Ok(part) => {
+                        let finished = writer.is_done();
+                        if let Some(part) = part {
+                            self.emit(&part);
+                        }
+                        if finished {
+                            self.active = None;
+                        }
+                    }
+                    Err(_) => self.abort(),
+                }
+            }
+            Done::Buffer { panicked } => {
+                let response = self
+                    .pending_activation
+                    .take()
+                    .expect("buffer completion without an activation in flight");
+                if panicked {
+                    // The body's mutex is poisoned; building a writer over
+                    // it would re-panic on this thread.  Drop the response
+                    // and abort the connection instead.
+                    drop(response);
+                    self.abort();
+                    return;
+                }
+                // The body's shared state is now Buffered (or Failed, which
+                // the writer surfaces as an abort on its first part).
+                self.active = Some(ResponseWriter::new(response));
+            }
+        }
+    }
+
+    /// Moves response bytes into the output buffer until the window is full
+    /// or there is nothing left to emit (or, in offloading mode, the next
+    /// step might block — then that step is returned as [`Work`]).  Called
+    /// from [`advance`](HttpConn::advance) and, in inline mode, after every
+    /// flush, so a draining socket keeps pulling the next chunk of a
+    /// streamed body — and nothing pulls chunks faster than the socket
+    /// drains them.
+    fn pump(&mut self) -> Option<Work> {
+        if self.pending_pull || self.pending_activation.is_some() {
+            // The active (or activating) response is waiting on a worker;
+            // later responses must not jump the FIFO.
+            return None;
+        }
+        loop {
+            if self.pending_len() + PART_HEADROOM_BYTES > OUTPUT_WINDOW_BYTES {
+                return None;
+            }
+            if self.active.is_none() {
+                let response = self.queued.pop_front()?;
+                // An unknown-length stream bound for a 1.0 client must be
+                // buffered to learn its Content-Length — a blocking drain
+                // the reactor hands to a worker.
+                if self.offload
+                    && !response.version_11
+                    && response.body.size_hint().is_none()
+                    && response.body.may_block()
+                {
+                    let body = response.body.clone();
+                    self.pending_activation = Some(response);
+                    return Some(Work::Buffer { body });
+                }
+                self.active = Some(ResponseWriter::new(response));
+            }
+            let writer = self.active.as_mut().expect("writer installed above");
+            if self.offload && writer.next_pull_may_block() {
+                self.pending_pull = true;
+                let body = writer.body_handle();
+                return Some(Work::Pull { body });
+            }
+            match writer.next_part() {
+                Ok(Some(part)) => self.emit(&part),
+                Ok(None) => self.active = None,
+                Err(_) => {
+                    self.abort();
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Appends one wire part to the output buffer, compacting the flushed
+    /// prefix first so a long-lived keep-alive connection does not accrete
+    /// every response it ever sent.
+    fn emit(&mut self, part: &[u8]) {
+        if self.written > 0 {
+            self.outbuf.drain(..self.written);
+            self.written = 0;
+        }
+        self.outbuf.extend_from_slice(part);
+        self.gauge.note(self.pending_len());
+    }
+
+    /// Mid-body failure after the head went out: the only honest signal
+    /// left is truncation.  Abort the connection (later pipelined
+    /// responses die with it).
+    fn abort(&mut self) {
+        self.active = None;
+        self.queued.clear();
+        self.open = false;
     }
 
     /// The serialized bytes not yet written to the socket.
@@ -192,38 +475,69 @@ impl HttpConn {
         self.outbuf.len() - self.written
     }
 
-    /// Records that `n` bytes of pending output reached the socket, and
-    /// pulls more of the in-flight response into the freed window.
+    /// True while serialized-but-unsent bytes are waiting for the socket —
+    /// the condition under which a readiness transport registers write
+    /// interest (unlike [`wants_write`](HttpConn::wants_write), this is
+    /// false while the next bytes are still being produced by a worker).
+    pub fn has_unsent_output(&self) -> bool {
+        self.pending_len() > 0
+    }
+
+    /// Records that `n` bytes of pending output reached the socket.  In
+    /// inline mode this also pulls more of the in-flight response into the
+    /// freed window; in offloading mode the transport drives refills
+    /// through [`advance`](HttpConn::advance) so pulls can be offloaded.
     pub fn advance_output(&mut self, n: usize) {
         self.written += n;
         debug_assert!(self.written <= self.outbuf.len());
-        self.pump();
+        if !self.offload {
+            let work = self.pump();
+            debug_assert!(work.is_none(), "inline mode never offloads");
+        }
     }
 
-    /// True while there are response bytes waiting for the socket.  After
-    /// every [`dispatch`](HttpConn::dispatch)/
-    /// [`advance_output`](HttpConn::advance_output) the pump guarantees
+    /// True while this connection still owes the client response bytes:
+    /// buffered output, an in-flight response, or queued ones.  In
+    /// offloading mode this can be true while
+    /// [`has_unsent_output`](HttpConn::has_unsent_output) is false (the
+    /// next bytes are on a worker); in inline mode the pump guarantees
     /// this implies non-empty [`pending_output`](HttpConn::pending_output).
     pub fn wants_write(&self) -> bool {
         self.pending_len() > 0 || self.active.is_some() || !self.queued.is_empty()
     }
 
-    /// Marks the connection closed by the transport (EOF or socket error):
-    /// no further requests are parsed, pending output may still flush.
-    pub fn close(&mut self) {
-        self.open = false;
+    /// True while the engine can make use of more input bytes: the
+    /// connection is protocol-open, the transport has not seen EOF, and
+    /// input parsing is not parked behind an offloaded service call.
+    pub fn wants_read(&self) -> bool {
+        self.open && !self.eof && self.pending_call.is_none()
     }
 
-    /// True until a request (or a parse error) decided the connection must
-    /// close after the pending output flushes.
+    /// Marks end of input from the transport (EOF or socket error).
+    /// Requests already buffered are still parsed and answered — a client
+    /// may write a complete request and half-close in the same packet —
+    /// but once the buffered input no longer holds a complete request the
+    /// connection closes after its pending output flushes.
+    pub fn close(&mut self) {
+        self.eof = true;
+    }
+
+    /// True until a request (or a parse error, or exhausted-after-EOF
+    /// input) decided the connection must close after the pending output
+    /// flushes.
     pub fn is_open(&self) -> bool {
         self.open
     }
 
-    /// True when the connection is finished: close decided and output fully
-    /// flushed.
+    /// True while an offloaded unit of [`Work`] is outstanding.
+    pub fn has_pending_work(&self) -> bool {
+        self.pending_call.is_some() || self.pending_pull || self.pending_activation.is_some()
+    }
+
+    /// True when the connection is finished: close decided, output fully
+    /// flushed, and no offloaded work still in flight.
     pub fn done(&self) -> bool {
-        !self.open && !self.wants_write()
+        !self.open && !self.wants_write() && !self.has_pending_work()
     }
 }
 
@@ -232,7 +546,7 @@ mod tests {
     use super::*;
     use crate::WallClock;
     use bytes::Bytes;
-    use nakika_core::service::service_fn;
+    use nakika_core::service::{service_fn, NakikaError, RequestCtx};
     use nakika_http::{Body, Request};
     use std::net::{IpAddr, Ipv4Addr};
     use std::sync::Arc;
@@ -249,9 +563,13 @@ mod tests {
         IpAddr::V4(Ipv4Addr::LOCALHOST)
     }
 
+    fn gauge() -> Arc<OutputGauge> {
+        Arc::new(OutputGauge::default())
+    }
+
     #[test]
     fn pipelined_requests_produce_in_order_responses() {
-        let mut conn = HttpConn::new(peer());
+        let mut conn = HttpConn::new(peer(), gauge());
         conn.feed(b"GET /a HTTP/1.1\r\nHost: x\r\n\r\nGET /b HTTP/1.1\r\nHost: x\r\n\r\n");
         assert!(conn.dispatch(&*echo_path_service(), &factory()));
         let out = String::from_utf8_lossy(conn.pending_output()).to_string();
@@ -263,7 +581,7 @@ mod tests {
 
     #[test]
     fn partial_requests_wait_for_more_bytes() {
-        let mut conn = HttpConn::new(peer());
+        let mut conn = HttpConn::new(peer(), gauge());
         conn.feed(b"GET /a HTTP/1.1\r\nHo");
         assert!(conn.dispatch(&*echo_path_service(), &factory()));
         assert!(!conn.wants_write());
@@ -274,7 +592,7 @@ mod tests {
 
     #[test]
     fn connection_close_ends_the_session_after_flush() {
-        let mut conn = HttpConn::new(peer());
+        let mut conn = HttpConn::new(peer(), gauge());
         conn.feed(b"GET /a HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
         assert!(!conn.dispatch(&*echo_path_service(), &factory()));
         assert!(!conn.done(), "output still pending");
@@ -285,15 +603,27 @@ mod tests {
 
     #[test]
     fn malformed_input_queues_400_and_closes() {
-        let mut conn = HttpConn::new(peer());
+        let mut conn = HttpConn::new(peer(), gauge());
         conn.feed(b"NOT A VALID REQUEST\r\n\r\n");
         assert!(!conn.dispatch(&*echo_path_service(), &factory()));
         assert!(String::from_utf8_lossy(conn.pending_output()).starts_with("HTTP/1.1 400"));
     }
 
     #[test]
+    fn eof_still_answers_buffered_requests_then_closes() {
+        let mut conn = HttpConn::new(peer(), gauge());
+        conn.feed(b"GET /last HTTP/1.1\r\nHost: x\r\n\r\n");
+        conn.close();
+        assert!(!conn.dispatch(&*echo_path_service(), &factory()));
+        assert!(String::from_utf8_lossy(conn.pending_output()).contains("/last"));
+        let n = conn.pending_output().len();
+        conn.advance_output(n);
+        assert!(conn.done());
+    }
+
+    #[test]
     fn flushed_output_is_compacted() {
-        let mut conn = HttpConn::new(peer());
+        let mut conn = HttpConn::new(peer(), gauge());
         let service = echo_path_service();
         let factory = factory();
         for i in 0..3 {
@@ -323,7 +653,7 @@ mod tests {
             resp.body = Body::stream_from_iter(chunks, Some(TOTAL as u64));
             Ok(resp)
         });
-        let mut conn = HttpConn::new(peer());
+        let mut conn = HttpConn::new(peer(), gauge());
         conn.feed(b"GET /big HTTP/1.1\r\nHost: x\r\n\r\n");
         conn.dispatch(&*service, &factory());
         let mut received = Vec::new();
@@ -369,7 +699,7 @@ mod tests {
             resp.body = Body::stream(Failing(0), Some(1_000_000));
             Ok(resp)
         });
-        let mut conn = HttpConn::new(peer());
+        let mut conn = HttpConn::new(peer(), gauge());
         conn.feed(b"GET /dies HTTP/1.1\r\nHost: x\r\n\r\n");
         conn.dispatch(&*service, &factory());
         // The head (and the partial chunk) may be pending; the connection
@@ -378,5 +708,138 @@ mod tests {
         let n = conn.pending_output().len();
         conn.advance_output(n);
         assert!(conn.done());
+    }
+
+    /// A service whose hint is `Inline` for `/warm/…` paths and `MayBlock`
+    /// otherwise, for driving the offload state machine by hand.
+    struct HintedEcho;
+
+    impl HttpService for HintedEcho {
+        fn call(&self, req: Request, _ctx: &RequestCtx) -> Result<Response, NakikaError> {
+            Ok(Response::ok("text/plain", req.uri.path.clone()))
+        }
+
+        fn dispatch_hint(&self, req: &Request, _ctx: &RequestCtx) -> DispatchHint {
+            if req.uri.path.starts_with("/warm/") {
+                DispatchHint::Inline
+            } else {
+                DispatchHint::MayBlock
+            }
+        }
+    }
+
+    #[test]
+    fn offloading_mode_parks_may_block_calls_and_completes_them() {
+        let service = HintedEcho;
+        let factory = factory();
+        let mut conn = HttpConn::offloading(peer(), gauge());
+        // A warm request runs inline, no work produced.
+        conn.feed(b"GET /warm/a HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(conn.advance(&service, &factory).is_none());
+        assert!(String::from_utf8_lossy(conn.pending_output()).contains("/warm/a"));
+        let n = conn.pending_output().len();
+        conn.advance_output(n);
+
+        // A cold request is handed back as Work::Call; input parsing parks.
+        conn.feed(
+            b"GET /cold/b HTTP/1.1\r\nHost: x\r\n\r\nGET /warm/c HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        let work = conn
+            .advance(&service, &factory)
+            .expect("cold call offloads");
+        assert!(matches!(work, Work::Call { .. }));
+        assert!(conn.has_pending_work());
+        assert!(!conn.wants_read(), "input parses only after completion");
+        assert!(
+            conn.advance(&service, &factory).is_none(),
+            "nothing proceeds while the call is in flight"
+        );
+        assert!(!conn.has_unsent_output());
+
+        // Completing the call queues its response and unparks the input
+        // side: the pipelined warm request now runs inline, in order.
+        conn.complete(work.run(&service));
+        assert!(!conn.has_pending_work());
+        assert!(conn.advance(&service, &factory).is_none());
+        let out = String::from_utf8_lossy(conn.pending_output()).to_string();
+        let cold = out.find("/cold/b").expect("offloaded response present");
+        let warm = out.find("/warm/c").expect("pipelined response present");
+        assert!(cold < warm, "responses keep request order across offloads");
+    }
+
+    #[test]
+    fn panicking_inline_service_becomes_a_500_not_a_dead_thread() {
+        struct Panicking;
+        impl HttpService for Panicking {
+            fn call(&self, _req: Request, _ctx: &RequestCtx) -> Result<Response, NakikaError> {
+                panic!("service bug");
+            }
+            fn dispatch_hint(&self, _req: &Request, _ctx: &RequestCtx) -> DispatchHint {
+                // The dangerous case: an Inline-classified call runs on the
+                // thread driving the engine — on the reactor, an event loop.
+                DispatchHint::Inline
+            }
+        }
+        let mut conn = HttpConn::offloading(peer(), gauge());
+        conn.feed(b"GET /boom HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(conn.advance(&Panicking, &factory()).is_none());
+        let out = String::from_utf8_lossy(conn.pending_output()).to_string();
+        assert!(out.starts_with("HTTP/1.1 500"), "out: {out}");
+        assert!(out.contains("panicked"), "out: {out}");
+        assert!(conn.is_open(), "the connection survives the panic");
+    }
+
+    #[test]
+    fn offloading_mode_pulls_blocking_streams_through_work() {
+        /// An in-memory source that *claims* to block, standing in for an
+        /// origin socket.
+        struct BlockingIter {
+            chunks: VecDeque<Bytes>,
+        }
+        impl nakika_http::ChunkSource for BlockingIter {
+            fn next_chunk(&mut self) -> std::io::Result<Option<Bytes>> {
+                Ok(self.chunks.pop_front())
+            }
+            fn may_block(&self) -> bool {
+                true
+            }
+        }
+        struct StreamService;
+        impl HttpService for StreamService {
+            fn call(&self, _req: Request, _ctx: &RequestCtx) -> Result<Response, NakikaError> {
+                let mut resp = Response::new(StatusCode::OK);
+                resp.body = Body::stream(
+                    BlockingIter {
+                        chunks: VecDeque::from(vec![
+                            Bytes::from_static(b"hello "),
+                            Bytes::from_static(b"world"),
+                        ]),
+                    },
+                    Some(11),
+                );
+                Ok(resp)
+            }
+            fn dispatch_hint(&self, _req: &Request, _ctx: &RequestCtx) -> DispatchHint {
+                DispatchHint::Inline
+            }
+        }
+
+        let service = StreamService;
+        let factory = factory();
+        let mut conn = HttpConn::offloading(peer(), gauge());
+        conn.feed(b"GET /movie HTTP/1.1\r\nHost: x\r\n\r\n");
+        // The head emits inline; each chunk comes back as Work::Pull.
+        let mut pulls = 0;
+        while let Some(work) = conn.advance(&service, &factory) {
+            assert!(matches!(work, Work::Pull { .. }));
+            pulls += 1;
+            assert!(pulls < 10, "stream terminates");
+            conn.complete(work.run(&service));
+        }
+        assert!(!conn.has_pending_work());
+        let out = String::from_utf8_lossy(conn.pending_output()).to_string();
+        assert!(out.contains("Content-Length: 11"), "out: {out}");
+        assert!(out.ends_with("hello world"));
+        assert!(conn.is_open(), "keep-alive survives an offloaded stream");
     }
 }

@@ -8,7 +8,11 @@
 //! - [`Transport::Reactor`] — a readiness-driven non-blocking server
 //!   ([`ReactorServer`]): a few event-loop threads multiplex every
 //!   connection through `epoll`/`poll`, so hundreds of simultaneous
-//!   keep-alive clients cost slab slots instead of parked threads.
+//!   keep-alive clients cost slab slots instead of parked threads.  Warm
+//!   cache hits dispatch inline on the event loop; cold origin fetches and
+//!   origin-socket body pulls are offloaded to a worker pool (sized by
+//!   [`ReactorConfig`]) with the connection parked meanwhile, so one slow
+//!   origin never stalls the other connections.
 //!
 //! Both transports drive the exact same sans-IO connection state machine and
 //! the exact same [`HttpService`] stack: an [`HttpServer`] fronts any service
@@ -38,8 +42,10 @@ mod conn;
 mod reactor;
 mod sys;
 
-pub use conn::{peak_buffered_output, reset_peak_buffered_output, OUTPUT_WINDOW_BYTES};
-pub use reactor::ReactorServer;
+pub use conn::OUTPUT_WINDOW_BYTES;
+pub use reactor::{ReactorConfig, ReactorServer};
+
+use conn::OutputGauge;
 
 use bytes::Bytes;
 use conn::HttpConn;
@@ -83,7 +89,9 @@ pub enum Transport {
     #[default]
     Threaded,
     /// A few readiness-driven event-loop threads multiplexing every
-    /// connection ([`ReactorServer`]).
+    /// connection, with blocking origin I/O offloaded to a worker pool
+    /// ([`ReactorServer`]; use
+    /// [`ReactorServer::start_with_config`] to pin the thread counts).
     Reactor,
 }
 
@@ -92,10 +100,11 @@ enum ServerImpl {
     Threaded {
         shutdown: Arc<AtomicBool>,
         acceptor: Option<JoinHandle<()>>,
+        gauge: Arc<OutputGauge>,
     },
-    // Held only for its Drop, which joins the reactor threads.
+    // Held for its Drop (which joins the reactor threads) and its gauge.
     Reactor {
-        _server: ReactorServer,
+        server: ReactorServer,
     },
 }
 
@@ -127,6 +136,8 @@ impl HttpServer {
                 let shutdown = Arc::new(AtomicBool::new(false));
                 let shutdown_flag = shutdown.clone();
                 let ctx_factory = Arc::new(CtxFactory::new(Arc::new(WallClock)));
+                let gauge = Arc::new(OutputGauge::default());
+                let conn_gauge = gauge.clone();
                 // The accept loop blocks — no polling.  Drop wakes it with a
                 // bare connect so the flag check below runs one last time.
                 let acceptor = std::thread::spawn(move || {
@@ -136,8 +147,10 @@ impl HttpServer {
                         }
                         let service = service.clone();
                         let ctx_factory = ctx_factory.clone();
+                        let gauge = conn_gauge.clone();
                         std::thread::spawn(move || {
-                            let _ = serve_connection(stream, peer.ip(), &*service, &ctx_factory);
+                            let _ =
+                                serve_connection(stream, peer.ip(), &*service, &ctx_factory, gauge);
                         });
                     }
                 });
@@ -147,6 +160,7 @@ impl HttpServer {
                     imp: ServerImpl::Threaded {
                         shutdown,
                         acceptor: Some(acceptor),
+                        gauge,
                     },
                 })
             }
@@ -155,7 +169,7 @@ impl HttpServer {
                 Ok(HttpServer {
                     addr: server.addr(),
                     transport,
-                    imp: ServerImpl::Reactor { _server: server },
+                    imp: ServerImpl::Reactor { server },
                 })
             }
         }
@@ -175,6 +189,18 @@ impl HttpServer {
     pub fn transport(&self) -> Transport {
         self.transport
     }
+
+    /// Highest number of serialized-but-unsent bytes any of *this
+    /// server's* connections has held — the bounded-output-window
+    /// instrument (see [`OUTPUT_WINDOW_BYTES`]).  Scoped per server, so
+    /// concurrently running servers (e.g. parallel tests) do not
+    /// contaminate each other's measurements.
+    pub fn peak_buffered_output(&self) -> usize {
+        match &self.imp {
+            ServerImpl::Threaded { gauge, .. } => gauge.peak(),
+            ServerImpl::Reactor { server } => server.peak_buffered_output(),
+        }
+    }
 }
 
 impl Drop for HttpServer {
@@ -182,7 +208,10 @@ impl Drop for HttpServer {
         // Joining the accept loop makes shutdown deterministic: once drop
         // returns, nothing accepts on the port.  (The reactor variant joins
         // its own threads in ReactorServer::drop.)
-        if let ServerImpl::Threaded { shutdown, acceptor } = &mut self.imp {
+        if let ServerImpl::Threaded {
+            shutdown, acceptor, ..
+        } = &mut self.imp
+        {
             shutdown.store(true, Ordering::Relaxed);
             // Wake the blocking accept so the loop observes the flag and exits.
             let _ = TcpStream::connect(self.addr);
@@ -227,6 +256,12 @@ impl ProxyServer {
     /// Which [`Transport`] this proxy runs on.
     pub fn transport(&self) -> Transport {
         self.inner.transport()
+    }
+
+    /// This proxy's output high-water mark — see
+    /// [`HttpServer::peak_buffered_output`].
+    pub fn peak_buffered_output(&self) -> usize {
+        self.inner.peak_buffered_output()
     }
 }
 
@@ -526,6 +561,14 @@ fn read_socket(stream: &mut Option<TcpStream>, buf: &mut [u8]) -> io::Result<usi
 }
 
 impl ChunkSource for SocketBody {
+    fn may_block(&self) -> bool {
+        // Pulls read the origin socket; the reactor must not do that on an
+        // event-loop thread (leftover head bytes alone could be served
+        // inline, but distinguishing per-pull is not worth the complexity
+        // for at most one chunk per response).
+        true
+    }
+
     fn next_chunk(&mut self) -> io::Result<Option<Bytes>> {
         loop {
             match &mut self.mode {
@@ -762,17 +805,105 @@ pub fn http_fetch_streaming_via_proxy(
     )
 }
 
+/// A job submitted to the [`WorkerPool`].
+type PoolJob = Box<dyn FnOnce() + Send>;
+
+/// Shared state between the pool handle and its worker threads.  Plain
+/// `std::sync` primitives: the queue is touched once per offloaded origin
+/// operation (not per request — warm hits never come here), so a condvar
+/// hand-off is plenty.
+struct PoolShared {
+    queue: std::sync::Mutex<VecDeque<PoolJob>>,
+    work_ready: std::sync::Condvar,
+    stop: AtomicBool,
+}
+
+/// The reactor transport's blocking-work pool: a fixed set of threads that
+/// execute offloaded service calls and origin-socket chunk pulls (the
+/// [`Work`](conn) units the connection engine refuses to run on an event
+/// loop).  Sized by [`ReactorConfig::workers`]; dropping the pool stops
+/// the workers after their current job and discards anything still queued
+/// (completions for a server being torn down have no audience).
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (at least 1) worker threads.
+    pub(crate) fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            queue: std::sync::Mutex::new(VecDeque::new()),
+            work_ready: std::sync::Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut queue = match shared.queue.lock() {
+                            Ok(queue) => queue,
+                            Err(_) => return, // a job panicked while queueing: bail
+                        };
+                        loop {
+                            if shared.stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                            if let Some(job) = queue.pop_front() {
+                                break job;
+                            }
+                            queue = match shared.work_ready.wait(queue) {
+                                Ok(queue) => queue,
+                                Err(_) => return,
+                            };
+                        }
+                    };
+                    // Jobs contain their own panic containment (Work::run);
+                    // anything else escaping here would poison nothing but
+                    // this worker, and the remaining workers keep serving.
+                    job();
+                })
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Enqueues one job; a no-op after the pool started stopping.
+    pub(crate) fn execute(&self, job: PoolJob) {
+        if self.shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        if let Ok(mut queue) = self.shared.queue.lock() {
+            queue.push_back(job);
+            self.shared.work_ready.notify_one();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// The blocking transport's connection loop, over the same sans-IO
-/// [`HttpConn`] engine the reactor uses: read, feed, dispatch, flush,
-/// repeat until a request (or error) closes the session.
+/// [`HttpConn`] engine the reactor uses (in its inline mode: service calls
+/// and body pulls block this thread, and only this thread): read, feed,
+/// dispatch, flush, repeat until a request (or error) closes the session.
 fn serve_connection(
     mut stream: TcpStream,
     peer: IpAddr,
     service: &dyn HttpService,
     ctx_factory: &CtxFactory,
+    gauge: Arc<OutputGauge>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    let mut conn = HttpConn::new(peer);
+    let mut conn = HttpConn::new(peer, gauge);
     let mut chunk = [0u8; 8192];
     loop {
         conn.dispatch(service, ctx_factory);

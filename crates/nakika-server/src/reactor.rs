@@ -1,41 +1,64 @@
 //! The non-blocking reactor transport: readiness-driven HTTP/1.1 service
-//! over a handful of event-loop threads instead of a thread per connection.
+//! over a handful of event-loop threads, with blocking origin I/O offloaded
+//! to a worker pool.
 //!
 //! # Architecture
 //!
 //! A [`ReactorServer`] runs one blocking *acceptor* thread (the same
-//! accept/shutdown discipline as the threaded server) plus `N` *reactor*
-//! threads, `N` = `min(available cores, 4)`.  Each reactor owns a
-//! [`Poller`] (epoll on Linux, poll elsewhere — see [`crate::sys`]) and the
-//! set of connections assigned to it; accepted sockets are handed out
-//! round-robin, made non-blocking, and from then on all their I/O happens on
-//! that reactor's thread, driven by readiness events.
+//! accept/shutdown discipline as the threaded server), `N` *reactor*
+//! threads, and one shared pool of `W` *offload workers* (both counts set
+//! by [`ReactorConfig`]).  Each reactor owns a [`Poller`] (epoll on Linux,
+//! poll elsewhere — see [`crate::sys`]) and the set of connections assigned
+//! to it; accepted sockets are handed out round-robin, made non-blocking,
+//! and from then on all their *client-side* I/O happens on that reactor's
+//! thread, driven by readiness events.
 //!
 //! Per connection the reactor keeps a sans-IO [`HttpConn`] state machine
-//! (shared verbatim with the blocking transport): readable events feed bytes
-//! in and dispatch every complete request through the [`HttpService`] stack;
-//! serialized responses drain out through non-blocking writes, with `EPOLLOUT`
+//! (shared verbatim with the blocking transport): readable events feed
+//! bytes in, and the engine's `advance` parses complete requests,
+//! dispatches the ones the service stack classifies
+//! [`DispatchHint::Inline`](nakika_core::service::DispatchHint) — warm
+//! cache hits — right there on the reactor thread, and pumps serialized
+//! output, which drains through non-blocking writes with `EPOLLOUT`
 //! interest registered only while output is actually pending.  Keep-alive
-//! connections therefore cost one slab slot and one epoll registration while
-//! idle — not a parked thread — which is what lets one node hold hundreds of
-//! simultaneous keep-alive clients.
+//! connections therefore cost one slab slot and one epoll registration
+//! while idle — not a parked thread — which is what lets one node hold
+//! hundreds of simultaneous keep-alive clients.
 //!
-//! Service dispatch runs inline on the reactor thread.  That is the classic
-//! reactor trade: a cache-hit response costs no hand-off, but a service call
-//! that blocks (a cold origin fetch over [`crate::TcpOrigin`]) stalls the
-//! other connections of that reactor until it returns.  The sharded proxy
-//! cache keeps the common path short; workloads dominated by slow origin
-//! fetches should prefer [`Transport::Threaded`](crate::Transport).
+//! # The event-loop discipline, and parking
+//!
+//! The one rule of this module: **nothing on a reactor thread may block.**
+//! Two operations in the request path can — a service call that misses the
+//! cache and fetches from the origin, and pulling the next chunk of a
+//! streamed response whose source is an origin socket.  For those, the
+//! engine hands back a unit of [`Work`](crate::conn) instead of executing
+//! it, and the reactor *parks* the connection: the in-flight side of the
+//! engine stops (input parsing for a call, output pumping for a pull), the
+//! fd is deregistered from readiness tracking once neither direction has
+//! anything to do, and the slab slot is retained.  The work runs on the
+//! worker pool; its completion lands in the reactor's completion queue and
+//! the loopback self-pipe wakes the poller — the same wakeup path used for
+//! newly accepted sockets — after which the completion is fed back into
+//! the engine and the connection is re-armed with whatever interest it now
+//! has.  A cold origin fetch thus costs its own connection a round trip
+//! through the pool while every other connection on the reactor keeps
+//! being served; see `docs/ARCHITECTURE.md`, "Life of a cache miss".
+//!
+//! A slot being parked is also why completions carry a generation counter:
+//! a connection can die (write error, shutdown) while its work is still
+//! running, and the slot may be reused by a new connection before the
+//! stale completion arrives.  The generation check drops such orphans.
 //!
 //! Reactors are woken for new work through a loopback socket pair (the
-//! self-pipe trick): the acceptor pushes the socket onto the reactor's
-//! injection queue and writes one byte to the wake socket, which the poller
-//! reports like any other readable fd.  Shutdown reuses the same path, so
-//! dropping a [`ReactorServer`] joins every thread deterministically.
+//! self-pipe trick): the acceptor (or a worker) pushes onto the reactor's
+//! injection/completion queue and writes one byte to the wake socket,
+//! which the poller reports like any other readable fd.  Shutdown reuses
+//! the same path, so dropping a [`ReactorServer`] joins every thread
+//! deterministically — reactors first, then the worker pool.
 
-use crate::conn::HttpConn;
+use crate::conn::{Done, HttpConn, OutputGauge, Work};
 use crate::sys::{Interest, PollEvent, Poller};
-use crate::{CtxFactory, HttpService, WallClock};
+use crate::{CtxFactory, HttpService, WallClock, WorkerPool};
 use parking_lot::Mutex;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
@@ -46,10 +69,74 @@ use std::thread::JoinHandle;
 /// Token reserved for the wake socket; connections use their slab index.
 const WAKE_TOKEN: u64 = u64::MAX;
 
-/// Work handed to a reactor from outside its thread: new connections plus
-/// the shutdown signal, with a loopback wake socket to interrupt the poller.
+/// Sizing knobs for the reactor transport
+/// ([`Transport::Reactor`](crate::Transport)).
+///
+/// ```
+/// use nakika_server::ReactorConfig;
+///
+/// // Derive both counts from the machine (the default):
+/// let auto = ReactorConfig::default();
+/// // Pin them — e.g. one event loop and a deep pool for an
+/// // origin-latency-bound deployment:
+/// let pinned = ReactorConfig { reactors: 1, workers: 16 };
+/// # let _ = (auto, pinned);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReactorConfig {
+    /// Number of event-loop threads.  `0` (the default) derives
+    /// `min(available cores, 4)`: event loops are CPU-bound and a handful
+    /// multiplexes hundreds of connections.
+    pub reactors: usize,
+    /// Number of offload-worker threads executing may-block service calls
+    /// (cold origin fetches) and origin-socket chunk pulls for *all*
+    /// reactors of the server.  `0` (the default) derives
+    /// `min(max(available cores, 4), 16)`.  This bounds how many origin
+    /// fetches proceed concurrently: size it toward the expected number of
+    /// simultaneous cache misses times the origin latency you are willing
+    /// to overlap, not toward client concurrency — warm hits never enter
+    /// the pool.
+    pub workers: usize,
+}
+
+impl ReactorConfig {
+    fn resolved_reactors(&self) -> usize {
+        if self.reactors > 0 {
+            return self.reactors;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4)
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(4, 16)
+    }
+}
+
+/// A finished unit of offloaded work, addressed back to its connection.
+struct Completion {
+    idx: usize,
+    /// Generation of the slab slot when the work was submitted; a mismatch
+    /// means the connection died (and the slot was possibly reused) while
+    /// the work was in flight, and the completion is dropped.
+    gen: u64,
+    done: Done,
+}
+
+/// Work handed to a reactor from outside its thread: new connections,
+/// completions of offloaded work, and the shutdown signal, with a loopback
+/// wake socket to interrupt the poller.
 struct Injector {
     queue: Mutex<Vec<(TcpStream, IpAddr)>>,
+    completions: Mutex<Vec<Completion>>,
     shutdown: AtomicBool,
     wake_tx: TcpStream,
 }
@@ -63,6 +150,11 @@ impl Injector {
 
     fn push(&self, stream: TcpStream, peer: IpAddr) {
         self.queue.lock().push((stream, peer));
+        self.wake();
+    }
+
+    fn complete(&self, completion: Completion) {
+        self.completions.lock().push(completion);
         self.wake();
     }
 
@@ -89,15 +181,23 @@ fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
     Ok((tx, rx))
 }
 
-/// One registered connection: its socket, protocol state machine, and the
-/// interest set currently installed in the poller.
+/// One registered connection: its socket, protocol state machine, the
+/// interest currently installed in the poller (meaningful only while
+/// `registered`), and the generation guarding stale completions.
 struct Conn {
     stream: TcpStream,
     engine: HttpConn,
     interest: Interest,
+    /// False while the connection is parked: origin I/O is in flight and
+    /// neither direction of the socket has anything to do, so the fd is
+    /// removed from the poller entirely (level-triggered readiness on an
+    /// ignored direction would spin the loop).
+    registered: bool,
+    gen: u64,
 }
 
-/// The per-thread reactor: poller, connection slab, and service stack.
+/// The per-thread reactor: poller, connection slab, service stack, and a
+/// handle on the server-wide offload pool.
 struct Reactor {
     poller: Poller,
     slab: Vec<Option<Conn>>,
@@ -106,6 +206,9 @@ struct Reactor {
     ctx_factory: Arc<CtxFactory>,
     injector: Arc<Injector>,
     wake_rx: TcpStream,
+    pool: Arc<WorkerPool>,
+    gauge: Arc<OutputGauge>,
+    next_gen: u64,
 }
 
 impl Reactor {
@@ -130,6 +233,7 @@ impl Reactor {
                         return; // dropping the reactor closes every socket
                     }
                     self.register_injected();
+                    self.run_completions();
                 } else {
                     self.drive(event.token as usize, event.readable, event.writable);
                 }
@@ -161,23 +265,61 @@ impl Reactor {
                 self.free.push(idx);
                 continue; // dropping the stream closes it
             }
+            self.next_gen += 1;
             self.slab[idx] = Some(Conn {
                 stream,
-                engine: HttpConn::new(peer),
+                engine: HttpConn::offloading(peer, self.gauge.clone()),
                 interest: Interest::READ,
+                registered: true,
+                gen: self.next_gen,
             });
         }
     }
 
-    /// Advances one connection after a readiness event: pull bytes and
-    /// dispatch requests while readable, push pending responses while
-    /// writable, then reconcile the poller interest with what is left.
+    /// Feeds finished offloaded work back into its connection's engine and
+    /// re-arms the connection.  Stale completions — the slot died or was
+    /// reused while the work ran — are identified by generation and
+    /// dropped.
+    fn run_completions(&mut self) {
+        let completions: Vec<Completion> = std::mem::take(&mut *self.injector.completions.lock());
+        for completion in completions {
+            let Some(conn) = self.slab.get_mut(completion.idx).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.gen != completion.gen {
+                continue;
+            }
+            conn.engine.complete(completion.done);
+            self.progress(completion.idx);
+        }
+    }
+
+    /// Ships one unit of may-block work to the pool; the completion comes
+    /// back through the injector and the wake pipe.
+    fn submit(&self, idx: usize, gen: u64, work: Work) {
+        let service = self.service.clone();
+        let injector = self.injector.clone();
+        self.pool.execute(Box::new(move || {
+            let done = work.run(&*service);
+            injector.complete(Completion { idx, gen, done });
+        }));
+    }
+
+    /// Handles one readiness event: pull bytes and feed the engine while
+    /// readable, then make whatever progress the engine allows.
     fn drive(&mut self, idx: usize, readable: bool, writable: bool) {
-        // A stale event can name a slot freed earlier in this batch.
+        // Progress flushes opportunistically whenever output exists, so the
+        // write-readiness direction needs no handling of its own.
+        let _ = writable;
+        // A stale event can name a slot freed — or parked — earlier in
+        // this batch.
         let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else {
             return;
         };
-        if readable && conn.engine.is_open() {
+        if !conn.registered {
+            return;
+        }
+        if readable && conn.engine.wants_read() {
             let mut chunk = [0u8; 8192];
             let mut eof = false;
             loop {
@@ -195,44 +337,98 @@ impl Reactor {
                     }
                 }
             }
-            // Dispatch before honoring EOF: a client may write a complete
-            // request and half-close in the same packet, still expecting its
-            // response — the threaded transport serves that case too.
-            conn.engine
-                .dispatch(&*self.service, self.ctx_factory.as_ref());
             if eof {
+                // The engine still answers requests already buffered — a
+                // client may write a complete request and half-close in
+                // the same packet — then closes once input is exhausted.
                 conn.engine.close();
             }
         }
-        // Dispatch may have queued output regardless of which direction
-        // fired, so always try to flush opportunistically.
-        let _ = writable;
-        while conn.engine.wants_write() {
-            match conn.stream.write(conn.engine.pending_output()) {
-                Ok(0) => {
-                    self.close(idx);
+        self.progress(idx);
+    }
+
+    /// Advances one connection as far as non-blocking operations allow:
+    /// lets the engine parse/dispatch/pump (shipping offloaded work to the
+    /// pool), flushes pending output, and reconciles the poller interest —
+    /// including parking (full deregistration) when origin I/O is the only
+    /// thing the connection is waiting on.
+    fn progress(&mut self, idx: usize) {
+        use std::os::unix::io::AsRawFd;
+        loop {
+            // Generate: parse, inline-dispatch, pump; ship may-block work.
+            loop {
+                let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else {
                     return;
-                }
-                Ok(n) => conn.engine.advance_output(n),
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    self.close(idx);
-                    return;
+                };
+                let gen = conn.gen;
+                let Some(work) = conn
+                    .engine
+                    .advance(&*self.service, self.ctx_factory.as_ref())
+                else {
+                    break;
+                };
+                self.submit(idx, gen, work);
+            }
+            // Flush opportunistically; a drained window lets the next
+            // generate pass pull more of a streamed response.
+            let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            let mut wrote = false;
+            let mut would_block = false;
+            while conn.engine.has_unsent_output() {
+                match conn.stream.write(conn.engine.pending_output()) {
+                    Ok(0) => {
+                        self.close(idx);
+                        return;
+                    }
+                    Ok(n) => {
+                        conn.engine.advance_output(n);
+                        wrote = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        would_block = true;
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.close(idx);
+                        return;
+                    }
                 }
             }
+            if would_block || !wrote {
+                break;
+            }
         }
+        let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
         if conn.engine.done() {
             self.close(idx);
             return;
         }
         let wanted = Interest {
-            readable: conn.engine.is_open(),
-            writable: conn.engine.wants_write(),
+            readable: conn.engine.wants_read(),
+            writable: conn.engine.has_unsent_output(),
         };
-        if wanted != conn.interest {
-            use std::os::unix::io::AsRawFd;
-            let fd = conn.stream.as_raw_fd();
+        let fd = conn.stream.as_raw_fd();
+        if !wanted.readable && !wanted.writable {
+            // Parked: the connection is waiting only on offloaded origin
+            // I/O (or, transiently, on nothing — impossible while open).
+            // Deregister entirely; the completion re-arms it.
+            if conn.registered {
+                let _ = self.poller.remove(fd);
+                conn.registered = false;
+            }
+        } else if !conn.registered {
+            if self.poller.add(fd, idx as u64, wanted).is_err() {
+                self.close(idx);
+                return;
+            }
+            conn.registered = true;
+            conn.interest = wanted;
+        } else if wanted != conn.interest {
             if self.poller.modify(fd, idx as u64, wanted).is_err() {
                 self.close(idx);
                 return;
@@ -244,22 +440,30 @@ impl Reactor {
     fn close(&mut self, idx: usize) {
         use std::os::unix::io::AsRawFd;
         if let Some(conn) = self.slab.get_mut(idx).and_then(Option::take) {
-            let _ = self.poller.remove(conn.stream.as_raw_fd());
+            if conn.registered {
+                let _ = self.poller.remove(conn.stream.as_raw_fd());
+            }
             self.free.push(idx);
-            // conn drops here, closing the socket.
+            // conn drops here, closing the socket.  Any work still in
+            // flight for it completes harmlessly: the generation check in
+            // run_completions drops the orphaned completion.
         }
     }
 }
 
 /// A non-blocking HTTP/1.1 server fronting any [`HttpService`] with a small
-/// set of reactor threads (the design notes live at the top of
-/// `nakika-server/src/reactor.rs`).
+/// set of reactor threads plus an offload worker pool for blocking origin
+/// I/O (the design notes live at the top of `nakika-server/src/reactor.rs`;
+/// the narrative version is `docs/ARCHITECTURE.md`).
 ///
-/// The public surface mirrors the threaded server — `start`, [`addr`],
-/// [`base_url`] — and the usual way to get one is
+/// The public surface mirrors the threaded server — [`start`], [`addr`],
+/// [`base_url`] — plus [`start_with_config`] for pinning the thread counts
+/// ([`ReactorConfig`]); the usual way to get one is
 /// [`HttpServer::start_with`](crate::HttpServer::start_with) with
 /// [`Transport::Reactor`](crate::Transport).
 ///
+/// [`start`]: ReactorServer::start
+/// [`start_with_config`]: ReactorServer::start_with_config
 /// [`addr`]: ReactorServer::addr
 /// [`base_url`]: ReactorServer::base_url
 pub struct ReactorServer {
@@ -267,19 +471,33 @@ pub struct ReactorServer {
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<(Arc<Injector>, Option<JoinHandle<()>>)>,
+    gauge: Arc<OutputGauge>,
+    // Held only for its Drop: declared after the reactor handles, so the
+    // offload workers are joined only once every reactor thread — which
+    // shares the pool — has been joined by Drop above.
+    _pool: Arc<WorkerPool>,
 }
 
 impl ReactorServer {
     /// Starts a reactor server on `127.0.0.1:port` (port 0 picks a free
-    /// port) serving `service` until the value is dropped.
+    /// port) serving `service` until the value is dropped, with derived
+    /// thread counts ([`ReactorConfig::default`]).
     pub fn start(port: u16, service: Arc<dyn HttpService>) -> io::Result<ReactorServer> {
-        let reactor_count = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(4);
+        ReactorServer::start_with_config(port, service, ReactorConfig::default())
+    }
+
+    /// Starts a reactor server with explicit sizing knobs.
+    pub fn start_with_config(
+        port: u16,
+        service: Arc<dyn HttpService>,
+        config: ReactorConfig,
+    ) -> io::Result<ReactorServer> {
+        let reactor_count = config.resolved_reactors();
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let ctx_factory = Arc::new(CtxFactory::new(Arc::new(WallClock)));
+        let gauge = Arc::new(OutputGauge::default());
+        let pool = Arc::new(WorkerPool::new(config.resolved_workers()));
 
         // Create every fallible resource (wake pairs, epoll fds) before
         // spawning any thread: a mid-loop failure (fd exhaustion) must not
@@ -289,6 +507,7 @@ impl ReactorServer {
             let (wake_tx, wake_rx) = wake_pair()?;
             let injector = Arc::new(Injector {
                 queue: Mutex::new(Vec::new()),
+                completions: Mutex::new(Vec::new()),
                 shutdown: AtomicBool::new(false),
                 wake_tx,
             });
@@ -300,6 +519,9 @@ impl ReactorServer {
                 ctx_factory: ctx_factory.clone(),
                 injector,
                 wake_rx,
+                pool: pool.clone(),
+                gauge: gauge.clone(),
+                next_gen: 0,
             });
         }
         let mut workers = Vec::with_capacity(reactor_count);
@@ -335,6 +557,8 @@ impl ReactorServer {
             shutdown,
             acceptor: Some(acceptor),
             workers,
+            gauge,
+            _pool: pool,
         })
     }
 
@@ -346,6 +570,13 @@ impl ReactorServer {
     /// The server's base URL (`http://127.0.0.1:port`).
     pub fn base_url(&self) -> String {
         format!("http://{}", self.addr)
+    }
+
+    /// Highest number of serialized-but-unsent bytes any of this server's
+    /// connections has held — see
+    /// [`HttpServer::peak_buffered_output`](crate::HttpServer::peak_buffered_output).
+    pub fn peak_buffered_output(&self) -> usize {
+        self.gauge.peak()
     }
 }
 
@@ -363,6 +594,8 @@ impl Drop for ReactorServer {
                 let _ = handle.join();
             }
         }
+        // self.pool drops after this, joining the offload workers; any job
+        // still queued is discarded (its completion has no audience).
     }
 }
 
@@ -370,8 +603,9 @@ impl Drop for ReactorServer {
 mod tests {
     use super::*;
     use crate::http_get;
-    use nakika_core::service::service_fn;
+    use nakika_core::service::{service_fn, DispatchHint, NakikaError, RequestCtx};
     use nakika_http::{serialize_request, ParseOutcome, Request, Response, StatusCode};
+    use std::time::{Duration, Instant};
 
     fn origin_service() -> Arc<dyn HttpService> {
         service_fn(|request: Request, _ctx| {
@@ -448,7 +682,8 @@ mod tests {
     fn request_with_immediate_half_close_still_gets_a_response() {
         // One-shot clients often write the request and shutdown(SHUT_WR) in
         // one go, so the reactor can see the bytes and the FIN in a single
-        // readiness event.  The buffered request must still be answered.
+        // readiness event.  The buffered request must still be answered —
+        // including when its service call is offloaded to a worker.
         let server = ReactorServer::start(0, origin_service()).unwrap();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         let req = Request::get(&format!("http://{}/half-close", server.addr()));
@@ -491,8 +726,9 @@ mod tests {
     fn dropped_reactor_stops_accepting_deterministically() {
         let server = ReactorServer::start(0, origin_service()).unwrap();
         let addr = server.addr();
-        // Drop joins the acceptor and every reactor thread, so by the time
-        // it returns nothing serves the port — no sleep needed.
+        // Drop joins the acceptor, every reactor thread, and the offload
+        // pool, so by the time it returns nothing serves the port — no
+        // sleep needed.
         drop(server);
         let refused = TcpStream::connect(addr)
             .map(|mut s| {
@@ -504,5 +740,72 @@ mod tests {
             })
             .unwrap_or(true);
         assert!(refused, "no handler should serve after drop");
+    }
+
+    /// A service whose `/slow/…` calls block for `delay` (always classified
+    /// `MayBlock`) while everything else answers instantly inline.
+    struct SlowColdService {
+        delay: Duration,
+    }
+
+    impl HttpService for SlowColdService {
+        fn call(&self, req: Request, _ctx: &RequestCtx) -> Result<Response, NakikaError> {
+            if req.uri.path.starts_with("/slow/") {
+                std::thread::sleep(self.delay);
+            }
+            Ok(Response::ok("text/plain", req.uri.path.clone()))
+        }
+
+        fn dispatch_hint(&self, req: &Request, _ctx: &RequestCtx) -> DispatchHint {
+            if req.uri.path.starts_with("/slow/") {
+                DispatchHint::MayBlock
+            } else {
+                DispatchHint::Inline
+            }
+        }
+    }
+
+    #[test]
+    fn offloaded_slow_call_does_not_stall_other_connections() {
+        // One reactor thread, so without offloading the slow call would
+        // freeze every connection on the server.
+        let server = ReactorServer::start_with_config(
+            0,
+            Arc::new(SlowColdService {
+                delay: Duration::from_millis(150),
+            }),
+            ReactorConfig {
+                reactors: 1,
+                workers: 2,
+            },
+        )
+        .unwrap();
+        let base = server.base_url();
+        let slow_url = format!("{base}/slow/origin.html");
+        let slow = std::thread::spawn(move || {
+            let start = Instant::now();
+            let response = http_get(&slow_url).unwrap();
+            assert_eq!(response.body.to_text(), "/slow/origin.html");
+            start.elapsed()
+        });
+        // Give the slow request a head start so it is parked when the fast
+        // ones arrive.
+        std::thread::sleep(Duration::from_millis(30));
+        let fast_start = Instant::now();
+        for i in 0..5 {
+            let response = http_get(&format!("{base}/fast/{i}")).unwrap();
+            assert_eq!(response.body.to_text(), format!("/fast/{i}"));
+        }
+        let fast_elapsed = fast_start.elapsed();
+        let slow_elapsed = slow.join().unwrap();
+        assert!(
+            slow_elapsed >= Duration::from_millis(140),
+            "the slow call really blocked its worker: {slow_elapsed:?}"
+        );
+        assert!(
+            fast_elapsed < slow_elapsed,
+            "fast requests finished while the slow call was parked \
+             (fast {fast_elapsed:?} vs slow {slow_elapsed:?})"
+        );
     }
 }
