@@ -90,8 +90,8 @@ fn main() {
 
     println!("== end-to-end proxy throughput (real TCP), per scenario and transport ==");
     println!("(cold cache / warm keep-alive / warm close / 64-way concurrent keep-alive /");
-    println!(" 1 MiB streamed bodies / mixed warm+slow-cold-origin, threaded vs reactor;");
-    println!(" see docs/BENCHMARKING.md for what each scenario isolates)\n");
+    println!(" 1 MiB streamed bodies / mixed warm+slow-cold-origin / peer-answered misses,");
+    println!(" threaded vs reactor; see docs/BENCHMARKING.md for what each isolates)\n");
     match bench_proxy_suite(if quick { 240 } else { 2_048 }, 64) {
         Ok(suite) => {
             println!("{}", format_proxy_suite(&suite));
@@ -112,6 +112,15 @@ fn main() {
                 println!(
                     "reactor warm throughput retained under slow cold misses: {:.0}%",
                     100.0 * mixed.requests_per_sec / pure.requests_per_sec.max(1e-9)
+                );
+            }
+            if let (Some(cold), Some(peer)) = (
+                suite.scenario("cold-cache", "reactor"),
+                suite.scenario("bench_peer", "reactor"),
+            ) {
+                println!(
+                    "peer-answered miss vs origin-answered miss (reactor): {:.2}x",
+                    peer.requests_per_sec / cold.requests_per_sec.max(1e-9)
                 );
             }
             match suite.write_json("BENCH_proxy.json") {

@@ -1,0 +1,405 @@
+//! Helpers for standing up cooperative edge clusters over real TCP.
+//!
+//! Everything the multi-node story needs outside the core crates lives
+//! here, in three layers:
+//!
+//! * [`LocalNode`] — an in-process edge node (overlay-joined
+//!   [`nakika_core::NaKikaNode`] + [`TcpOrigin`] + [`ProxyServer`] on an
+//!   ephemeral port) for benchmarks and integration tests that want real
+//!   sockets without real processes.
+//! * [`node_main`] — the child entrypoint behind the `edge-node` binary and
+//!   the `edge_cluster` example: one OS process per node, coordinated over
+//!   a line-oriented stdin/stdout handshake (see [`node_main`] for the
+//!   protocol).
+//! * [`spawn_cluster`] / [`ClusterProc`] — the parent side of that
+//!   handshake: spawn N children, collect their `READY` lines, broadcast
+//!   the full roster, wait for `JOINED`, and shut everything down by
+//!   closing stdin on drop.
+//!
+//! Every node also serves its counters at [`STATS_PATH`] as plain text
+//! (`key value` per line) so tests and operators can assert cluster-wide
+//! cache-stat consistency over the same HTTP port that serves traffic.
+//! `docs/CLUSTER.md` is the operator-facing guide to the same machinery.
+
+use nakika_core::service::{DispatchHint, HttpService, NakikaError, RequestCtx};
+use nakika_core::{NodeBuilder, NodeHandle};
+use nakika_http::{Request, Response};
+use nakika_overlay::{key_for, Location, Overlay};
+use nakika_server::{http_get_via_proxy, ProxyServer, TcpOrigin, Transport};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::Arc;
+
+/// Path every cluster node answers with its counters (plain text, one
+/// `key value` pair per line) instead of proxying.
+pub const STATS_PATH: &str = "/__nakika/stats";
+
+/// Wraps a node's service to answer [`STATS_PATH`] locally; everything
+/// else is forwarded untouched.  The stats response is assembled from
+/// in-memory counters, so it is safe to serve inline on the event loop.
+pub struct ClusterService {
+    handle: Arc<NodeHandle>,
+    name: String,
+}
+
+impl ClusterService {
+    /// Wraps `handle`, reporting stats under `name`.
+    pub fn new(handle: Arc<NodeHandle>, name: &str) -> ClusterService {
+        ClusterService {
+            handle,
+            name: name.to_string(),
+        }
+    }
+}
+
+impl HttpService for ClusterService {
+    fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
+        if req.uri.path == STATS_PATH {
+            return Ok(Response::ok(
+                "text/plain",
+                stats_text(&self.handle, &self.name),
+            ));
+        }
+        self.handle.call(req, ctx)
+    }
+
+    fn dispatch_hint(&self, req: &Request, ctx: &RequestCtx) -> DispatchHint {
+        if req.uri.path == STATS_PATH {
+            DispatchHint::Inline
+        } else {
+            self.handle.dispatch_hint(req, ctx)
+        }
+    }
+}
+
+/// Renders the counters served at [`STATS_PATH`]: the node's request
+/// counters plus the cache shard totals, one `key value` pair per line
+/// (the `node` line carries the node's name instead of a number).
+pub fn stats_text(handle: &NodeHandle, name: &str) -> String {
+    let stats = handle.node().stats();
+    let cache = handle.node().cache_stats();
+    format!(
+        "node {name}\n\
+         requests {}\n\
+         cache_hits {}\n\
+         cache_misses {}\n\
+         cache_inserts {}\n\
+         peer_hits {}\n\
+         peer_misses {}\n\
+         origin_fetches {}\n\
+         replication_pushes {}\n",
+        stats.requests,
+        cache.hits,
+        cache.misses,
+        cache.inserts,
+        stats.peer_hits,
+        stats.peer_misses,
+        stats.origin_fetches,
+        stats.replication_pushes,
+    )
+}
+
+/// Parses a [`STATS_PATH`] response body back into a counter map.
+/// Non-numeric values (the `node` name line) are skipped.
+pub fn parse_stats(body: &str) -> HashMap<String, u64> {
+    body.lines()
+        .filter_map(|line| {
+            let (key, value) = line.trim().split_once(' ')?;
+            Some((key.to_string(), value.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+/// Fetches and parses the stats of the node listening at `base_url`
+/// (e.g. `http://127.0.0.1:4701`).
+pub fn fetch_stats(base_url: &str) -> Result<HashMap<String, u64>, NakikaError> {
+    let addr = parse_base_url(base_url)?;
+    let response = http_get_via_proxy(addr, &format!("{base_url}{STATS_PATH}"))?;
+    let body = response.body.to_bytes();
+    Ok(parse_stats(&String::from_utf8_lossy(&body)))
+}
+
+/// Parses `http://host:port` into a socket address.
+fn parse_base_url(base_url: &str) -> Result<SocketAddr, NakikaError> {
+    let hostport = base_url
+        .strip_prefix("http://")
+        .unwrap_or(base_url)
+        .trim_end_matches('/');
+    hostport
+        .parse()
+        .map_err(|e| NakikaError::Internal(format!("bad node url {base_url}: {e}")))
+}
+
+/// An in-process cooperative edge node listening on a real TCP port.
+///
+/// All nodes of one logical cluster share an [`Overlay`] instance (each
+/// process in a real deployment holds its own replica of the membership
+/// view; in-process they can simply share one), so this helper covers the
+/// peer-routing data path — DNS-free, fork-free — while `spawn_cluster`
+/// covers the full multi-process story.
+pub struct LocalNode {
+    /// The node's name (also its overlay identity: `key_for(name)`).
+    pub name: String,
+    /// `http://127.0.0.1:port` for this node's proxy front-end.
+    pub base_url: String,
+    /// The node stack behind the server, for direct stat inspection.
+    pub handle: Arc<NodeHandle>,
+    /// The listening front-end; dropping it stops the node.
+    pub server: ProxyServer,
+}
+
+/// Starts an in-process edge node named `name`, joins it to `overlay`
+/// with its listening address announced, and returns it ready to serve.
+/// `replicate` optionally enables hot-entry replication as
+/// `(successors, threshold)`.
+pub fn start_local_node(
+    name: &str,
+    overlay: &Arc<Overlay>,
+    transport: Transport,
+    replicate: Option<(usize, u32)>,
+) -> Result<LocalNode, NakikaError> {
+    let id = key_for(name);
+    overlay.join(id, Location::new(0.0, 0.0));
+    let mut builder = NodeBuilder::proxy_with_dht(name)
+        .overlay(Arc::clone(overlay), id)
+        .origin(Arc::new(TcpOrigin::new()));
+    if let Some((successors, threshold)) = replicate {
+        builder = builder.replicate_hot(successors, threshold);
+    }
+    let handle = Arc::new(builder.build());
+    let service = Arc::new(ClusterService::new(Arc::clone(&handle), name));
+    let server = ProxyServer::start_with(0, service, transport)
+        .map_err(|e| NakikaError::Internal(format!("node {name} failed to listen: {e}")))?;
+    let base_url = format!("http://{}", server.addr());
+    handle.node().set_public_addr(&base_url);
+    overlay.set_addr(id, &base_url);
+    Ok(LocalNode {
+        name: name.to_string(),
+        base_url,
+        handle,
+        server,
+    })
+}
+
+/// Runs one cluster node as a child process until stdin closes.
+///
+/// `args` is the argument list after the program name:
+///
+/// ```text
+/// NAME [--port P] [--transport threaded|reactor] [--replicate N] [--threshold T]
+/// ```
+///
+/// The child speaks a line protocol on stdio so a parent can wire up a
+/// cluster without fixed ports:
+///
+/// 1. child prints `READY <name> <base-url>` once it is listening;
+/// 2. parent writes `PEERS <name>=<url>,<name>=<url>,...` (the full
+///    roster, the child's own entry included);
+/// 3. child joins every peer into its membership view and prints
+///    `JOINED`;
+/// 4. child serves until stdin reaches EOF, then exits cleanly.
+///
+/// Returns an error string suitable for printing to stderr.
+pub fn node_main<I: IntoIterator<Item = String>>(args: I) -> Result<(), String> {
+    let mut args = args.into_iter();
+    let name = args.next().ok_or("usage: edge-node NAME [--port P] ...")?;
+    let mut port = 0u16;
+    let mut transport = Transport::Reactor;
+    let mut replicate = 0usize;
+    let mut threshold = 2u32;
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--port" => port = value()?.parse().map_err(|e| format!("--port: {e}"))?,
+            "--transport" => {
+                transport = match value()?.as_str() {
+                    "threaded" => Transport::Threaded,
+                    "reactor" => Transport::Reactor,
+                    other => return Err(format!("unknown transport {other}")),
+                }
+            }
+            "--replicate" => {
+                replicate = value()?.parse().map_err(|e| format!("--replicate: {e}"))?
+            }
+            "--threshold" => {
+                threshold = value()?.parse().map_err(|e| format!("--threshold: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+
+    let overlay = Arc::new(Overlay::with_defaults());
+    let id = key_for(&name);
+    overlay.join(id, Location::new(0.0, 0.0));
+    let mut builder = NodeBuilder::proxy_with_dht(&name)
+        .overlay(Arc::clone(&overlay), id)
+        .origin(Arc::new(TcpOrigin::new()));
+    if replicate > 0 {
+        builder = builder.replicate_hot(replicate, threshold);
+    }
+    let handle = Arc::new(builder.build());
+    let service = Arc::new(ClusterService::new(Arc::clone(&handle), &name));
+    let server = ProxyServer::start_with(port, service, transport)
+        .map_err(|e| format!("listen failed: {e}"))?;
+    let base_url = format!("http://{}", server.addr());
+    handle.node().set_public_addr(&base_url);
+    overlay.set_addr(id, &base_url);
+
+    let stdout = std::io::stdout();
+    writeln!(stdout.lock(), "READY {name} {base_url}").map_err(|e| e.to_string())?;
+    stdout.lock().flush().map_err(|e| e.to_string())?;
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let Some(roster) = line.trim().strip_prefix("PEERS ") else {
+            continue;
+        };
+        for entry in roster.split(',').filter(|s| !s.trim().is_empty()) {
+            let Some((peer, url)) = entry.trim().split_once('=') else {
+                return Err(format!("bad roster entry {entry}"));
+            };
+            if peer != name {
+                overlay.join_with_addr(key_for(peer), Location::new(0.0, 0.0), url);
+            }
+        }
+        writeln!(stdout.lock(), "JOINED").map_err(|e| e.to_string())?;
+        stdout.lock().flush().map_err(|e| e.to_string())?;
+    }
+    // Stdin closed: the parent is done with us.  Dropping the server (and
+    // with it the node's replication worker) shuts the node down.
+    drop(server);
+    Ok(())
+}
+
+/// One child node spawned by [`spawn_cluster`], shut down on drop by
+/// closing its stdin and waiting for it to exit.
+pub struct ClusterProc {
+    /// The node's name, as passed to [`spawn_cluster`].
+    pub name: String,
+    /// `http://127.0.0.1:port`, as reported by the child's `READY` line.
+    pub base_url: String,
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl ClusterProc {
+    /// Fetches and parses this node's [`STATS_PATH`] counters.
+    pub fn stats(&self) -> Result<HashMap<String, u64>, NakikaError> {
+        fetch_stats(&self.base_url)
+    }
+}
+
+impl Drop for ClusterProc {
+    fn drop(&mut self) {
+        // EOF on stdin is the shutdown signal; then reap the child so the
+        // test binary leaves no zombies behind.
+        drop(self.stdin.take());
+        let _ = self.child.wait();
+    }
+}
+
+fn read_trimmed_line(reader: &mut BufReader<ChildStdout>) -> std::io::Result<String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "cluster child exited during handshake",
+        ));
+    }
+    Ok(line.trim().to_string())
+}
+
+/// Spawns one `program` child per name in `names` and runs the cluster
+/// handshake described in [`node_main`]: collect every child's `READY`
+/// line, broadcast the complete roster to all of them, and wait for each
+/// `JOINED` acknowledgement.  `prefix_args` is inserted before the node
+/// name (the `edge_cluster` example re-invokes itself with `--node`;
+/// tests invoke the `edge-node` binary with no prefix); `extra_args` is
+/// appended after it (e.g. `--replicate 1`).
+///
+/// The returned processes shut down (stdin EOF, then reaped) when
+/// dropped.
+pub fn spawn_cluster(
+    program: &std::path::Path,
+    prefix_args: &[&str],
+    names: &[&str],
+    extra_args: &[&str],
+) -> std::io::Result<Vec<ClusterProc>> {
+    let mut procs = Vec::with_capacity(names.len());
+    for name in names {
+        let mut child = Command::new(program)
+            .args(prefix_args)
+            .arg(name)
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        procs.push(ClusterProc {
+            name: name.to_string(),
+            base_url: String::new(),
+            child,
+            stdin: Some(stdin),
+            stdout,
+        });
+    }
+    for proc in &mut procs {
+        let ready = read_trimmed_line(&mut proc.stdout)?;
+        let mut parts = ready.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("READY"), Some(name), Some(url)) if name == proc.name => {
+                proc.base_url = url.to_string();
+            }
+            _ => {
+                return Err(std::io::Error::other(format!(
+                    "bad READY line from {}: {ready:?}",
+                    proc.name
+                )));
+            }
+        }
+    }
+    let roster = procs
+        .iter()
+        .map(|p| format!("{}={}", p.name, p.base_url))
+        .collect::<Vec<_>>()
+        .join(",");
+    for proc in &mut procs {
+        let stdin = proc.stdin.as_mut().expect("stdin open during handshake");
+        writeln!(stdin, "PEERS {roster}")?;
+        stdin.flush()?;
+    }
+    for proc in &mut procs {
+        let joined = read_trimmed_line(&mut proc.stdout)?;
+        if joined != "JOINED" {
+            return Err(std::io::Error::other(format!(
+                "bad JOINED line from {}: {joined:?}",
+                proc.name
+            )));
+        }
+    }
+    Ok(procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_round_trip_through_the_text_format() {
+        let handle = Arc::new(NodeBuilder::plain_proxy("stats-node").build());
+        let text = stats_text(&handle, "stats-node");
+        let parsed = parse_stats(&text);
+        assert_eq!(parsed.get("requests"), Some(&0));
+        assert_eq!(parsed.get("peer_hits"), Some(&0));
+        assert_eq!(parsed.get("origin_fetches"), Some(&0));
+        // The name line is not a counter and must be skipped, not mangled.
+        assert!(!parsed.contains_key("node"));
+    }
+}

@@ -7,6 +7,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cluster;
+
 use nakika_core::service::{service_fn, NakikaError};
 use nakika_core::NodeBuilder;
 use nakika_http::{Request, Response};
@@ -251,6 +253,60 @@ fn run_mixed_scenario(
     })
 }
 
+/// Measures `bench_peer` on one transport: two cooperating edge nodes over
+/// real TCP sharing one overlay view.  Distinct URLs are warmed through
+/// node A, then fetched once each through node B, whose local misses route
+/// to A over the peer-fetch path instead of the origin.  The recorded
+/// throughput is the cost of a peer-answered miss, to set against
+/// `cold-cache` (origin-answered miss) and `warm-keepalive` (local hit).
+/// The run fails loudly if any measured request fell back to the origin —
+/// a silent fallback would quietly benchmark the wrong code path.
+fn run_peer_scenario(
+    transport: Transport,
+    requests: usize,
+) -> Result<ProxyBenchScenario, NakikaError> {
+    let origin = HttpServer::start(
+        0,
+        service_fn(|_req: Request, _ctx| {
+            Ok(Response::ok("text/html", "x".repeat(2096))
+                .with_header("Cache-Control", "max-age=600"))
+        }),
+    )
+    .map_err(internal("peer origin failed to start"))?;
+    let overlay = Arc::new(nakika_overlay::Overlay::with_defaults());
+    let node_a = cluster::start_local_node("bench-peer-a", &overlay, transport, None)?;
+    // Warm every key through A while it is the cluster's only member, so
+    // all of them live in A's cache (were B already joined, keys B owns
+    // would be forwarded to — and cached on — B during the warm-up).
+    let base = origin.base_url();
+    let keys = (requests / 4).max(8);
+    for i in 0..keys {
+        http_get_via_proxy(node_a.server.addr(), &format!("{base}/peer/{i}.html"))?;
+    }
+    let node_b = cluster::start_local_node("bench-peer-b", &overlay, transport, None)?;
+    let start = Instant::now();
+    let mut client = ProxyClient::connect(node_b.server.addr())?;
+    for i in 0..keys {
+        client.get(&format!("{base}/peer/{i}.html"))?;
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let stats = node_b.handle.node().stats();
+    if stats.peer_hits as usize != keys {
+        return Err(NakikaError::Internal(format!(
+            "bench_peer expected {keys} peer hits, saw {} ({} peer misses)",
+            stats.peer_hits, stats.peer_misses
+        )));
+    }
+    Ok(ProxyBenchScenario {
+        name: "bench_peer".to_string(),
+        transport: transport_name(transport),
+        requests: keys,
+        concurrency: 1,
+        elapsed_secs,
+        requests_per_sec: keys as f64 / elapsed_secs,
+    })
+}
+
 /// Measures the proxy-path scenario suite on both transports:
 ///
 /// - `cold-cache` — every request targets a distinct URL, so each one runs
@@ -268,6 +324,9 @@ fn run_mixed_scenario(
 ///   misses against a slow origin interleaved; measures whether cold
 ///   origin I/O steals throughput from warm hits (the reactor origin
 ///   offload exists for exactly this number).
+/// - `bench_peer` — a second edge node answers every miss over the
+///   peer-fetch protocol; the cost of a cooperative (peer-answered) miss
+///   versus an origin-answered one.
 ///
 /// `requests` scales every scenario (the slower workloads run a fraction of
 /// it); `concurrency` is the client count for `warm-concurrent` and
@@ -401,6 +460,12 @@ pub fn bench_proxy_suite(
         suite
             .scenarios
             .push(run_mixed_scenario(transport, requests, concurrency)?);
+
+        // bench_peer: the cooperative data path — misses answered by a
+        // peer edge node over TCP rather than the origin.
+        suite
+            .scenarios
+            .push(run_peer_scenario(transport, requests)?);
     }
     Ok(suite)
 }

@@ -21,12 +21,15 @@
 //! ```
 
 use crate::node::{origin_from_fn, NaKikaNode, NodeConfig, NodeMode, OriginFetch};
+use crate::peering;
 use crate::pipeline::{CLIENT_WALL_URL, SERVER_WALL_URL};
 use crate::resource::{ResourceKind, ResourceManagerConfig};
 use crate::service::{layered, DispatchHint, HttpService, Layer, NakikaError, RequestCtx};
 use nakika_http::pattern::Cidr;
 use nakika_http::{Request, Response};
 use nakika_overlay::{NodeId, Overlay};
+use nakika_state::Update;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -70,14 +73,112 @@ impl OriginFetch for NoOrigin {
     }
 }
 
+/// The background thread pushing hot cache entries to successor peers.
+///
+/// It drains the node's replication bus (fed by the fetch path when a key
+/// this node owns crosses the hot threshold) and issues one peer fetch per
+/// successor, fully draining each response so the successor's cache tee
+/// completes.  Stops and joins when the owning [`NodeHandle`] drops.
+struct ReplicationWorker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReplicationWorker {
+    fn spawn(
+        node: Arc<NaKikaNode>,
+        overlay: Arc<Overlay>,
+        id: NodeId,
+        origin: Arc<dyn OriginFetch>,
+    ) -> Option<ReplicationWorker> {
+        let shared = node.replication()?.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let subscription = shared
+            .bus
+            .subscribe(&shared.topic, &format!("{}#worker", node.name()));
+        let handle = std::thread::Builder::new()
+            .name(format!("nakika-repl-{}", node.name()))
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    let mut idle = true;
+                    while let Some(message) = shared.bus.receive(&subscription) {
+                        idle = false;
+                        if let Some(update) = Update::decode(&message.payload) {
+                            push_to_successors(&update, &overlay, id, &origin, &node, &shared);
+                        }
+                        shared.bus.ack(&subscription, message.sequence);
+                        if stop_flag.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                    if idle {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            })
+            .expect("failed to spawn the replication worker thread");
+        Some(ReplicationWorker {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for ReplicationWorker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Pushes one hot entry to the key's successor peers by fetching the URL
+/// *through* each successor's proxy front-end: the successor misses locally,
+/// pulls the entry from the owner over the regular peer path, and tees it
+/// into its own cache.  The [`peering::REPLICATE_HEADER`] mark keeps the
+/// push from re-triggering hot-entry accounting downstream.
+fn push_to_successors(
+    update: &Update,
+    overlay: &Arc<Overlay>,
+    self_id: NodeId,
+    origin: &Arc<dyn OriginFetch>,
+    node: &Arc<NaKikaNode>,
+    shared: &crate::node::ReplicationShared,
+) {
+    let own_addr = node.public_addr();
+    for member in overlay.successors_of(&update.key, shared.successors) {
+        if member.id == self_id {
+            continue;
+        }
+        let Some(addr) = member.addr else {
+            continue;
+        };
+        if own_addr.as_deref() == Some(addr.as_str()) {
+            continue;
+        }
+        let request = Request::get(&update.value).with_header(peering::REPLICATE_HEADER, "1");
+        if let Ok(mut response) = origin.fetch_peer(&addr, &request) {
+            // Drain the streamed body so the successor's cache tee completes;
+            // only then has the entry actually been replicated.
+            if response.status.is_success() && response.body.buffer().is_ok() {
+                node.record_replication_push();
+            }
+        }
+    }
+}
+
 /// A built node: the layered [`HttpService`] stack plus the node it wraps.
 ///
 /// The handle itself implements [`HttpService`], so call sites can treat it
 /// as the service; [`NodeHandle::service`] clones out the stack for
-/// transports that take `Arc<dyn HttpService>`.
+/// transports that take `Arc<dyn HttpService>`.  Dropping the handle stops
+/// the node's replication worker, if one was configured.
 pub struct NodeHandle {
     node: Arc<NaKikaNode>,
     service: Arc<dyn HttpService>,
+    _replication_worker: Option<ReplicationWorker>,
 }
 
 impl NodeHandle {
@@ -109,6 +210,8 @@ pub struct NodeBuilder {
     overlay: Option<(Arc<Overlay>, NodeId)>,
     origin: Option<Arc<dyn OriginFetch>>,
     layers: Vec<Box<dyn Layer>>,
+    public_addr: Option<String>,
+    replicate: Option<(usize, u32)>,
 }
 
 impl NodeBuilder {
@@ -135,6 +238,8 @@ impl NodeBuilder {
             overlay: None,
             origin: None,
             layers: Vec::new(),
+            public_addr: None,
+            replicate: None,
         }
     }
 
@@ -231,6 +336,25 @@ impl NodeBuilder {
         self
     }
 
+    /// The base URL where the node's proxy front-end will be reachable, when
+    /// known at build time.  Deployments binding to an ephemeral port call
+    /// `NaKikaNode::set_public_addr` after the server starts instead.
+    pub fn public_addr(mut self, addr: &str) -> NodeBuilder {
+        self.public_addr = Some(addr.to_string());
+        self
+    }
+
+    /// Enables hot-entry replication: after `threshold` local cache hits for
+    /// a key this node owns under consistent hashing, a background worker
+    /// pushes the entry to the key's `successors` next-closest peers, so the
+    /// overlay keeps serving the key when its owner departs.  Requires an
+    /// [`overlay`](Self::overlay) and an origin whose `fetch_peer` reaches
+    /// real peers; without an overlay the setting is inert.
+    pub fn replicate_hot(mut self, successors: usize, threshold: u32) -> NodeBuilder {
+        self.replicate = Some((successors, threshold));
+        self
+    }
+
     /// How the node obtains resources it does not have cached.
     pub fn origin(mut self, origin: Arc<dyn OriginFetch>) -> NodeBuilder {
         self.origin = Some(origin);
@@ -252,20 +376,38 @@ impl NodeBuilder {
         self
     }
 
-    /// Builds the node and its layered service stack.
+    /// Builds the node and its layered service stack, spawning the
+    /// replication worker when [`replicate_hot`](Self::replicate_hot) and an
+    /// overlay are both configured.
     pub fn build(self) -> NodeHandle {
+        let name = self.config.name.clone();
         let mut node = NaKikaNode::new(self.config);
-        if let Some((overlay, id)) = self.overlay {
-            node.attach_overlay(overlay, id);
+        if let Some((overlay, id)) = &self.overlay {
+            node.attach_overlay(overlay.clone(), *id);
+        }
+        if let Some((successors, threshold)) = self.replicate {
+            node.attach_replication(Arc::new(crate::node::ReplicationShared::new(
+                &name, successors, threshold,
+            )));
+        }
+        if let Some(addr) = &self.public_addr {
+            node.set_public_addr(addr);
         }
         let node = Arc::new(node);
         let origin = self.origin.unwrap_or_else(|| Arc::new(NoOrigin));
+        let replication_worker = self.overlay.and_then(|(overlay, id)| {
+            ReplicationWorker::spawn(node.clone(), overlay, id, origin.clone())
+        });
         let base: Arc<dyn HttpService> = Arc::new(NodeService {
             node: node.clone(),
             origin,
         });
         let service = layered(base, self.layers);
-        NodeHandle { node, service }
+        NodeHandle {
+            node,
+            service,
+            _replication_worker: replication_worker,
+        }
     }
 }
 

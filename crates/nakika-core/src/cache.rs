@@ -67,6 +67,17 @@ pub struct CacheStats {
     pub inserts: u64,
     /// Entries evicted to stay within the byte budget.
     pub evictions: u64,
+    /// Local misses answered by a cooperative peer instead of the origin.
+    ///
+    /// Counted by the node, not the cache shards themselves: the shards see
+    /// a peer-answered request as a plain miss.  [`ProxyCache::stats`] always
+    /// reports `0`; `NaKikaNode::cache_stats` overlays the node's counter so
+    /// operators read one coherent snapshot.
+    pub peer_hits: u64,
+    /// Peer fetches attempted but not answered (peer down, non-success, or
+    /// loop-guarded), each falling back to the origin.  Like
+    /// [`peer_hits`](CacheStats::peer_hits), maintained by the node.
+    pub peer_misses: u64,
 }
 
 impl CacheStats {
@@ -87,6 +98,8 @@ impl CacheStats {
             misses: self.misses + other.misses,
             inserts: self.inserts + other.inserts,
             evictions: self.evictions + other.evictions,
+            peer_hits: self.peer_hits + other.peer_hits,
+            peer_misses: self.peer_misses + other.peer_misses,
         }
     }
 }

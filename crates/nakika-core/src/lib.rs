@@ -29,6 +29,10 @@
 //!   into a single proxy that mediates one HTTP exchange at a time, in any of
 //!   the configurations the paper's evaluation exercises (plain proxy, proxy
 //!   + DHT, administrative control only, predicate benchmarks, full node).
+//! * **The peer-fetch protocol** ([`peering`]) — the loop-prevention headers
+//!   (`X-Nakika-Hops`, `X-Nakika-Via`) and replication marks a node stamps on
+//!   requests it forwards to the consistent-hash owner of a missed key, so
+//!   the cooperative network runs over real TCP without routing loops.
 //! * **The service boundary** ([`service`], [`middleware`], [`builder`]) —
 //!   [`service::HttpService`] is the single seam between transports and
 //!   everything else: transports mint a [`service::RequestCtx`] from their
@@ -46,6 +50,7 @@ pub mod cache;
 pub mod middleware;
 pub mod node;
 pub mod pages;
+pub mod peering;
 pub mod pipeline;
 pub mod policy;
 pub mod resource;

@@ -12,6 +12,7 @@
 
 use crate::cache::{CacheStats, ProxyCache};
 use crate::pages;
+use crate::peering;
 use crate::pipeline::{
     CompiledStage, PipelineOutcome, PipelineRunner, StageCache, StageLoader, StageLookup,
 };
@@ -23,8 +24,9 @@ use nakika_http::pattern::Cidr;
 use nakika_http::{Body, Method, Request, Response};
 use nakika_overlay::{NodeId, Overlay};
 use nakika_script::ResourceMeter;
-use nakika_state::{AccessLog, LogEntry, SiteStore};
+use nakika_state::{AccessLog, LogEntry, MessageBus, SiteStore, Update};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,12 +35,16 @@ pub trait OriginFetch: Send + Sync {
     /// Fetches a resource from its origin server.
     fn fetch_origin(&self, request: &Request) -> Response;
 
-    /// Fetches a resource from a peer Na Kika node that announced a cached
-    /// copy (`peer` is the payload that peer stored in the overlay).  The
-    /// default falls back to the origin.
-    fn fetch_peer(&self, peer: &str, request: &Request) -> Response {
+    /// Fetches a resource from a peer Na Kika node.  `peer` is the payload
+    /// the peer put in the overlay: its base URL (`http://host:port`) in a
+    /// real deployment, or its node name under the simulator.  Connection
+    /// and read failures surface as [`NakikaError::Upstream`] naming the
+    /// peer, and the node counts them (`peer_misses`) before falling back
+    /// to the origin — a dead peer is never silent.  The default falls back
+    /// to the origin directly (the simulator's model of a peer fetch).
+    fn fetch_peer(&self, peer: &str, request: &Request) -> Result<Response, NakikaError> {
         let _ = peer;
-        self.fetch_origin(request)
+        Ok(self.fetch_origin(request))
     }
 }
 
@@ -96,8 +102,13 @@ pub struct NodeStats {
     pub cache_hits: u64,
     /// Responses fetched from a peer node found through the overlay.
     pub peer_hits: u64,
+    /// Peer fetches that failed (peer down, error response), each falling
+    /// back to the origin.
+    pub peer_misses: u64,
     /// Responses fetched from the origin server.
     pub origin_fetches: u64,
+    /// Hot cache entries this node pushed to successor peers.
+    pub replication_pushes: u64,
     /// Responses generated entirely by scripts (no fetch at all).
     pub script_generated: u64,
     /// Requests rejected by throttling (server busy).
@@ -110,15 +121,50 @@ pub struct NodeStats {
     pub pages_rendered: u64,
 }
 
+/// Hot-entry replication state shared between the fetch path (which detects
+/// hot keys at their consistent-hash owner and publishes them) and the
+/// per-node worker thread (which drains the bus and pushes the entries to
+/// the key's successor peers).
+pub(crate) struct ReplicationShared {
+    /// The per-node bus carrying hot-key announcements to the worker.
+    pub(crate) bus: MessageBus,
+    /// Topic the announcements travel on.
+    pub(crate) topic: String,
+    /// Publisher identity (distinct from the worker's subscription, so the
+    /// bus does not suppress the messages as self-sends).
+    pub(crate) publisher: String,
+    /// Local cache hits at the owner before an entry counts as hot.
+    pub(crate) threshold: u32,
+    /// How many successor peers receive each hot entry.
+    pub(crate) successors: usize,
+    /// Per-key hit counts; `u32::MAX` marks an already-published key.
+    hot: Mutex<HashMap<String, u32>>,
+}
+
+impl ReplicationShared {
+    pub(crate) fn new(name: &str, successors: usize, threshold: u32) -> ReplicationShared {
+        ReplicationShared {
+            bus: MessageBus::new(),
+            topic: "nakika/replicate".to_string(),
+            publisher: format!("{name}#fetch"),
+            threshold: threshold.max(1),
+            successors: successors.max(1),
+            hot: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
 /// Shared fetch path: local cache, then overlay peers, then the origin.
 #[derive(Clone)]
 struct ResourceFetcher {
     node_name: String,
+    public_addr: Option<String>,
     cache: Arc<ProxyCache>,
     overlay: Option<(Arc<Overlay>, NodeId)>,
     origin: Arc<dyn OriginFetch>,
     heuristic_ttl: Duration,
     stats: Arc<Mutex<NodeStats>>,
+    replication: Option<Arc<ReplicationShared>>,
 }
 
 impl ResourceFetcher {
@@ -131,26 +177,125 @@ impl ResourceFetcher {
         if request.method.is_cacheable() {
             if let Some(cached) = self.cache.get(&key, now) {
                 self.stats.lock().cache_hits += 1;
+                self.note_cache_hit(&key, request, now);
                 return cached;
             }
-        }
-        // Cooperative caching: one cached copy anywhere in the overlay is
-        // enough to avoid an origin access.
-        if let Some((overlay, node_id)) = &self.overlay {
-            if request.method.is_cacheable() {
-                let peers = overlay.get(*node_id, &key, now);
-                if let Some(peer) = peers.iter().find(|p| p.payload != self.node_name) {
-                    let response = self.origin.fetch_peer(&peer.payload, request);
-                    if response.status.is_success() {
-                        self.stats.lock().peer_hits += 1;
-                        return self.capture(key, &request.method, response, now);
-                    }
-                }
+            if let Some(response) = self.fetch_from_peers(&key, request, now) {
+                return response;
             }
         }
-        let response = self.origin.fetch_origin(request);
+        // The cooperative network's internal headers are not the origin's
+        // business; strip them off requests that ran out of peers.
+        let response = if peering::has_internal_headers(request) {
+            let mut origin_request = request.clone();
+            peering::strip_internal_headers(&mut origin_request);
+            self.origin.fetch_origin(&origin_request)
+        } else {
+            self.origin.fetch_origin(request)
+        };
         self.stats.lock().origin_fetches += 1;
         self.capture(key, &request.method, response, now)
+    }
+
+    /// True if `peer` (an overlay payload: node name or base URL) is this
+    /// node itself — fetching from oneself over TCP would deadlock a
+    /// single-threaded transport and is always pointless.
+    fn is_self(&self, peer: &str) -> bool {
+        peer == self.node_name || self.public_addr.as_deref() == Some(peer)
+    }
+
+    /// Cooperative caching: one cached copy anywhere in the overlay is
+    /// enough to avoid an origin access.  Two routes are tried in order —
+    /// a copy *announced* in the sloppy DHT (freshest information, may point
+    /// at any node), then the key's consistent-hash *owner* (no announcement
+    /// needed: the owner is where the network concentrates that key, so a
+    /// miss routed there either hits or warms the right node).  Loop guards
+    /// (`X-Nakika-Hops` budget and the `X-Nakika-Via` trail) bound the
+    /// forwarding even when membership views diverge.  Every failed attempt
+    /// is counted in `peer_misses`; `None` sends the caller to the origin.
+    fn fetch_from_peers(&self, key: &str, request: &Request, now: u64) -> Option<Response> {
+        let (overlay, node_id) = self.overlay.as_ref()?;
+        if !peering::may_forward(request, &self.node_name) {
+            return None;
+        }
+        let announced = overlay
+            .get(*node_id, key, now)
+            .into_iter()
+            .map(|p| p.payload)
+            .find(|payload| !self.is_self(payload));
+        let owner = overlay
+            .owner_of(key)
+            .filter(|m| m.id != *node_id)
+            .and_then(|m| m.addr)
+            .filter(|addr| !self.is_self(addr));
+        let mut forwarded = request.clone();
+        peering::mark_forwarded(&mut forwarded, &self.node_name);
+        let mut tried: Option<String> = None;
+        for peer in [announced, owner].into_iter().flatten() {
+            if tried.as_deref() == Some(peer.as_str()) {
+                continue;
+            }
+            match self.origin.fetch_peer(&peer, &forwarded) {
+                Ok(response) if response.status.is_success() => {
+                    self.stats.lock().peer_hits += 1;
+                    return Some(self.capture(key.to_string(), &request.method, response, now));
+                }
+                Ok(_) | Err(_) => {
+                    // Typed errors already name the peer; the counter makes
+                    // the fallback to the origin observable either way.
+                    self.stats.lock().peer_misses += 1;
+                }
+            }
+            tried = Some(peer);
+        }
+        None
+    }
+
+    /// Hot-entry detection at the consistent-hash owner: after `threshold`
+    /// local cache hits for a key this node owns, publish the entry on the
+    /// replication bus for the worker to push to the key's successors.
+    /// Replication pushes themselves are exempt, so a push warming a
+    /// successor never re-triggers replication there.
+    fn note_cache_hit(&self, key: &str, request: &Request, now: u64) {
+        let Some(replication) = &self.replication else {
+            return;
+        };
+        if peering::is_replication_push(request) {
+            return;
+        }
+        let Some((overlay, node_id)) = &self.overlay else {
+            return;
+        };
+        if overlay.owner_of(key).map(|m| m.id) != Some(*node_id) {
+            return;
+        }
+        let mut hot = replication.hot.lock();
+        if hot.len() > 4096 {
+            // Bound the tracker; losing counts only delays replication.
+            hot.clear();
+        }
+        let count = hot.entry(key.to_string()).or_insert(0);
+        if *count == u32::MAX {
+            return;
+        }
+        *count += 1;
+        if *count < replication.threshold {
+            return;
+        }
+        *count = u32::MAX;
+        drop(hot);
+        let update = Update {
+            site: request.site(),
+            key: key.to_string(),
+            value: request.uri.to_origin().to_string(),
+            timestamp: now,
+        };
+        replication.bus.publish(
+            &replication.topic,
+            &update.site,
+            &replication.publisher,
+            &update.encode(),
+        );
     }
 
     /// Puts a fetched response on the path to the cache without ever forcing
@@ -211,7 +356,11 @@ impl ResourceFetcher {
                 Freshness::Fresh(lifetime) => lifetime.as_secs().max(1),
                 _ => return,
             };
-            overlay.put(*node_id, key, &self.node_name, now + lifetime);
+            // Announce the base URL when the node serves real traffic so
+            // peers can fetch the copy over TCP; simulated nodes announce
+            // their name and the simulator resolves it.
+            let payload = self.public_addr.as_deref().unwrap_or(&self.node_name);
+            overlay.put(*node_id, key, payload, now + lifetime);
         }
     }
 }
@@ -273,6 +422,11 @@ pub struct NaKikaNode {
     overlay: Option<(Arc<Overlay>, NodeId)>,
     stats: Arc<Mutex<NodeStats>>,
     last_control: Mutex<u64>,
+    /// Base URL of this node's proxy front-end, announced to the overlay
+    /// instead of the bare node name once known.  Set after the server
+    /// binds, hence the interior mutability.
+    public_addr: Mutex<Option<String>>,
+    replication: Option<Arc<ReplicationShared>>,
 }
 
 impl NaKikaNode {
@@ -299,6 +453,8 @@ impl NaKikaNode {
             overlay: None,
             stats: Arc::new(Mutex::new(NodeStats::default())),
             last_control: Mutex::new(0),
+            public_addr: Mutex::new(None),
+            replication: None,
             config,
         }
     }
@@ -307,6 +463,37 @@ impl NaKikaNode {
     /// (already joined by the caller).
     pub(crate) fn attach_overlay(&mut self, overlay: Arc<Overlay>, id: NodeId) {
         self.overlay = Some((overlay, id));
+    }
+
+    /// Attaches hot-entry replication state (the builder's job).
+    pub(crate) fn attach_replication(&mut self, shared: Arc<ReplicationShared>) {
+        self.replication = Some(shared);
+    }
+
+    /// The replication state, if hot-entry replication is configured.
+    pub(crate) fn replication(&self) -> Option<&Arc<ReplicationShared>> {
+        self.replication.as_ref()
+    }
+
+    /// Counts one successful hot-entry push (the replication worker's hook).
+    pub(crate) fn record_replication_push(&self) {
+        self.stats.lock().replication_pushes += 1;
+    }
+
+    /// Records the base URL where this node's proxy front-end is reachable
+    /// (e.g. `http://10.0.0.3:8080`).  From then on cache announcements to
+    /// the overlay carry the URL instead of the bare node name, so peers can
+    /// fetch over TCP.  Called after the server binds — ports are usually
+    /// assigned then, not at build time.  The caller should also record the
+    /// address in the overlay roster (`Overlay::set_addr`).
+    pub fn set_public_addr(&self, addr: &str) {
+        *self.public_addr.lock() = Some(addr.to_string());
+    }
+
+    /// The announced base URL, if [`set_public_addr`](Self::set_public_addr)
+    /// was called.
+    pub fn public_addr(&self) -> Option<String> {
+        self.public_addr.lock().clone()
     }
 
     /// The node's name.
@@ -339,9 +526,16 @@ impl NaKikaNode {
         &self.access_log
     }
 
-    /// Cache statistics snapshot.
+    /// Cache statistics snapshot, with the node-level cooperative-caching
+    /// counters (`peer_hits`, `peer_misses`) overlaid so one call answers
+    /// "where did my bytes come from" — the shards themselves see a
+    /// peer-answered request as a plain miss.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut stats = self.cache.stats();
+        let node = self.stats.lock();
+        stats.peer_hits = node.peer_hits;
+        stats.peer_misses = node.peer_misses;
+        stats
     }
 
     /// Node statistics snapshot.
@@ -410,6 +604,7 @@ impl NaKikaNode {
 
         let fetcher = ResourceFetcher {
             node_name: self.config.name.clone(),
+            public_addr: self.public_addr.lock().clone(),
             cache: self.cache.clone(),
             overlay: match self.config.mode {
                 NodeMode::PlainProxy => None,
@@ -418,6 +613,10 @@ impl NaKikaNode {
             origin: origin.clone(),
             heuristic_ttl: self.config.heuristic_ttl,
             stats: self.stats.clone(),
+            replication: match self.config.mode {
+                NodeMode::PlainProxy => None,
+                _ => self.replication.clone(),
+            },
         };
 
         let response = match self.config.mode {
@@ -806,10 +1005,12 @@ mod tests {
             fn fetch_origin(&self, request: &Request) -> Response {
                 self.inner.fetch_origin(request)
             }
-            fn fetch_peer(&self, _peer: &str, request: &Request) -> Response {
+            fn fetch_peer(&self, _peer: &str, request: &Request) -> Result<Response, NakikaError> {
                 self.peer_fetches.fetch_add(1, Ordering::SeqCst);
-                Response::ok("text/html", format!("peer copy of {}", request.uri.path))
-                    .with_header("Cache-Control", "max-age=120")
+                Ok(
+                    Response::ok("text/html", format!("peer copy of {}", request.uri.path))
+                        .with_header("Cache-Control", "max-age=120"),
+                )
             }
         }
         let peer_origin = Arc::new(PeerAwareOrigin {
@@ -830,6 +1031,141 @@ mod tests {
         assert_eq!(peer_origin.peer_fetches.load(Ordering::SeqCst), 1);
         assert_eq!(origin.hits(), 1, "origin contacted only once in total");
         assert_eq!(node_b.node().stats().peer_hits, 1);
+    }
+
+    /// A test origin whose peer path is scripted: records every peer fetch
+    /// and answers with a canned result.
+    struct ScriptedPeerOrigin {
+        origin_hits: AtomicU64,
+        peer_calls: Mutex<Vec<(String, Request)>>,
+        peer_result: Box<dyn Fn() -> Result<Response, NakikaError> + Send + Sync>,
+    }
+
+    impl ScriptedPeerOrigin {
+        fn new(
+            peer_result: impl Fn() -> Result<Response, NakikaError> + Send + Sync + 'static,
+        ) -> Arc<ScriptedPeerOrigin> {
+            Arc::new(ScriptedPeerOrigin {
+                origin_hits: AtomicU64::new(0),
+                peer_calls: Mutex::new(Vec::new()),
+                peer_result: Box::new(peer_result),
+            })
+        }
+    }
+
+    impl OriginFetch for ScriptedPeerOrigin {
+        fn fetch_origin(&self, _request: &Request) -> Response {
+            self.origin_hits.fetch_add(1, Ordering::SeqCst);
+            Response::ok("text/html", "origin copy").with_header("Cache-Control", "max-age=60")
+        }
+        fn fetch_peer(&self, peer: &str, request: &Request) -> Result<Response, NakikaError> {
+            self.peer_calls
+                .lock()
+                .push((peer.to_string(), request.clone()));
+            (self.peer_result)()
+        }
+    }
+
+    /// An overlay where `owner_id` (XOR distance 0 to the request's cache
+    /// key) owns the key at `owner_addr` and the local node sits at the far
+    /// end of the id space.
+    fn owner_overlay(request: &Request, owner_addr: &str) -> (Arc<Overlay>, NodeId) {
+        let overlay = Arc::new(Overlay::with_defaults());
+        let key = ResourceFetcher::cache_key(request);
+        let owner_id = key_for(&key);
+        let self_id = NodeId(owner_id.0 ^ u64::MAX);
+        overlay.join_with_addr(owner_id, Location::new(0.0, 0.0), owner_addr);
+        overlay.join(self_id, Location::new(0.0, 0.0));
+        (overlay, self_id)
+    }
+
+    #[test]
+    fn cache_miss_routes_to_the_consistent_hash_owner_peer() {
+        let request = Request::get("http://owned.example/object");
+        let (overlay, self_id) = owner_overlay(&request, "http://127.0.0.1:9999");
+        let origin = ScriptedPeerOrigin::new(|| {
+            Ok(Response::ok("text/html", "owner copy").with_header("Cache-Control", "max-age=60"))
+        });
+        let node = NodeBuilder::proxy_with_dht("edge-self")
+            .overlay(overlay, self_id)
+            .origin(origin.clone())
+            .build();
+        let resp = node.call(request.clone(), &RequestCtx::at(10)).unwrap();
+        assert_eq!(resp.body.to_text(), "owner copy");
+        assert_eq!(origin.origin_hits.load(Ordering::SeqCst), 0);
+        let calls = origin.peer_calls.lock();
+        assert_eq!(calls.len(), 1);
+        let (peer, forwarded) = &calls[0];
+        assert_eq!(peer, "http://127.0.0.1:9999");
+        // The forwarded request carries the loop-prevention headers.
+        assert_eq!(forwarded.headers.get(peering::PEER_HOP_HEADER), Some("1"));
+        assert!(peering::via_contains(forwarded, "edge-self"));
+        drop(calls);
+        let stats = node.node().stats();
+        assert_eq!(stats.peer_hits, 1);
+        assert_eq!(stats.peer_misses, 0);
+        // The peer copy is now cached locally; the next request stays local.
+        node.call(request, &RequestCtx::at(20)).unwrap();
+        assert_eq!(origin.peer_calls.lock().len(), 1);
+        let cache = node.node().cache_stats();
+        assert_eq!(cache.peer_hits, 1, "exported through cache_stats too");
+    }
+
+    #[test]
+    fn dead_peer_falls_back_to_origin_and_is_counted() {
+        let request = Request::get("http://owned.example/object");
+        let (overlay, self_id) = owner_overlay(&request, "http://127.0.0.1:1");
+        let origin = ScriptedPeerOrigin::new(|| {
+            Err(NakikaError::Upstream {
+                url: "http://owned.example/object".to_string(),
+                reason: "peer http://127.0.0.1:1: connection refused".to_string(),
+            })
+        });
+        let node = NodeBuilder::proxy_with_dht("edge-self")
+            .overlay(overlay, self_id)
+            .origin(origin.clone())
+            .build();
+        let resp = node.call(request, &RequestCtx::at(10)).unwrap();
+        assert_eq!(resp.body.to_text(), "origin copy", "origin answered");
+        assert_eq!(origin.origin_hits.load(Ordering::SeqCst), 1);
+        let stats = node.node().stats();
+        assert_eq!(stats.peer_misses, 1, "the failed peer fetch is visible");
+        assert_eq!(stats.origin_fetches, 1);
+        assert_eq!(node.node().cache_stats().peer_misses, 1);
+    }
+
+    #[test]
+    fn hop_budget_and_via_trail_stop_routing_loops() {
+        let request = Request::get("http://owned.example/object");
+        let (overlay, self_id) = owner_overlay(&request, "http://127.0.0.1:9999");
+        let origin = ScriptedPeerOrigin::new(|| panic!("peer must not be consulted"));
+        let node = NodeBuilder::proxy_with_dht("edge-self")
+            .overlay(overlay, self_id)
+            .origin(origin.clone())
+            .build();
+        // A request that has exhausted its hop budget goes straight to the
+        // origin...
+        let mut exhausted = request.clone();
+        for hop in ["edge-x", "edge-y"] {
+            peering::mark_forwarded(&mut exhausted, hop);
+        }
+        let resp = node.call(exhausted, &RequestCtx::at(10)).unwrap();
+        assert_eq!(resp.body.to_text(), "origin copy");
+        // ...and so does one that already passed through this node, even
+        // with hops to spare.
+        let node2 = {
+            let request = Request::get("http://owned.example/other");
+            let (overlay, self_id) = owner_overlay(&request, "http://127.0.0.1:9999");
+            NodeBuilder::proxy_with_dht("edge-self")
+                .overlay(overlay, self_id)
+                .origin(origin.clone())
+                .build()
+        };
+        let mut revisit = Request::get("http://owned.example/other");
+        peering::mark_forwarded(&mut revisit, "edge-self");
+        let resp = node2.call(revisit, &RequestCtx::at(10)).unwrap();
+        assert_eq!(resp.body.to_text(), "origin copy");
+        assert_eq!(origin.origin_hits.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! The peer-fetch protocol: how one Na Kika node asks another for a cached
+//! copy over real TCP, without ever looping a request around the overlay.
+//!
+//! When a cache miss routes to the key's consistent-hash owner (see
+//! `docs/CLUSTER.md`), the forwarding node marks the outgoing request with
+//! two internal headers:
+//!
+//! * [`PEER_HOP_HEADER`] (`X-Nakika-Hops`) — how many node-to-node forwards
+//!   the request has already taken.  A node never peer-routes a request that
+//!   has used up its [`MAX_PEER_HOPS`] budget; it goes to the origin instead.
+//! * [`PEER_VIA_HEADER`] (`X-Nakika-Via`) — the comma-separated names of the
+//!   nodes the request has passed through.  A node that finds itself on the
+//!   list answers from its own cache or the origin, never a peer.
+//!
+//! Either guard alone terminates a routing loop (two nodes with divergent
+//! membership views each believing the other owns a key); both are cheap, so
+//! both are enforced.  The headers are stripped before a request leaves the
+//! cooperative network for an origin server.
+//!
+//! Replication pushes (the owner warming a hot key's successors) carry
+//! [`REPLICATE_HEADER`] so the receiving node can tell a push from organic
+//! client traffic and skip hot-entry accounting on it.
+
+use nakika_http::Request;
+
+/// Header counting node-to-node forwards a request has taken.
+pub const PEER_HOP_HEADER: &str = "X-Nakika-Hops";
+
+/// Header listing the nodes a request has passed through, comma-separated.
+pub const PEER_VIA_HEADER: &str = "X-Nakika-Via";
+
+/// Marks a request issued by the replication worker to pre-warm a successor.
+pub const REPLICATE_HEADER: &str = "X-Nakika-Replicate";
+
+/// Hop budget: how many times a request may be forwarded between peers.
+/// One hop reaches the key's owner; the second tolerates a briefly divergent
+/// membership view during joins and leaves.
+pub const MAX_PEER_HOPS: u64 = 2;
+
+/// Number of node-to-node forwards `request` has already taken.
+pub fn hops(request: &Request) -> u64 {
+    request
+        .headers
+        .get(PEER_HOP_HEADER)
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// True if `node` already forwarded this request (it appears in the Via
+/// list), in which case routing it back would loop.
+pub fn via_contains(request: &Request, node: &str) -> bool {
+    request
+        .headers
+        .get(PEER_VIA_HEADER)
+        .map(|via| via.split(',').any(|entry| entry.trim() == node))
+        .unwrap_or(false)
+}
+
+/// True if the request may still be forwarded to a peer by `node`.
+pub fn may_forward(request: &Request, node: &str) -> bool {
+    hops(request) < MAX_PEER_HOPS && !via_contains(request, node)
+}
+
+/// Stamps the loop-prevention headers onto a request about to be forwarded
+/// by `node`: increments the hop count and appends `node` to the Via list.
+pub fn mark_forwarded(request: &mut Request, node: &str) {
+    let next = hops(request) + 1;
+    request.headers.set(PEER_HOP_HEADER, next.to_string());
+    let via = match request.headers.get(PEER_VIA_HEADER) {
+        Some(existing) if !existing.is_empty() => format!("{existing}, {node}"),
+        _ => node.to_string(),
+    };
+    request.headers.set(PEER_VIA_HEADER, via);
+}
+
+/// True if `request` is a replication push rather than organic traffic.
+pub fn is_replication_push(request: &Request) -> bool {
+    request.headers.contains(REPLICATE_HEADER)
+}
+
+/// True if the request carries any of the cooperative network's internal
+/// headers (cheap pre-check before cloning a request to strip them).
+pub fn has_internal_headers(request: &Request) -> bool {
+    request.headers.contains(PEER_HOP_HEADER)
+        || request.headers.contains(PEER_VIA_HEADER)
+        || request.headers.contains(REPLICATE_HEADER)
+}
+
+/// Removes the cooperative network's internal headers; called before a
+/// request leaves for an origin server.
+pub fn strip_internal_headers(request: &mut Request) {
+    request.headers.remove(PEER_HOP_HEADER);
+    request.headers.remove(PEER_VIA_HEADER);
+    request.headers.remove(REPLICATE_HEADER);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_budget_counts_forwards() {
+        let mut req = Request::get("http://site.example/x");
+        assert_eq!(hops(&req), 0);
+        assert!(may_forward(&req, "edge-a"));
+        mark_forwarded(&mut req, "edge-a");
+        assert_eq!(hops(&req), 1);
+        assert!(may_forward(&req, "edge-b"));
+        mark_forwarded(&mut req, "edge-b");
+        assert_eq!(hops(&req), 2);
+        assert!(!may_forward(&req, "edge-c"), "hop budget exhausted");
+    }
+
+    #[test]
+    fn via_list_blocks_revisits() {
+        let mut req = Request::get("http://site.example/x");
+        mark_forwarded(&mut req, "edge-a");
+        assert!(via_contains(&req, "edge-a"));
+        assert!(!via_contains(&req, "edge-b"));
+        assert!(!may_forward(&req, "edge-a"), "revisit blocked by Via");
+        // Garbage hop counts are treated as zero, not as a panic.
+        req.headers.set(PEER_HOP_HEADER, "not-a-number");
+        assert_eq!(hops(&req), 0);
+    }
+
+    #[test]
+    fn internal_headers_never_reach_the_origin() {
+        let mut req = Request::get("http://site.example/x");
+        mark_forwarded(&mut req, "edge-a");
+        req.headers.set(REPLICATE_HEADER, "1");
+        assert!(is_replication_push(&req));
+        strip_internal_headers(&mut req);
+        assert!(req.headers.get(PEER_HOP_HEADER).is_none());
+        assert!(req.headers.get(PEER_VIA_HEADER).is_none());
+        assert!(!is_replication_push(&req));
+    }
+}

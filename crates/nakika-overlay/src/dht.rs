@@ -67,6 +67,25 @@ struct NodeState {
     /// key -> stored values.
     store: HashMap<u64, Vec<StoredValue>>,
     alive: bool,
+    /// Base URL (e.g. `http://10.0.0.3:8080`) where the node's proxy listens,
+    /// when the deployment runs over real sockets.  Simulated nodes have none.
+    addr: Option<String>,
+}
+
+/// A live overlay member as seen by routing: its identifier, position in the
+/// latency space, and — for deployments running over real sockets — the base
+/// URL where its proxy front-end listens.
+///
+/// Members with `addr: None` are simulator-only nodes; peer fetches over TCP
+/// skip them and fall back to the origin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Member {
+    /// The member's overlay identifier.
+    pub id: NodeId,
+    /// The member's position in the latency space.
+    pub location: Location,
+    /// Base URL of the member's proxy front-end, if it serves real traffic.
+    pub addr: Option<String>,
 }
 
 /// The in-process overlay: a registry of participating nodes plus the
@@ -98,10 +117,26 @@ impl Overlay {
     /// "low administrative overhead" property the paper relies on for
     /// incremental deployment.
     pub fn join(&self, id: NodeId, location: Location) {
+        self.join_inner(id, location, None);
+    }
+
+    /// Adds a node that serves real traffic: `addr` is the base URL of its
+    /// proxy front-end (e.g. `http://127.0.0.1:8080`).  Peers use it to route
+    /// cache misses to the key's consistent-hash owner over TCP.
+    ///
+    /// Re-joining updates the location and address of an existing member.
+    pub fn join_with_addr(&self, id: NodeId, location: Location, addr: &str) {
+        self.join_inner(id, location, Some(addr.to_string()));
+    }
+
+    fn join_inner(&self, id: NodeId, location: Location, addr: Option<String>) {
         let mut nodes = self.nodes.write();
         if let Some(existing) = nodes.iter_mut().find(|n| n.id == id) {
             existing.alive = true;
             existing.location = location;
+            if addr.is_some() {
+                existing.addr = addr;
+            }
             return;
         }
         nodes.push(NodeState {
@@ -109,7 +144,80 @@ impl Overlay {
             location,
             store: HashMap::new(),
             alive: true,
+            addr,
         });
+    }
+
+    /// Records (or updates) the base URL of an already-joined member — real
+    /// deployments bind their listening socket *after* joining, so the port
+    /// is only known once the server is up.  Returns false if `id` is not a
+    /// member.
+    pub fn set_addr(&self, id: NodeId, addr: &str) -> bool {
+        let mut nodes = self.nodes.write();
+        match nodes.iter_mut().find(|n| n.id == id) {
+            Some(n) => {
+                n.addr = Some(addr.to_string());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The base URL of a live member, if it has announced one.
+    pub fn addr_of(&self, id: NodeId) -> Option<String> {
+        self.nodes
+            .read()
+            .iter()
+            .find(|n| n.id == id && n.alive)
+            .and_then(|n| n.addr.clone())
+    }
+
+    /// Snapshot of the live membership.
+    pub fn members(&self) -> Vec<Member> {
+        self.nodes
+            .read()
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| Member {
+                id: n.id,
+                location: n.location,
+                addr: n.addr.clone(),
+            })
+            .collect()
+    }
+
+    /// The `count` live members responsible for `key_str`, closest first in
+    /// the XOR metric.  The first entry is the key's *owner* (the node a
+    /// cache miss is routed to); the rest are its successors, which hot
+    /// entries replicate onto.
+    pub fn nodes_for_key(&self, key_str: &str, count: usize) -> Vec<Member> {
+        let key = key_for(key_str);
+        let nodes = self.nodes.read();
+        let mut live: Vec<&NodeState> = nodes.iter().filter(|n| n.alive).collect();
+        live.sort_by_key(|n| n.id.distance(&key));
+        live.into_iter()
+            .take(count)
+            .map(|n| Member {
+                id: n.id,
+                location: n.location,
+                addr: n.addr.clone(),
+            })
+            .collect()
+    }
+
+    /// The live member that owns `key_str` under consistent hashing (minimal
+    /// XOR distance), or `None` on an empty overlay.
+    pub fn owner_of(&self, key_str: &str) -> Option<Member> {
+        self.nodes_for_key(key_str, 1).into_iter().next()
+    }
+
+    /// The `count` live members that follow the owner in XOR order for
+    /// `key_str` — the replication targets for a hot key.
+    pub fn successors_of(&self, key_str: &str, count: usize) -> Vec<Member> {
+        self.nodes_for_key(key_str, count.saturating_add(1))
+            .into_iter()
+            .skip(1)
+            .collect()
     }
 
     /// Marks a node as departed; its stored values become unreachable (soft
@@ -401,6 +509,76 @@ mod tests {
         assert_eq!(nearest.len(), 2);
         assert!(nearest.iter().any(|(id, _)| *id == ids[4]));
         assert!(nearest.iter().any(|(id, _)| *id == ids[5]));
+    }
+
+    #[test]
+    fn membership_carries_peer_addresses() {
+        let overlay = Overlay::with_defaults();
+        overlay.join_with_addr(NodeId(1), sites::US_EAST, "http://127.0.0.1:4001");
+        overlay.join(NodeId(2), sites::US_WEST);
+        assert_eq!(
+            overlay.addr_of(NodeId(1)).as_deref(),
+            Some("http://127.0.0.1:4001")
+        );
+        assert_eq!(overlay.addr_of(NodeId(2)), None);
+        // Ports are often assigned after joining; set_addr patches them in.
+        assert!(overlay.set_addr(NodeId(2), "http://127.0.0.1:4002"));
+        assert!(!overlay.set_addr(NodeId(99), "http://nowhere"));
+        assert_eq!(
+            overlay.addr_of(NodeId(2)).as_deref(),
+            Some("http://127.0.0.1:4002")
+        );
+        // Departed members stop resolving but keep their address for re-join.
+        overlay.leave(NodeId(2));
+        assert_eq!(overlay.addr_of(NodeId(2)), None);
+        overlay.join(NodeId(2), sites::US_WEST);
+        assert_eq!(
+            overlay.addr_of(NodeId(2)).as_deref(),
+            Some("http://127.0.0.1:4002")
+        );
+        let members = overlay.members();
+        assert_eq!(members.len(), 2);
+        assert!(members.iter().all(|m| m.addr.is_some()));
+    }
+
+    #[test]
+    fn nodes_for_key_orders_by_xor_distance_and_skips_dead_nodes() {
+        let overlay = Overlay::with_defaults();
+        for id in 1..=4u64 {
+            overlay.join(NodeId(id << 60), sites::US_EAST);
+        }
+        let key = "http://example.org/object";
+        let ranked = overlay.nodes_for_key(key, 4);
+        assert_eq!(ranked.len(), 4);
+        let k = key_for(key);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].id.distance(&k) <= pair[1].id.distance(&k));
+        }
+        let owner = overlay.owner_of(key).unwrap();
+        assert_eq!(owner.id, ranked[0].id);
+        let successors = overlay.successors_of(key, 2);
+        assert_eq!(successors.len(), 2);
+        assert_eq!(successors[0].id, ranked[1].id);
+        assert_eq!(successors[1].id, ranked[2].id);
+        // The owner departing promotes the first successor.
+        overlay.leave(owner.id);
+        assert_eq!(overlay.owner_of(key).unwrap().id, ranked[1].id);
+    }
+
+    #[test]
+    fn owner_of_is_deterministic_across_views() {
+        // Two independently-built registries with the same membership agree on
+        // the owner — the property multi-process routing relies on.
+        let a = Overlay::with_defaults();
+        let b = Overlay::with_defaults();
+        for name in ["edge-a", "edge-b", "edge-c"] {
+            a.join(key_for(name), sites::US_EAST);
+            b.join(key_for(name), sites::US_EAST);
+        }
+        for key in ["http://x/1", "http://x/2", "http://y/3"] {
+            assert_eq!(a.owner_of(key).unwrap().id, b.owner_of(key).unwrap().id);
+        }
+        assert!(Overlay::with_defaults().owner_of("http://x/1").is_none());
     }
 
     #[test]

@@ -59,7 +59,7 @@ use nakika_http::{Request, Response};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
-use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -370,6 +370,39 @@ impl OriginFetch for TcpOrigin {
             Err(error) => error.to_response(),
         }
     }
+
+    /// Fetches `request` from a peer Na Kika node over TCP.  `peer` is the
+    /// base URL the peer announced to the overlay (`http://host:port`); the
+    /// request goes through the peer's proxy front-end in absolute form via
+    /// [`http_fetch_streaming_via_proxy`], so the body streams hop by hop.
+    /// Connection and read failures come back as [`NakikaError::Upstream`]
+    /// naming the peer, letting the node count the failure and fall back to
+    /// the origin without hiding the dead peer.
+    fn fetch_peer(&self, peer: &str, request: &Request) -> Result<Response, NakikaError> {
+        let peer_error = |reason: String| NakikaError::Upstream {
+            url: request.uri.to_string(),
+            reason: format!("peer {peer}: {reason}"),
+        };
+        let proxy = resolve_peer_addr(peer).map_err(&peer_error)?;
+        http_fetch_streaming_via_proxy(proxy, request).map_err(|e| match e {
+            NakikaError::Upstream { reason, .. } => peer_error(reason),
+            other => other,
+        })
+    }
+}
+
+/// Parses an overlay peer payload — a base URL like `http://127.0.0.1:4001`
+/// (a bare `host:port` is tolerated) — into a socket address.
+fn resolve_peer_addr(peer: &str) -> Result<SocketAddr, String> {
+    let authority = peer
+        .strip_prefix("http://")
+        .unwrap_or(peer)
+        .trim_end_matches('/');
+    authority
+        .to_socket_addrs()
+        .map_err(|e| format!("unresolvable address: {e}"))?
+        .next()
+        .ok_or_else(|| "no addresses resolved".to_string())
 }
 
 /// Reads socket bytes until a complete response head is parsed; returns the

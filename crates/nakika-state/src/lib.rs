@@ -18,6 +18,33 @@
 //!
 //! Access logging ([`logging::AccessLog`]) batches per-site entries and
 //! periodically posts them to the URL the site's script configured.
+//!
+//! Beyond site scripts, the edge node itself rides the same machinery: when
+//! cache replication is enabled (`NodeBuilder::replicate_hot` in
+//! `nakika-core`), the consistent-hash owner of a hot key publishes an
+//! [`Update`] describing the entry on a bus topic, and a per-node worker
+//! drains the topic and pushes the entry to the key's successor peers over
+//! TCP.  The [`Update::encode`]/[`Update::decode`] wire format is public for
+//! exactly that reuse.
+//!
+//! # Example: propagating an update between two nodes
+//!
+//! ```
+//! use nakika_state::{MessageBus, Update};
+//!
+//! let bus = MessageBus::new();
+//! let sub = bus.subscribe("nakika/replicate", "edge-b");
+//! let update = Update {
+//!     site: "origin.example".into(),
+//!     key: "GET http://origin.example/hot".into(),
+//!     value: "http://origin.example/hot".into(),
+//!     timestamp: 42,
+//! };
+//! bus.publish("nakika/replicate", &update.site, "edge-a", &update.encode());
+//! let message = bus.receive(&sub).unwrap();
+//! assert_eq!(Update::decode(&message.payload), Some(update));
+//! bus.ack(&sub, message.sequence);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

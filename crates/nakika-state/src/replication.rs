@@ -39,14 +39,35 @@ pub struct Update {
 }
 
 impl Update {
-    fn encode(&self) -> String {
+    /// Serialises the update into the wire format carried as a
+    /// [`MessageBus`] payload (fields joined by the ASCII unit separator).
+    ///
+    /// The format is public so that other subsystems — notably the edge
+    /// node's hot-entry cache replication — can put typed updates on the bus
+    /// without inventing a second encoding.
+    ///
+    /// ```
+    /// use nakika_state::Update;
+    ///
+    /// let update = Update {
+    ///     site: "spec.example.org".into(),
+    ///     key: "user:alice".into(),
+    ///     value: "profile-v1".into(),
+    ///     timestamp: 10,
+    /// };
+    /// assert_eq!(Update::decode(&update.encode()), Some(update));
+    /// ```
+    pub fn encode(&self) -> String {
         format!(
             "{}\u{1f}{}\u{1f}{}\u{1f}{}",
             self.timestamp, self.site, self.key, self.value
         )
     }
 
-    fn decode(payload: &str) -> Option<Update> {
+    /// Parses a payload produced by [`Update::encode`]; returns `None` for
+    /// malformed input (a foreign message on the same topic, say) rather
+    /// than failing the consumer.
+    pub fn decode(payload: &str) -> Option<Update> {
         let mut parts = payload.splitn(4, '\u{1f}');
         let timestamp = parts.next()?.parse().ok()?;
         let site = parts.next()?.to_string();
