@@ -90,7 +90,8 @@ fn main() {
 
     println!("== end-to-end proxy throughput (real TCP), per scenario and transport ==");
     println!("(cold cache / warm keep-alive / warm close / 64-way concurrent keep-alive /");
-    println!(" 1 MiB streamed bodies / mixed warm+slow-cold-origin / peer-answered misses,");
+    println!(" 1 MiB streamed bodies / mixed warm+slow-cold-origin / peer-answered misses /");
+    println!(" warm scripted pipeline under the bytecode VM and the interpreter,");
     println!(" threaded vs reactor; see docs/BENCHMARKING.md for what each isolates)\n");
     match bench_proxy_suite(if quick { 240 } else { 2_048 }, 64) {
         Ok(suite) => {
@@ -121,6 +122,15 @@ fn main() {
                 println!(
                     "peer-answered miss vs origin-answered miss (reactor): {:.2}x",
                     peer.requests_per_sec / cold.requests_per_sec.max(1e-9)
+                );
+            }
+            if let (Some(vm), Some(interp)) = (
+                suite.scenario("bench_scripted", "reactor"),
+                suite.scenario("bench_scripted_interp", "reactor"),
+            ) {
+                println!(
+                    "bytecode VM vs interpreter on the warm scripted pipeline (reactor): {:.2}x",
+                    vm.requests_per_sec / interp.requests_per_sec.max(1e-9)
                 );
             }
             match suite.write_json("BENCH_proxy.json") {

@@ -89,7 +89,9 @@ pub fn stats_text(handle: &NodeHandle, name: &str) -> String {
          peer_hits {}\n\
          peer_misses {}\n\
          origin_fetches {}\n\
-         replication_pushes {}\n",
+         replication_pushes {}\n\
+         script_compiles {}\n\
+         script_cache_hits {}\n",
         stats.requests,
         cache.hits,
         cache.misses,
@@ -98,6 +100,8 @@ pub fn stats_text(handle: &NodeHandle, name: &str) -> String {
         stats.peer_misses,
         stats.origin_fetches,
         stats.replication_pushes,
+        cache.script_compiles,
+        cache.script_cache_hits,
     )
 }
 
@@ -399,6 +403,8 @@ mod tests {
         assert_eq!(parsed.get("requests"), Some(&0));
         assert_eq!(parsed.get("peer_hits"), Some(&0));
         assert_eq!(parsed.get("origin_fetches"), Some(&0));
+        assert_eq!(parsed.get("script_compiles"), Some(&0));
+        assert_eq!(parsed.get("script_cache_hits"), Some(&0));
         // The name line is not a counter and must be skipped, not mangled.
         assert!(!parsed.contains_key("node"));
     }

@@ -10,7 +10,7 @@
 pub mod cluster;
 
 use nakika_core::service::{service_fn, NakikaError};
-use nakika_core::NodeBuilder;
+use nakika_core::{scripts, NodeBuilder, ScriptEngine};
 use nakika_http::{Request, Response};
 use nakika_server::{
     http_get_via_proxy, HttpServer, ProxyClient, ProxyServer, TcpOrigin, Transport,
@@ -109,6 +109,12 @@ pub const STREAM_SCENARIO_BODY_BYTES: usize = 1024 * 1024;
 /// a plausible slow-origin round trip, long enough that a transport which
 /// blocks its event loop on origin I/O visibly collapses).
 pub const MIXED_SCENARIO_ORIGIN_DELAY_MS: u64 = 25;
+
+/// Iterations of the numeric loop the `bench_scripted` site handler runs on
+/// every response — enough script work that execution strategy (bytecode VM
+/// versus tree-walking interpreter) dominates the per-request cost, small
+/// enough that a single request stays far under the pipeline fuel budget.
+pub const SCRIPTED_SCENARIO_LOOP_ITERS: usize = 600;
 
 /// The `transport` field value recorded for a scenario.
 fn transport_name(transport: Transport) -> String {
@@ -307,6 +313,98 @@ fn run_peer_scenario(
     })
 }
 
+/// Measures `bench_scripted` on one transport: a fully scripted edge node
+/// (walls plus a compute-heavy site `nakika.js`) serving one hot cached URL
+/// over a keep-alive connection.  Every request re-runs the wall and site
+/// handlers — [`SCRIPTED_SCENARIO_LOOP_ITERS`] loop iterations of script
+/// work per response — while the page itself is a cache hit, so the number
+/// isolates script-execution cost on the warm path.  Run once per
+/// [`ScriptEngine`] (`bench_scripted` = bytecode VM, `bench_scripted_interp`
+/// = reference interpreter), the pair measures what compiling to bytecode
+/// buys.  The run fails loudly if the handler did not actually execute or
+/// if any stage script was recompiled after warm-up (which would mean the
+/// program cache — the thing that makes per-request compilation disappear —
+/// silently regressed).
+fn run_scripted_scenario(
+    name: &str,
+    transport: Transport,
+    requests: usize,
+    engine: ScriptEngine,
+) -> Result<ProxyBenchScenario, NakikaError> {
+    let site_script = format!(
+        r#"
+p = new Policy();
+p.onResponse = function() {{
+    var acc = 0;
+    for (var i = 0; i < {iters}; i = i + 1) {{
+        acc = (acc + i * 3) % 9973;
+    }}
+    Response.setHeader('X-Script-Work', '' + acc);
+}};
+p.register();
+"#,
+        iters = SCRIPTED_SCENARIO_LOOP_ITERS
+    );
+    let origin = HttpServer::start(
+        0,
+        service_fn(move |req: Request, _ctx| {
+            let path = req.uri.path.as_str();
+            if path.ends_with("nakika.js") {
+                return Ok(Response::ok("application/javascript", site_script.as_str())
+                    .with_header("Cache-Control", "max-age=600"));
+            }
+            if path.ends_with("clientwall.js") || path.ends_with("serverwall.js") {
+                return Ok(Response::ok("application/javascript", scripts::EMPTY_WALL)
+                    .with_header("Cache-Control", "max-age=600"));
+            }
+            Ok(Response::ok("text/html", "x".repeat(2096))
+                .with_header("Cache-Control", "max-age=600"))
+        }),
+    )
+    .map_err(internal("scripted origin failed to start"))?;
+    let base = origin.base_url();
+    let edge = NodeBuilder::scripted("bench-scripted")
+        .script_engine(engine)
+        .wall_urls(
+            &format!("{base}/clientwall.js"),
+            &format!("{base}/serverwall.js"),
+        )
+        .origin(Arc::new(TcpOrigin::new()))
+        .build();
+    let proxy = ProxyServer::start_with(0, edge.service(), transport)
+        .map_err(internal("scripted proxy failed to start"))?;
+    let url = format!("{base}/hot.html");
+    // Warm-up: compiles the two walls and the site stage, caches the page.
+    http_get_via_proxy(proxy.addr(), &url)?;
+    let compiles_after_warmup = edge.node().cache_stats().script_compiles;
+    let start = Instant::now();
+    let mut client = ProxyClient::connect(proxy.addr())?;
+    for _ in 0..requests {
+        let response = client.get(&url)?;
+        if response.headers.get("x-script-work").is_none() {
+            return Err(NakikaError::Internal(
+                "bench_scripted response missing the handler's header".into(),
+            ));
+        }
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let compiles = edge.node().cache_stats().script_compiles;
+    if compiles != compiles_after_warmup {
+        return Err(NakikaError::Internal(format!(
+            "bench_scripted recompiled scripts on the warm path \
+             ({compiles_after_warmup} compiles after warm-up, {compiles} after the run)"
+        )));
+    }
+    Ok(ProxyBenchScenario {
+        name: name.to_string(),
+        transport: transport_name(transport),
+        requests,
+        concurrency: 1,
+        elapsed_secs,
+        requests_per_sec: requests as f64 / elapsed_secs,
+    })
+}
+
 /// Measures the proxy-path scenario suite on both transports:
 ///
 /// - `cold-cache` — every request targets a distinct URL, so each one runs
@@ -327,6 +425,10 @@ fn run_peer_scenario(
 /// - `bench_peer` — a second edge node answers every miss over the
 ///   peer-fetch protocol; the cost of a cooperative (peer-answered) miss
 ///   versus an origin-answered one.
+/// - `bench_scripted` / `bench_scripted_interp` — a warm scripted pipeline
+///   (walls + a compute-heavy site handler on every response) under the
+///   bytecode VM and under the reference interpreter; the pair isolates
+///   what compiling NkScript to bytecode buys on the hot path.
 ///
 /// `requests` scales every scenario (the slower workloads run a fraction of
 /// it); `concurrency` is the client count for `warm-concurrent` and
@@ -466,6 +568,23 @@ pub fn bench_proxy_suite(
         suite
             .scenarios
             .push(run_peer_scenario(transport, requests)?);
+
+        // bench_scripted: the warm scripted pipeline under both script
+        // engines — the VM-vs-interpreter ratio is the headline number of
+        // the bytecode compiler.
+        let scripted_requests = (requests / 4).max(8);
+        suite.scenarios.push(run_scripted_scenario(
+            "bench_scripted",
+            transport,
+            scripted_requests,
+            ScriptEngine::Vm,
+        )?);
+        suite.scenarios.push(run_scripted_scenario(
+            "bench_scripted_interp",
+            transport,
+            scripted_requests,
+            ScriptEngine::Interp,
+        )?);
     }
     Ok(suite)
 }
@@ -554,5 +673,15 @@ mod tests {
         let table = format_table2(&rows);
         assert_eq!(table.lines().count(), 3);
         assert!(table.contains("Match-1"));
+    }
+
+    #[test]
+    fn scripted_scenario_runs_under_both_engines() {
+        for engine in [ScriptEngine::Vm, ScriptEngine::Interp] {
+            let scenario = run_scripted_scenario("bench_scripted", Transport::Threaded, 8, engine)
+                .expect("scripted scenario runs");
+            assert_eq!(scenario.requests, 8);
+            assert!(scenario.requests_per_sec > 0.0);
+        }
     }
 }

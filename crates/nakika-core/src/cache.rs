@@ -78,6 +78,16 @@ pub struct CacheStats {
     /// loop-guarded), each falling back to the origin.  Like
     /// [`peer_hits`](CacheStats::peer_hits), maintained by the node.
     pub peer_misses: u64,
+    /// Scripts parsed and lowered to bytecode — one per distinct source the
+    /// node has ever run (walls, site stages, pages).  Maintained by the
+    /// node's compiled-program cache, not the shards; [`ProxyCache::stats`]
+    /// always reports `0` and `NaKikaNode::cache_stats` overlays the real
+    /// counter.
+    pub script_compiles: u64,
+    /// Script executions whose compiled program came from the program cache
+    /// instead of being recompiled.  Maintained by the node, like
+    /// [`script_compiles`](CacheStats::script_compiles).
+    pub script_cache_hits: u64,
 }
 
 impl CacheStats {
@@ -100,6 +110,8 @@ impl CacheStats {
             evictions: self.evictions + other.evictions,
             peer_hits: self.peer_hits + other.peer_hits,
             peer_misses: self.peer_misses + other.peer_misses,
+            script_compiles: self.script_compiles + other.script_compiles,
+            script_cache_hits: self.script_cache_hits + other.script_cache_hits,
         }
     }
 }

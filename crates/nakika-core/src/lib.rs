@@ -25,6 +25,10 @@
 //!   the structured overlay.
 //! * **Na Kika Pages** ([`pages`]) — the `<?nkp ... ?>` markup model layered
 //!   on the event model.
+//! * **Compiled programs** ([`programs`]) — the hash-keyed cache of NkScript
+//!   programs lowered to bytecode (compile once, execute many) and the
+//!   node's [`programs::ScriptEngine`] selector between the bytecode VM and
+//!   the reference tree-walking interpreter.
 //! * **The node façade** ([`node`]) — [`node::NaKikaNode`] wires the pieces
 //!   into a single proxy that mediates one HTTP exchange at a time, in any of
 //!   the configurations the paper's evaluation exercises (plain proxy, proxy
@@ -53,6 +57,7 @@ pub mod pages;
 pub mod peering;
 pub mod pipeline;
 pub mod policy;
+pub mod programs;
 pub mod resource;
 pub mod scripts;
 pub mod service;
@@ -64,6 +69,7 @@ pub use middleware::{AccessLogLayer, AdmissionLayer, IntegrityLayer, RedirectLay
 pub use node::{NaKikaNode, NodeConfig, NodeMode, OriginFetch};
 pub use pipeline::{PipelineOutcome, PipelineRunner};
 pub use policy::{Matcher, Policy, PolicySet};
+pub use programs::{ProgramCache, ScriptEngine};
 pub use resource::{ResourceKind, ResourceManager, ResourceManagerConfig, SiteUsage};
 pub use service::{
     service_fn, Clock, CtxFactory, DispatchHint, HttpService, Layer, ManualClock, NakikaError,

@@ -16,6 +16,7 @@ use crate::peering;
 use crate::pipeline::{
     CompiledStage, PipelineOutcome, PipelineRunner, StageCache, StageLoader, StageLookup,
 };
+use crate::programs::{ProgramCache, ScriptEngine};
 use crate::resource::{Admission, ResourceKind, ResourceManager, ResourceManagerConfig};
 use crate::service::{DispatchHint, NakikaError};
 use crate::vocab::VocabHooks;
@@ -91,6 +92,10 @@ pub struct NodeConfig {
     pub control_period_secs: u64,
     /// Per-site hard-state quota in bytes.
     pub hard_state_quota: usize,
+    /// Which engine executes NkScript on this node (the bytecode VM by
+    /// default; the tree-walking interpreter remains selectable as the
+    /// reference engine and the `bench_scripted` ablation baseline).
+    pub script_engine: ScriptEngine,
 }
 
 /// Statistics a node accumulates, consumed by the experiment harness.
@@ -369,6 +374,8 @@ impl ResourceFetcher {
 struct NodeStageLoader {
     fetcher: ResourceFetcher,
     stage_cache: Arc<StageCache>,
+    programs: Arc<ProgramCache>,
+    engine: ScriptEngine,
     hooks: VocabHooks,
     script_ttl: Duration,
 }
@@ -394,7 +401,13 @@ impl StageLoader for NodeStageLoader {
             self.stage_cache.put_absent(url, fresh_until);
             return None;
         }
-        match CompiledStage::compile(url, &response.body.to_text(), &self.hooks) {
+        match CompiledStage::compile_with(
+            url,
+            &response.body.to_text(),
+            &self.hooks,
+            &self.programs,
+            self.engine,
+        ) {
             Ok(stage) => {
                 let stage = Arc::new(stage);
                 self.stage_cache.put(url, stage.clone(), fresh_until);
@@ -415,6 +428,7 @@ pub struct NaKikaNode {
     config: NodeConfig,
     cache: Arc<ProxyCache>,
     stage_cache: Arc<StageCache>,
+    programs: Arc<ProgramCache>,
     resource: Arc<ResourceManager>,
     runner: PipelineRunner,
     store: Arc<SiteStore>,
@@ -446,6 +460,7 @@ impl NaKikaNode {
         NaKikaNode {
             cache,
             stage_cache: Arc::new(StageCache::new()),
+            programs: Arc::new(ProgramCache::new()),
             resource,
             runner: PipelineRunner::default(),
             store,
@@ -527,15 +542,26 @@ impl NaKikaNode {
     }
 
     /// Cache statistics snapshot, with the node-level cooperative-caching
-    /// counters (`peer_hits`, `peer_misses`) overlaid so one call answers
-    /// "where did my bytes come from" — the shards themselves see a
-    /// peer-answered request as a plain miss.
+    /// counters (`peer_hits`, `peer_misses`) and the compiled-program cache
+    /// counters (`script_compiles`, `script_cache_hits`) overlaid so one
+    /// call answers "where did my bytes come from" and "did scripts compile
+    /// once" — the shards themselves see a peer-answered request as a plain
+    /// miss and know nothing about scripts.
     pub fn cache_stats(&self) -> CacheStats {
         let mut stats = self.cache.stats();
         let node = self.stats.lock();
         stats.peer_hits = node.peer_hits;
         stats.peer_misses = node.peer_misses;
+        drop(node);
+        let (compiles, hits) = self.programs.counters();
+        stats.script_compiles = compiles;
+        stats.script_cache_hits = hits;
         stats
+    }
+
+    /// The node's compiled-program cache (exposed for statistics and tests).
+    pub fn programs(&self) -> &Arc<ProgramCache> {
+        &self.programs
     }
 
     /// Node statistics snapshot.
@@ -545,14 +571,21 @@ impl NaKikaNode {
 
     /// Classifies one upcoming exchange for readiness-driven transports
     /// (see [`DispatchHint`]): [`DispatchHint::Inline`] when the node can
-    /// answer `request` at `now_secs` from its warm cache without any
-    /// origin, peer, or script I/O — the probe is the cache's
-    /// [`contains_fresh`](ProxyCache::contains_fresh), which mutates
-    /// nothing — and [`DispatchHint::MayBlock`] otherwise.
+    /// answer `request` at `now_secs` without any origin, peer, or script
+    /// I/O — the probes ([`contains_fresh`](ProxyCache::contains_fresh),
+    /// [`StageCache::probe`]) mutate nothing — and
+    /// [`DispatchHint::MayBlock`] otherwise.
     ///
-    /// Scripted nodes always answer `MayBlock`: even a warm page may pull
-    /// wall/site scripts through the fetch path, and pipeline execution is
-    /// CPU work that does not belong on an event loop either.
+    /// Scripted nodes used to answer `MayBlock` unconditionally.  With the
+    /// bytecode VM a warm scripted pipeline is cheap enough for the event
+    /// loop, so the node classifies it precisely instead: `Inline` when
+    /// every stage the request would run is already compiled and cached
+    /// (or known absent), no matched handler can call the blocking `Fetch`
+    /// vocabulary or schedule further stages, and the response itself needs
+    /// no fetch (fresh in cache, or an `onRequest` handler unconditionally
+    /// generates it).  Pipelines executing on the reference interpreter
+    /// stay `MayBlock` — tree-walking a handler is CPU work that does not
+    /// belong on an event loop.
     ///
     /// The probe is a heuristic, not a lock: an entry can expire or be
     /// evicted between the probe and the call, in which case an `Inline`
@@ -561,14 +594,49 @@ impl NaKikaNode {
     /// pass the same context to both, so probe and lookup at least agree
     /// on the time.
     pub fn dispatch_hint(&self, request: &Request, now_secs: u64) -> DispatchHint {
-        if self.config.mode == NodeMode::Scripted {
-            return DispatchHint::MayBlock;
-        }
         if !request.method.is_cacheable() {
             return DispatchHint::MayBlock;
         }
+        let mut always_generates = false;
+        if self.config.mode == NodeMode::Scripted {
+            if self.config.script_engine != ScriptEngine::Vm {
+                return DispatchHint::MayBlock;
+            }
+            // Rendering a page runs a fresh script compile per body; keep
+            // it off the event loop.
+            if pages::is_nkp(request.uri.extension(), None) {
+                return DispatchHint::MayBlock;
+            }
+            let site_stage_url = format!("http://{}/nakika.js", request.site());
+            for stage_url in [
+                self.config.client_wall_url.as_str(),
+                site_stage_url.as_str(),
+                self.config.server_wall_url.as_str(),
+            ] {
+                match self.stage_cache.probe(stage_url, now_secs) {
+                    StageLookup::KnownAbsent => {}
+                    StageLookup::Miss => return DispatchHint::MayBlock,
+                    StageLookup::Hit(stage) => {
+                        if let Some(policy) = stage.find_closest_match(request) {
+                            if policy.blocking_fetch || !policy.next_stages.is_empty() {
+                                return DispatchHint::MayBlock;
+                            }
+                            if policy.always_generates {
+                                // A generated response reverses the pipeline
+                                // immediately: later stages never load or
+                                // run, so their state is irrelevant (the
+                                // server wall typically stays a cache miss
+                                // forever on such pipelines).
+                                always_generates = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
         let key = ResourceFetcher::cache_key(request);
-        if self.cache.contains_fresh(&key, now_secs) {
+        if always_generates || self.cache.contains_fresh(&key, now_secs) {
             DispatchHint::Inline
         } else {
             DispatchHint::MayBlock
@@ -689,6 +757,8 @@ impl NaKikaNode {
         let loader = NodeStageLoader {
             fetcher: fetcher.clone(),
             stage_cache: self.stage_cache.clone(),
+            programs: self.programs.clone(),
+            engine: self.config.script_engine,
             hooks: hooks.clone(),
             script_ttl: self.config.script_ttl,
         };
@@ -742,7 +812,14 @@ impl NaKikaNode {
         );
         if is_page && response.status.is_success() {
             let compiled = pages::compile_page(&response.body.to_text());
-            match run_page(&compiled, &hooks, &outcome.final_request, now_secs) {
+            match run_page(
+                &compiled,
+                &self.programs,
+                self.config.script_engine,
+                &hooks,
+                &outcome.final_request,
+                now_secs,
+            ) {
                 Ok(html) => {
                     response.headers.set("Content-Type", "text/html");
                     response.set_body(html);
@@ -770,9 +847,13 @@ impl NaKikaNode {
 }
 
 /// Runs a compiled Na Kika Page in a fresh sandboxed context with the node's
-/// vocabularies bound to the current exchange.
+/// vocabularies bound to the current exchange.  The page's generated script
+/// goes through the node's program cache, so a hot page parses and lowers to
+/// bytecode once and every later render is a cache hit.
 fn run_page(
     compiled: &str,
+    programs: &ProgramCache,
+    engine: ScriptEngine,
     hooks: &VocabHooks,
     request: &Request,
     now_secs: u64,
@@ -781,9 +862,8 @@ fn run_page(
     nakika_script::stdlib::install(&ctx);
     let exchange = crate::vocab::new_exchange(request.clone(), now_secs);
     crate::vocab::install(&ctx, &exchange, hooks);
-    let program = nakika_script::parse_program(compiled)?;
-    let mut interp = nakika_script::Interpreter::new(&ctx);
-    Ok(interp.run(&program)?.to_display_string())
+    let script = programs.get_or_compile(compiled)?;
+    Ok(engine.run(&ctx, &script)?.to_display_string())
 }
 
 /// A convenience [`OriginFetch`] built from a closure — used by tests,
@@ -957,6 +1037,129 @@ mod tests {
         let resp = edge.call(inside, &RequestCtx::at(20)).unwrap();
         assert_eq!(resp.status, StatusCode::OK);
         assert_eq!(resp.body.to_text(), "the full article");
+    }
+
+    #[test]
+    fn warm_no_fetch_scripted_pipeline_dispatches_inline() {
+        // A site stage whose onRequest always generates the response and
+        // whose handlers never mention Fetch: once the stages are compiled
+        // and cached, the whole pipeline is event-loop safe.
+        let site_script = r#"
+            p = new Policy();
+            p.url = ["site.example"];
+            p.onRequest = function() { Request.respond('text/html', 'generated on the edge'); };
+            p.register();
+        "#;
+        let origin = TestOrigin::new(Some(site_script));
+        let edge = NodeBuilder::scripted("edge-1")
+            .origin(origin.clone())
+            .build();
+        let request = Request::get("http://site.example/page");
+        // Cold: the stage scripts are not compiled yet.
+        assert_eq!(
+            edge.node().dispatch_hint(&request, 10),
+            DispatchHint::MayBlock
+        );
+        let resp = edge.call(request.clone(), &RequestCtx::at(10)).unwrap();
+        assert_eq!(resp.body.to_text(), "generated on the edge");
+        // Warm: every stage is cached, no handler can fetch, and the
+        // matched onRequest unconditionally responds — Inline, even though
+        // the generated page itself is not in the proxy cache.
+        assert_eq!(
+            edge.node().dispatch_hint(&request, 20),
+            DispatchHint::Inline
+        );
+        // POST is not cacheable and stays off the event loop.
+        let post = Request::new(Method::Post, "http://site.example/page".parse().unwrap());
+        assert_eq!(edge.node().dispatch_hint(&post, 20), DispatchHint::MayBlock);
+    }
+
+    #[test]
+    fn fetch_capable_handlers_keep_the_pipeline_off_the_event_loop() {
+        let site_script = r#"
+            p = new Policy();
+            p.url = ["site.example"];
+            p.onResponse = function() {
+                var extra = Fetch.get('http://other.example/banner');
+                Response.setHeader('X-Banner-Status', '' + extra.status);
+            };
+            p.register();
+        "#;
+        let origin = TestOrigin::new(Some(site_script));
+        let edge = NodeBuilder::scripted("edge-1")
+            .origin(origin.clone())
+            .build();
+        let request = Request::get("http://site.example/page");
+        edge.call(request.clone(), &RequestCtx::at(10)).unwrap();
+        // The page is fresh in cache, but the matched handler mentions
+        // Fetch, so the pipeline may block on an embedded fetch.
+        assert!(edge
+            .node()
+            .cache()
+            .contains_fresh(&ResourceFetcher::cache_key(&request), 20));
+        assert_eq!(
+            edge.node().dispatch_hint(&request, 20),
+            DispatchHint::MayBlock
+        );
+    }
+
+    #[test]
+    fn interpreter_engine_pipelines_always_dispatch_may_block() {
+        let site_script = r#"
+            p = new Policy();
+            p.url = ["site.example"];
+            p.onRequest = function() { Request.respond('text/html', 'generated'); };
+            p.register();
+        "#;
+        let origin = TestOrigin::new(Some(site_script));
+        let edge = NodeBuilder::scripted("edge-1")
+            .script_engine(crate::programs::ScriptEngine::Interp)
+            .origin(origin.clone())
+            .build();
+        let request = Request::get("http://site.example/page");
+        let resp = edge.call(request.clone(), &RequestCtx::at(10)).unwrap();
+        assert_eq!(resp.body.to_text(), "generated", "interp engine serves");
+        assert_eq!(
+            edge.node().dispatch_hint(&request, 20),
+            DispatchHint::MayBlock
+        );
+    }
+
+    #[test]
+    fn scripts_compile_once_and_cache_stats_expose_the_counters() {
+        let site_script = r#"
+            p = new Policy();
+            p.url = ["site.example"];
+            p.onResponse = function() { Response.setHeader('X-Edge', 'nakika'); };
+            p.register();
+        "#;
+        let origin = TestOrigin::new(Some(site_script));
+        let edge = NodeBuilder::scripted("edge-1")
+            .origin(origin.clone())
+            .build();
+        edge.call(
+            Request::get("http://site.example/page"),
+            &RequestCtx::at(10),
+        )
+        .unwrap();
+        // Three stage loads, but the two walls share one source: two
+        // compiles, one program-cache hit.
+        let stats = edge.node().cache_stats();
+        assert_eq!(stats.script_compiles, 2);
+        assert_eq!(stats.script_cache_hits, 1);
+        // A page renders through the same cache: one compile on the first
+        // render, a hit on the second (its `no-store` body is refetched,
+        // but the generated script text is identical).
+        for t in [20, 30] {
+            edge.call(
+                Request::get("http://site.example/hello.nkp"),
+                &RequestCtx::at(t),
+            )
+            .unwrap();
+        }
+        let stats = edge.node().cache_stats();
+        assert_eq!(stats.script_compiles, 3);
+        assert_eq!(stats.script_cache_hits, 2);
     }
 
     #[test]

@@ -14,10 +14,11 @@
 //! nothing did, and then runs the `onResponse` handlers in reverse order.
 
 use crate::policy::{DecisionTree, Matcher, Policy, PolicySet};
+use crate::programs::{ProgramCache, ScriptEngine};
 use crate::vocab::{self, Exchange, VocabHooks};
 use nakika_http::{Request, Response, StatusCode};
 use nakika_script::{
-    parse_program, stdlib, Context, ContextPool, ResourceMeter, ScriptError, Value,
+    stdlib, CompiledProgram, Context, ContextPool, ResourceMeter, ScriptError, Value,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -40,6 +41,11 @@ pub struct CompiledStage {
     /// scope, so per-request vocabularies are re-bound into it before a
     /// handler runs.
     load_ctx: Context,
+    /// The stage script's bytecode; handler closures resolve their function
+    /// literals against it when the VM engine executes them.
+    program: Arc<CompiledProgram>,
+    /// Which engine runs this stage's handlers.
+    engine: ScriptEngine,
     /// Serialises handler execution within this stage (one pipeline at a time
     /// per stage, mirroring the per-pipeline process isolation of the paper's
     /// prototype).
@@ -47,20 +53,35 @@ pub struct CompiledStage {
 }
 
 impl CompiledStage {
-    /// Compiles a stage from script source.  The script runs once, in a
-    /// sandboxed context with a throwaway exchange, to register its policies.
+    /// Compiles a stage from script source with a private program cache and
+    /// the default engine — the convenience entry used by tests and ad-hoc
+    /// loaders.  Nodes use [`CompiledStage::compile_with`] so all stages
+    /// share one hash-keyed program cache.
     pub fn compile(
         url: &str,
         source: &str,
         hooks: &VocabHooks,
     ) -> Result<CompiledStage, ScriptError> {
+        CompiledStage::compile_with(url, source, hooks, &ProgramCache::new(), ScriptEngine::Vm)
+    }
+
+    /// Compiles a stage from script source.  The script is parsed and
+    /// lowered through `programs` (so an unchanged script costs one cache
+    /// hit, not a recompile), then runs once via `engine` — in a sandboxed
+    /// context with a throwaway exchange — to register its policies.
+    pub fn compile_with(
+        url: &str,
+        source: &str,
+        hooks: &VocabHooks,
+        programs: &ProgramCache,
+        engine: ScriptEngine,
+    ) -> Result<CompiledStage, ScriptError> {
         let ctx = Context::new();
         stdlib::install(&ctx);
         let load_exchange = vocab::new_exchange(Request::get(url), 0);
         vocab::install(&ctx, &load_exchange, hooks);
-        let program = parse_program(source)?;
-        let mut interp = nakika_script::Interpreter::new(&ctx);
-        interp.run(&program)?;
+        let script = programs.get_or_compile(source)?;
+        engine.run(&ctx, &script)?;
         let mut set = PolicySet::new();
         for policy in std::mem::take(&mut load_exchange.lock().registered) {
             set.push(policy);
@@ -71,6 +92,8 @@ impl CompiledStage {
             matcher,
             policies: set,
             load_ctx: ctx,
+            program: script.compiled.clone(),
+            engine,
             exec_lock: Mutex::new(()),
         })
     }
@@ -95,8 +118,8 @@ impl CompiledStage {
         // Re-bind the request-specific vocabularies into the scope the
         // handler closures captured at load time.
         vocab::install(&self.load_ctx, exchange, hooks);
-        let mut interp = nakika_script::Interpreter::new(accounting);
-        interp.call_function(handler, &Value::Undefined, &[])
+        self.engine
+            .call(accounting, &self.program, handler, &Value::Undefined, &[])
     }
 }
 
@@ -150,6 +173,21 @@ impl StageCache {
             _ => counters.0 += 1,
         }
         result
+    }
+
+    /// Non-counting lookup: like [`StageCache::get`] but leaves the
+    /// hit/miss counters untouched.  `dispatch_hint` probes the cache with
+    /// this so classifying a request never skews the statistics the
+    /// evaluation reads.
+    pub fn probe(&self, url: &str, now: u64) -> StageLookup {
+        let entries = self.entries.lock();
+        match entries.get(url) {
+            Some(StageEntry::Compiled(stage, fresh_until)) if *fresh_until > now => {
+                StageLookup::Hit(stage.clone())
+            }
+            Some(StageEntry::Absent(fresh_until)) if *fresh_until > now => StageLookup::KnownAbsent,
+            _ => StageLookup::Miss,
+        }
     }
 
     /// Inserts a compiled stage valid until `fresh_until`.

@@ -37,6 +37,16 @@ pub struct Policy {
     pub on_response: Option<Value>,
     /// URLs of additional pipeline stages to schedule after this stage.
     pub next_stages: Vec<String>,
+    /// True when a handler of this policy might call a blocking vocabulary
+    /// entry point (it mentions `Fetch` somewhere).  Computed once at
+    /// registration by a conservative static analysis; see
+    /// [`nakika_script::analysis::function_mentions_ident`].
+    pub blocking_fetch: bool,
+    /// True when the `onRequest` handler unconditionally generates a
+    /// response (`Request.respond` / `Request.terminate` as a top-level
+    /// statement), so a pipeline selecting it never reaches the origin.
+    /// See [`nakika_script::analysis::function_always_calls`].
+    pub always_generates: bool,
 }
 
 impl Policy {
@@ -50,6 +60,8 @@ impl Policy {
             on_request: None,
             on_response: None,
             next_stages: Vec::new(),
+            blocking_fetch: false,
+            always_generates: false,
         }
     }
 
@@ -255,6 +267,13 @@ impl DecisionTree {
                     .next()
                     .unwrap_or(prefix)
                     .to_ascii_lowercase();
+                if host.is_empty() {
+                    // A path-only predicate ("/api/motd") names no host, so
+                    // it is a candidate for every request; Policy::matches
+                    // still applies the path prefix.
+                    host_agnostic.push(policy.clone());
+                    break;
+                }
                 by_host.entry(host).or_default().push(policy.clone());
             }
         }
@@ -429,6 +448,26 @@ mod tests {
             .find_closest_match(&req("http://bmj.bmjjournals.com/about"))
             .unwrap();
         assert_eq!(m.on_request, Some(Value::Number(1.0)));
+    }
+
+    #[test]
+    fn path_only_predicates_reach_every_host_through_the_tree() {
+        let mut set = PolicySet::new();
+        let mut api = policy_with_url(&["/api/"]);
+        api.on_request = Some(Value::Number(1.0)); // marker
+        set.push(api);
+        let mut generic = Policy::catch_all();
+        generic.on_request = Some(Value::Number(2.0)); // marker
+        set.push(generic);
+        let tree = set.compile();
+        let m = tree
+            .find_closest_match(&req("http://any.example.org/api/motd"))
+            .unwrap();
+        assert_eq!(m.on_request, Some(Value::Number(1.0)));
+        let m = tree
+            .find_closest_match(&req("http://any.example.org/page.html"))
+            .unwrap();
+        assert_eq!(m.on_request, Some(Value::Number(2.0)));
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! The hash-keyed cache of compiled NkScript programs, and the node's choice
+//! of execution engine.
+//!
+//! Every script a node runs — wall scripts, site stages, Na Kika Pages —
+//! arrives as source text.  Before this cache existed the node reparsed (and
+//! for pages, re-executed from the AST) on every request; now each distinct
+//! source is parsed and lowered to bytecode exactly once, keyed by a 64-bit
+//! FNV-1a hash of the text, and every later request reuses the compiled
+//! artifact.  The `compiles` / `hits` counters surface through
+//! [`NaKikaNode::cache_stats`](crate::node::NaKikaNode::cache_stats) (as
+//! `script_compiles` / `script_cache_hits`) and the `/__nakika/stats`
+//! cluster endpoint, so the "compile once, execute many" property is
+//! observable in production, not just asserted in tests.
+
+use nakika_script::ast::Program;
+use nakika_script::{
+    compile, parse_program, CompiledProgram, Context, Interpreter, ScriptError, Value, Vm,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which execution engine runs NkScript on this node.
+///
+/// Both engines honour the identical sandbox contract (fuel, heap
+/// accounting, the asynchronous kill flag) and are pinned to identical
+/// values and errors by the differential property tests in
+/// `nakika-script/tests/differential.rs`; they differ only in speed.  The
+/// interpreter remains selectable as the reference engine for debugging and
+/// for the `bench_scripted` ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScriptEngine {
+    /// The stack-based bytecode VM (the default): scripts are lowered once
+    /// to bytecode and executed at event-loop speed.
+    #[default]
+    Vm,
+    /// The tree-walking interpreter: executes the AST directly, reference
+    /// semantics, several times slower on compute-heavy handlers.
+    Interp,
+}
+
+/// One cached script: the parsed AST (still needed by the interpreter engine
+/// and by load-time policy analysis) alongside its bytecode lowering.
+pub struct CachedScript {
+    /// The parsed program.
+    pub ast: Arc<Program>,
+    /// The bytecode lowering of the same program.
+    pub compiled: Arc<CompiledProgram>,
+}
+
+impl ScriptEngine {
+    /// Runs a cached script's top level in `ctx`, returning the value of its
+    /// last expression statement.
+    pub fn run(self, ctx: &Context, script: &CachedScript) -> Result<Value, ScriptError> {
+        match self {
+            ScriptEngine::Vm => Vm::new(ctx).run(&script.compiled),
+            ScriptEngine::Interp => Interpreter::new(ctx).run(&script.ast),
+        }
+    }
+
+    /// Calls a script function value (an event handler) under `ctx`.
+    /// `program` supplies the bytecode for the handler's function literal
+    /// when the VM engine is selected; the interpreter ignores it.
+    pub fn call(
+        self,
+        ctx: &Context,
+        program: &CompiledProgram,
+        callee: &Value,
+        this: &Value,
+        args: &[Value],
+    ) -> Result<Value, ScriptError> {
+        match self {
+            ScriptEngine::Vm => Vm::new(ctx).call_function(program, callee, this, args),
+            ScriptEngine::Interp => Interpreter::new(ctx).call_function(callee, this, args),
+        }
+    }
+}
+
+/// 64-bit FNV-1a over the script source — the program cache's key.
+fn fnv1a(source: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in source.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Upper bound on cached programs; reaching it clears the cache (losing
+/// compilations only costs recompiles, never correctness).
+const MAX_ENTRIES: usize = 1024;
+
+/// The compiled-program cache: source hash → parsed AST + bytecode.
+#[derive(Default)]
+pub struct ProgramCache {
+    entries: Mutex<HashMap<(u64, usize), Arc<CachedScript>>>,
+    compiles: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl ProgramCache {
+    /// Creates an empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    /// Returns the cached compilation of `source`, parsing and lowering it
+    /// first if this exact text has not been seen before.  Parse errors are
+    /// not cached: a broken script is cheap to re-reject and its callers
+    /// negatively cache at their own layer (the stage cache).
+    pub fn get_or_compile(&self, source: &str) -> Result<Arc<CachedScript>, ScriptError> {
+        // The key pairs the hash with the length so a (vanishingly unlikely)
+        // 64-bit collision cannot silently execute the wrong program.
+        let key = (fnv1a(source), source.len());
+        if let Some(cached) = self.entries.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cached.clone());
+        }
+        let ast = Arc::new(parse_program(source)?);
+        let compiled = Arc::new(compile(&ast));
+        let cached = Arc::new(CachedScript { ast, compiled });
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock();
+        if entries.len() >= MAX_ENTRIES {
+            entries.clear();
+        }
+        entries.insert(key, cached.clone());
+        Ok(cached)
+    }
+
+    /// `(compiles, hits)` counters: scripts compiled from source, and
+    /// lookups answered from the cache.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.compiles.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached programs.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_once_and_hits_thereafter() {
+        let cache = ProgramCache::new();
+        let a1 = cache.get_or_compile("1 + 2").unwrap();
+        let a2 = cache.get_or_compile("1 + 2").unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let _b = cache.get_or_compile("3 * 4").unwrap();
+        assert_eq!(cache.counters(), (2, 1));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let cache = ProgramCache::new();
+        assert!(cache.get_or_compile("var x = ;").is_err());
+        assert!(cache.get_or_compile("var x = ;").is_err());
+        assert_eq!(cache.counters(), (0, 0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn both_engines_run_a_cached_script() {
+        let cache = ProgramCache::new();
+        let script = cache.get_or_compile("var x = 20; x * 2 + 2").unwrap();
+        for engine in [ScriptEngine::Vm, ScriptEngine::Interp] {
+            let ctx = Context::new();
+            nakika_script::stdlib::install(&ctx);
+            assert_eq!(engine.run(&ctx, &script).unwrap(), Value::Number(42.0));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Static analysis over NkScript function literals.
+//!
+//! `nakika-core` uses these queries at policy-compile time to classify event
+//! handlers: a handler that can never call a blocking vocabulary entry point
+//! (`Fetch`, `FetchInto`, …) is safe to run inline on the reactor's event
+//! loop, and a request handler that always produces a response lets a warm
+//! pipeline skip origin dispatch entirely.  Both analyses are conservative —
+//! over-approximating in the safe direction — because NkScript is dynamic:
+//! mentioning a name anywhere (even without calling it) counts as a possible
+//! use, and only syntactically unconditional response calls count as "always
+//! responds".
+
+use crate::ast::{Expr, FunctionLiteral, Stmt};
+
+/// True when `func` (or any function nested inside it) mentions the
+/// identifier `name` anywhere.  Conservative: a handler that never mentions
+/// `Fetch` cannot call it (NkScript has no `eval` and no computed access to
+/// the scope chain), but a mention in dead code still counts.
+pub fn function_mentions_ident(func: &FunctionLiteral, name: &str) -> bool {
+    stmts_mention(&func.body, name)
+}
+
+fn stmts_mention(body: &[Stmt], name: &str) -> bool {
+    body.iter().any(|s| stmt_mentions(s, name))
+}
+
+fn stmt_mentions(s: &Stmt, name: &str) -> bool {
+    match s {
+        Stmt::VarDecl { init, .. } => init.as_ref().is_some_and(|e| expr_mentions(e, name)),
+        Stmt::FunctionDecl { func, .. } => stmts_mention(&func.body, name),
+        Stmt::Expr(e) | Stmt::Throw(e) => expr_mentions(e, name),
+        Stmt::Return(e) => e.as_ref().is_some_and(|e| expr_mentions(e, name)),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            expr_mentions(cond, name)
+                || stmts_mention(then_branch, name)
+                || stmts_mention(else_branch, name)
+        }
+        Stmt::While { cond, body } => expr_mentions(cond, name) || stmts_mention(body, name),
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            init.as_deref().is_some_and(|s| stmt_mentions(s, name))
+                || cond.as_ref().is_some_and(|e| expr_mentions(e, name))
+                || update.as_ref().is_some_and(|e| expr_mentions(e, name))
+                || stmts_mention(body, name)
+        }
+        Stmt::ForIn { object, body, .. } => {
+            expr_mentions(object, name) || stmts_mention(body, name)
+        }
+        Stmt::Try {
+            body,
+            catch_body,
+            finally_body,
+            ..
+        } => {
+            stmts_mention(body, name)
+                || stmts_mention(catch_body, name)
+                || stmts_mention(finally_body, name)
+        }
+        Stmt::Block(body) => stmts_mention(body, name),
+        Stmt::Break | Stmt::Continue | Stmt::Empty => false,
+    }
+}
+
+fn expr_mentions(e: &Expr, name: &str) -> bool {
+    match e {
+        Expr::Ident(id) => id == name,
+        Expr::Function(f) => stmts_mention(&f.body, name),
+        Expr::Number(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Null | Expr::Undefined => false,
+        Expr::Array(items) => items.iter().any(|e| expr_mentions(e, name)),
+        Expr::Object(props) => props.iter().any(|(_, v)| expr_mentions(v, name)),
+        Expr::Unary { expr, .. }
+        | Expr::Typeof(expr)
+        | Expr::Delete(expr)
+        | Expr::Update { target: expr, .. } => expr_mentions(expr, name),
+        Expr::Binary { left, right, .. } | Expr::Logical { left, right, .. } => {
+            expr_mentions(left, name) || expr_mentions(right, name)
+        }
+        Expr::Conditional {
+            cond,
+            then,
+            otherwise,
+        } => {
+            expr_mentions(cond, name) || expr_mentions(then, name) || expr_mentions(otherwise, name)
+        }
+        Expr::Assign { target, value, .. } => {
+            expr_mentions(target, name) || expr_mentions(value, name)
+        }
+        Expr::Member { object, .. } => expr_mentions(object, name),
+        Expr::Index { object, index } => expr_mentions(object, name) || expr_mentions(index, name),
+        Expr::Call { callee, args } | Expr::New { callee, args } => {
+            expr_mentions(callee, name) || args.iter().any(|e| expr_mentions(e, name))
+        }
+    }
+}
+
+/// True when every execution of `func` syntactically reaches a
+/// `<receiver>.<method>(...)` statement-level call before returning —
+/// typically `Request.respond(...)` or `Request.terminate(...)`.  Only
+/// unconditional top-level statements count; a call under an `if` or loop
+/// does not qualify.  Used to recognise request handlers that always
+/// generate a response locally, so a warm scripted pipeline never blocks on
+/// the origin.
+pub fn function_always_calls(func: &FunctionLiteral, receiver: &str, methods: &[&str]) -> bool {
+    func.body.iter().any(|s| {
+        let Stmt::Expr(e) = s else { return false };
+        let Expr::Call { callee, .. } = e else {
+            return false;
+        };
+        let Expr::Member { object, property } = callee.as_ref() else {
+            return false;
+        };
+        matches!(object.as_ref(), Expr::Ident(id) if id == receiver)
+            && methods.contains(&property.as_str())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Program;
+    use crate::parser::parse_program;
+    use std::sync::Arc;
+
+    fn first_function(src: &str) -> Arc<FunctionLiteral> {
+        let Program { body } = parse_program(src).unwrap();
+        for stmt in body {
+            if let Stmt::FunctionDecl { func, .. } = stmt {
+                return func;
+            }
+        }
+        panic!("no function in {src:?}");
+    }
+
+    #[test]
+    fn detects_fetch_mentions_at_any_depth() {
+        let f = first_function(
+            "function h(req) { if (req.miss) { var g = function() { return Fetch(req.url); }; return g(); } }",
+        );
+        assert!(function_mentions_ident(&f, "Fetch"));
+        assert!(!function_mentions_ident(&f, "FetchInto"));
+
+        let clean = first_function("function h(req) { Request.respond(200, 'ok'); }");
+        assert!(!function_mentions_ident(&clean, "Fetch"));
+    }
+
+    #[test]
+    fn always_calls_requires_unconditional_statement() {
+        let yes = first_function("function h(req) { Request.respond(200, 'hi'); }");
+        assert!(function_always_calls(
+            &yes,
+            "Request",
+            &["respond", "terminate"]
+        ));
+
+        let conditional =
+            first_function("function h(req) { if (req.bad) { Request.respond(500, 'no'); } }");
+        assert!(!function_always_calls(
+            &conditional,
+            "Request",
+            &["respond", "terminate"]
+        ));
+
+        let wrong_receiver = first_function("function h(req) { Response.respond(200, 'hi'); }");
+        assert!(!function_always_calls(
+            &wrong_receiver,
+            "Request",
+            &["respond", "terminate"]
+        ));
+    }
+}

@@ -19,10 +19,10 @@ use std::sync::Arc;
 /// stack frames in the tree-walking interpreter; event-handler code in Na
 /// Kika is shallow by construction (the paper's largest example is a 180-line
 /// annotation library).
-const MAX_DEPTH: usize = 64;
+pub(crate) const MAX_DEPTH: usize = 64;
 
 /// How often (in steps) the interpreter polls the kill flag.
-const SAFEPOINT_INTERVAL: u64 = 256;
+pub(crate) const SAFEPOINT_INTERVAL: u64 = 256;
 
 /// Result of executing a statement: either keep going or unwind.
 enum Flow {
@@ -617,53 +617,62 @@ impl<'c> Interpreter<'c> {
     }
 
     fn binary(&mut self, op: BinaryOp, l: Value, r: Value) -> Result<Value, ScriptError> {
-        let result = match op {
-            BinaryOp::Add => match (&l, &r) {
-                (Value::Number(a), Value::Number(b)) => Value::Number(a + b),
-                _ => {
-                    if matches!(l, Value::Str(_) | Value::Object(_) | Value::Array(_))
-                        || matches!(r, Value::Str(_) | Value::Object(_) | Value::Array(_))
-                    {
-                        let s = format!("{}{}", l.to_display_string(), r.to_display_string());
-                        let v = Value::string(s);
-                        self.account_alloc(&v)?;
-                        v
-                    } else {
-                        Value::Number(l.to_number() + r.to_number())
-                    }
-                }
-            },
-            BinaryOp::Sub => Value::Number(l.to_number() - r.to_number()),
-            BinaryOp::Mul => Value::Number(l.to_number() * r.to_number()),
-            BinaryOp::Div => Value::Number(l.to_number() / r.to_number()),
-            BinaryOp::Rem => Value::Number(l.to_number() % r.to_number()),
-            BinaryOp::Eq => Value::Bool(l.loose_equals(&r)),
-            BinaryOp::NotEq => Value::Bool(!l.loose_equals(&r)),
-            BinaryOp::StrictEq => Value::Bool(l.strict_equals(&r)),
-            BinaryOp::StrictNotEq => Value::Bool(!l.strict_equals(&r)),
-            BinaryOp::Lt | BinaryOp::Gt | BinaryOp::Le | BinaryOp::Ge => {
-                let out = match (&l, &r) {
-                    (Value::Str(a), Value::Str(b)) => {
-                        compare(op, a.as_ref().cmp(b.as_ref()) as i8 as f64, 0.0)
-                    }
-                    _ => compare(op, l.to_number(), r.to_number()),
-                };
-                Value::Bool(out)
-            }
-            BinaryOp::In => {
-                let key = l.to_display_string();
-                match &r {
-                    Value::Object(o) => Value::Bool(o.read().properties.contains_key(&key)),
-                    Value::Array(a) => {
-                        let idx: Option<usize> = key.parse().ok();
-                        Value::Bool(idx.map(|i| i < a.read().len()).unwrap_or(false))
-                    }
-                    _ => Value::Bool(false),
-                }
-            }
-        };
+        let (result, needs_account) = binary_values(op, l, r);
+        if needs_account {
+            self.account_alloc(&result)?;
+        }
         Ok(result)
     }
+}
+
+/// Applies a binary operator to two values.  Shared by the tree-walking
+/// interpreter and the bytecode VM so the two engines cannot drift.  The
+/// returned flag is true when the result is a fresh heap allocation (string
+/// concatenation) that the caller must charge to its memory accounting.
+pub(crate) fn binary_values(op: BinaryOp, l: Value, r: Value) -> (Value, bool) {
+    let result = match op {
+        BinaryOp::Add => match (&l, &r) {
+            (Value::Number(a), Value::Number(b)) => Value::Number(a + b),
+            _ => {
+                if matches!(l, Value::Str(_) | Value::Object(_) | Value::Array(_))
+                    || matches!(r, Value::Str(_) | Value::Object(_) | Value::Array(_))
+                {
+                    let s = format!("{}{}", l.to_display_string(), r.to_display_string());
+                    return (Value::string(s), true);
+                }
+                Value::Number(l.to_number() + r.to_number())
+            }
+        },
+        BinaryOp::Sub => Value::Number(l.to_number() - r.to_number()),
+        BinaryOp::Mul => Value::Number(l.to_number() * r.to_number()),
+        BinaryOp::Div => Value::Number(l.to_number() / r.to_number()),
+        BinaryOp::Rem => Value::Number(l.to_number() % r.to_number()),
+        BinaryOp::Eq => Value::Bool(l.loose_equals(&r)),
+        BinaryOp::NotEq => Value::Bool(!l.loose_equals(&r)),
+        BinaryOp::StrictEq => Value::Bool(l.strict_equals(&r)),
+        BinaryOp::StrictNotEq => Value::Bool(!l.strict_equals(&r)),
+        BinaryOp::Lt | BinaryOp::Gt | BinaryOp::Le | BinaryOp::Ge => {
+            let out = match (&l, &r) {
+                (Value::Str(a), Value::Str(b)) => {
+                    compare(op, a.as_ref().cmp(b.as_ref()) as i8 as f64, 0.0)
+                }
+                _ => compare(op, l.to_number(), r.to_number()),
+            };
+            Value::Bool(out)
+        }
+        BinaryOp::In => {
+            let key = l.to_display_string();
+            match &r {
+                Value::Object(o) => Value::Bool(o.read().properties.contains_key(&key)),
+                Value::Array(a) => {
+                    let idx: Option<usize> = key.parse().ok();
+                    Value::Bool(idx.map(|i| i < a.read().len()).unwrap_or(false))
+                }
+                _ => Value::Bool(false),
+            }
+        }
+    };
+    (result, false)
 }
 
 fn compare(op: BinaryOp, a: f64, b: f64) -> bool {

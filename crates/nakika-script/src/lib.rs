@@ -30,7 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod ast;
+pub mod bytecode;
+pub mod compile;
 pub mod context;
 pub mod error;
 pub mod interp;
@@ -38,12 +41,16 @@ pub mod lexer;
 pub mod parser;
 pub mod stdlib;
 pub mod value;
+pub mod vm;
 
+pub use bytecode::CompiledProgram;
+pub use compile::compile;
 pub use context::{Context, ContextPool, ResourceMeter};
 pub use error::ScriptError;
 pub use interp::Interpreter;
 pub use parser::parse_program;
 pub use value::{NativeFn, ObjectRef, Value};
+pub use vm::Vm;
 
 /// Convenience: parse and evaluate `source` in a fresh default context,
 /// returning the value of the last expression statement.

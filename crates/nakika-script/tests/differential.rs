@@ -1,0 +1,450 @@
+//! Differential tests: the tree-walking interpreter and the bytecode VM must
+//! agree on every observable outcome — values, thrown errors, and the
+//! resource-kill error surface (fuel exhaustion, memory limits, the
+//! asynchronous kill flag).
+//!
+//! Two layers:
+//!
+//! 1. A fixed corpus of semantically tricky programs (scope edge cases,
+//!    `finally` flow precedence, double evaluation in compound member
+//!    assignment, statement-value propagation) asserted to produce *equal*
+//!    `Result<Value, ScriptError>` on both engines.
+//! 2. A property test generating random well-formed NkScript programs from a
+//!    seed and asserting outcome equality.  Generated programs funnel every
+//!    observation into a string accumulator `out` so the compared value is a
+//!    deep, order-sensitive trace of execution, not just a final scalar.
+//!
+//! Fuel *counts* are allowed to differ between the engines (per-AST-node vs
+//! per-instruction), so the generated programs use bounded loops under a
+//! generous fuel limit; resource-kill parity is asserted by dedicated tests
+//! with deterministic workloads.
+
+use nakika_script::context::DEFAULT_MEMORY_LIMIT;
+use nakika_script::{compile, parse_program, stdlib, Context, Interpreter, ScriptError, Value, Vm};
+use proptest::prelude::*;
+
+fn run_interp(src: &str, fuel: u64, memory: usize) -> Result<Value, ScriptError> {
+    let program = parse_program(src)?;
+    let ctx = Context::with_limits(fuel, memory);
+    stdlib::install(&ctx);
+    let mut interp = Interpreter::new(&ctx);
+    interp.run(&program)
+}
+
+fn run_vm(src: &str, fuel: u64, memory: usize) -> Result<Value, ScriptError> {
+    let program = parse_program(src)?;
+    let compiled = compile(&program);
+    let ctx = Context::with_limits(fuel, memory);
+    stdlib::install(&ctx);
+    let mut vm = Vm::new(&ctx);
+    vm.run(&compiled)
+}
+
+const GENEROUS_FUEL: u64 = 50_000_000;
+
+/// Collapses a run outcome to a comparable form: type tag plus display
+/// string for values (so `NaN == NaN` and structural equality applies to
+/// identical programs rather than `Arc` identity), the error itself
+/// otherwise.
+fn outcome(r: Result<Value, ScriptError>) -> Result<(String, String), ScriptError> {
+    r.map(|v| (v.type_name().to_string(), v.to_display_string()))
+}
+
+fn assert_engines_agree(src: &str) {
+    let i = outcome(run_interp(src, GENEROUS_FUEL, DEFAULT_MEMORY_LIMIT));
+    let v = outcome(run_vm(src, GENEROUS_FUEL, DEFAULT_MEMORY_LIMIT));
+    assert_eq!(i, v, "engines disagree on {src:?}");
+}
+
+#[test]
+fn fixed_corpus_agrees() {
+    let corpus: &[&str] = &[
+        // Statement values propagate through blocks, if, and try.
+        "1; 2; 3",
+        "if (true) { 42 }",
+        "if (false) { 1 } else { }",
+        "try { 'tried' } finally { 'ignored' }",
+        "var x = 9;",
+        "{ 5; }",
+        // Scope discipline: use-before-var goes to the enclosing chain.
+        "x = 1; var x; typeof x + ':' + x",
+        "function f() { x = 1; var x = 2; return x; } f(); typeof x + ':' + x",
+        "function g(a) { var b = a * 2; return b; } g(4); typeof b",
+        "var s = ''; if (true) { var inner = 'i'; s += inner; } typeof inner + ':' + s",
+        // Loops: break/continue, header scopes, per-iteration bodies.
+        "var s = 0; for (var i = 0; i < 10; i++) { if (i == 3) continue; if (i == 6) break; s += i; } s",
+        "var s = ''; for (var i = 0; i < 3; i++) { for (var j = 0; j < 3; j++) { if (j == 1) break; s += '' + i + j; } } s",
+        "var n = 0; while (n < 5) { n++; } n",
+        "var t = ''; var k; for (k in {b: 1, a: 2, c: 3}) { t += k; } t + ':' + k",
+        "var a = [10, 20, 30]; var s = 0; for (var i in a) { s += a[i]; } s",
+        "var s = ''; for (var c in 'hey') { s += c; } s",
+        "var s = ''; var i = 9; for (i = 0; i < 2; i++) { s += i; } s + ':' + i",
+        // Functions, closures, hoisting, recursion, this/arguments.
+        "var v = f(); function f() { return 9; } v",
+        "function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } fib(11)",
+        "function counter() { var n = 0; return function() { n++; return n; }; } var c = counter(); c(); c(); c()",
+        "function f() { return arguments.length + ':' + arguments[1]; } f(7, 8, 9)",
+        "var o = { n: 2, double: function() { return this.n * 2; } }; o.double()",
+        "var fs = []; for (var i = 0; i < 3; i++) { fs.push(function() { return i; }); } '' + fs[0]() + fs[2]()",
+        "function outer() { function inner() { return 'deep'; } return inner(); } outer()",
+        // Constructors.
+        "function Point(x, y) { this.x = x; this.y = y; } var p = new Point(3, 4); p.x + p.y",
+        "function T() { return [1, 2]; } var t = new T(); t.length",
+        "function U() { return 5; } var u = new U(); typeof u",
+        // Compound/member assignment evaluates the object twice, value first.
+        "var n = 0; var o = {v: 5}; function get() { n++; return o; } get().v += 2; '' + o.v + ':' + n",
+        "var n = 0; var o = {v: 5}; function get() { n++; return o; } get().v++; '' + o.v + ':' + n",
+        "var a = [3]; a[0] += 4; a[0]",
+        "var i = 5; '' + i++ + ':' + i + ':' + ++i",
+        "u++; typeof u",
+        // Delete: non-member targets are not evaluated.
+        "var o = {a: 1}; delete o.a; typeof o.a",
+        "var o = {a: 1, b: 2}; var r = delete o['a']; '' + r + (('a' in o) ? 'y' : 'n')",
+        "var n = 0; function s() { n++; return 1; } var r = delete 4; '' + r + n",
+        // try/catch/finally flow precedence.
+        "var r = ''; try { throw 'boom'; } catch (e) { r = e; } r",
+        "var r = ''; try { undeclaredFn(); } catch (e) { r = 'caught:' + e.length; } r",
+        "function f() { try { return 1; } finally { return 2; } } f()",
+        "var log = ''; function f() { try { return 'body'; } finally { log += 'fin'; } } f() + ':' + log",
+        "var log = ''; for (var i = 0; i < 3; i++) { try { if (i == 1) break; log += i; } finally { log += 'f'; } } log",
+        "var log = ''; for (var i = 0; i < 3; i++) { try { if (i == 1) continue; log += i; } finally { log += 'f'; } } log",
+        "try { 1 } finally { throw 'late'; }",
+        "try { throw 'early'; } finally { throw 'late'; }",
+        "var r = ''; try { try { throw 'x'; } finally { r += 'a'; } } catch (e) { r += 'b' + e; } r",
+        "var r = ''; try { throw 'o'; } catch (e) { throw 'p'; } finally { r += 'f'; }",
+        "throw 'unhandled'",
+        "break",
+        "function f() { continue; } f()",
+        "try { break } catch (e) { 'nope' }",
+        // Operators, coercions, short-circuits.
+        "'a' + 'b' + 1",
+        "1 + 2 + 'x'",
+        "'10' * '4' - 2",
+        "1 == '1'",
+        "1 === '1'",
+        "null == undefined",
+        "null === undefined",
+        "'b' in {a: 1, b: 2}",
+        "'1' in [9, 8]",
+        "'abc' < 'abd'",
+        "0 || 'fallback'",
+        "1 && 2",
+        "0 && explode()",
+        "'x' || explode()",
+        "1 > 2 ? 'a' : 'b'",
+        "typeof function() {}",
+        "typeof neverDeclared",
+        "!null",
+        "-'3' + +'4'",
+        // Errors.
+        "missing + 1",
+        "5()",
+        "var o = {}; o.nothing()",
+        "var a = [1]; a.frobnicate()",
+        "new 7()",
+        "3 = 4",
+        "var q = 0; q += 1, 2",
+        // Builtin methods through both call paths.
+        "var b = new ByteArray(); b.append('abc'); b.length",
+        "'hello'.toUpperCase() + '-' + 'WORLD'['toLowerCase']()",
+        "[3, 1, 2].join('/')",
+        "var a = [1, 2]; a.push(9); a[2] + ':' + a.length",
+        // The Figure-2 idiom.
+        "var i = 0; var buff; var count = 0; function read() { i++; if (i > 3) return null; return 'chunk'; } while (buff = read()) { count++; } count",
+    ];
+    for src in corpus {
+        assert_engines_agree(src);
+    }
+}
+
+#[test]
+fn fuel_exhaustion_agrees() {
+    for src in [
+        "while (true) { }",
+        "for (var i = 0; ; i++) { i; }",
+        "function f() { try { while (true) { } } catch (e) { return 'caught'; } } f()",
+    ] {
+        let i = run_interp(src, 10_000, DEFAULT_MEMORY_LIMIT);
+        let v = run_vm(src, 10_000, DEFAULT_MEMORY_LIMIT);
+        assert_eq!(i, Err(ScriptError::FuelExhausted), "interp on {src:?}");
+        assert_eq!(v, Err(ScriptError::FuelExhausted), "vm on {src:?}");
+    }
+}
+
+#[test]
+fn memory_limit_agrees() {
+    let src = "var s = 'xxxxxxxxxxxxxxxx'; while (true) { s = s + s; }";
+    for result in [
+        run_interp(src, u64::MAX / 2, 1 << 20),
+        run_vm(src, u64::MAX / 2, 1 << 20),
+    ] {
+        assert!(
+            matches!(result, Err(ScriptError::MemoryExceeded { .. })),
+            "expected memory kill, got {result:?}"
+        );
+    }
+}
+
+#[test]
+fn kill_flag_abort_agrees() {
+    let src = "var n = 0; while (true) { n++; }";
+    let program = parse_program(src).unwrap();
+
+    let ctx = Context::new();
+    stdlib::install(&ctx);
+    ctx.meter.kill();
+    let mut interp = Interpreter::new(&ctx);
+    assert_eq!(interp.run(&program), Err(ScriptError::Terminated));
+
+    let compiled = compile(&program);
+    let ctx = Context::new();
+    stdlib::install(&ctx);
+    ctx.meter.kill();
+    let mut vm = Vm::new(&ctx);
+    assert_eq!(vm.run(&compiled), Err(ScriptError::Terminated));
+}
+
+// ---------------------------------------------------------------------------
+// Random program generation.
+// ---------------------------------------------------------------------------
+
+/// Splitmix64: deterministic program shapes from a proptest-supplied seed.
+struct Gen {
+    state: u64,
+    /// Top-level variables guaranteed declared before the current point.
+    vars: Vec<String>,
+    /// Declared function names (arity 2).
+    funcs: Vec<String>,
+    counter: usize,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            vars: Vec::new(),
+            funcs: Vec::new(),
+            counter: 0,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}{}", self.counter)
+    }
+
+    /// A side-effect-free expression over declared variables.
+    fn expr(&mut self, depth: usize) -> String {
+        if depth == 0 || self.below(3) == 0 {
+            return match self.below(5) {
+                0 => format!("{}", self.below(100)),
+                1 => format!("'s{}'", self.below(10)),
+                2 if !self.vars.is_empty() => {
+                    let i = self.below(self.vars.len());
+                    self.vars[i].clone()
+                }
+                3 => ["true", "false", "null", "undefined"][self.below(4)].to_string(),
+                _ => format!("{}", self.below(10)),
+            };
+        }
+        match self.below(7) {
+            0 => {
+                let (l, r) = (self.expr(depth - 1), self.expr(depth - 1));
+                let op = ["+", "-", "*", "%"][self.below(4)];
+                format!("({l} {op} {r})")
+            }
+            1 => {
+                let (l, r) = (self.expr(depth - 1), self.expr(depth - 1));
+                let op = ["<", ">", "<=", ">=", "==", "===", "!=", "!=="][self.below(8)];
+                format!("({l} {op} {r})")
+            }
+            2 => {
+                let (l, r) = (self.expr(depth - 1), self.expr(depth - 1));
+                let op = ["&&", "||"][self.below(2)];
+                format!("({l} {op} {r})")
+            }
+            3 => {
+                let (c, t, e) = (
+                    self.expr(depth - 1),
+                    self.expr(depth - 1),
+                    self.expr(depth - 1),
+                );
+                format!("({c} ? {t} : {e})")
+            }
+            4 => {
+                let inner = self.expr(depth - 1);
+                let op = ["-", "+", "!", "typeof "][self.below(4)];
+                format!("({op}{inner})")
+            }
+            5 if !self.funcs.is_empty() => {
+                let i = self.below(self.funcs.len());
+                let f = self.funcs[i].clone();
+                let (a, b) = (self.expr(depth - 1), self.expr(depth - 1));
+                format!("{f}({a}, {b})")
+            }
+            _ => {
+                let (a, b) = (self.expr(depth - 1), self.expr(depth - 1));
+                format!("('' + {a} + {b})")
+            }
+        }
+    }
+
+    /// One statement appended to `src`; every observable effect is traced
+    /// into `out`.
+    fn stmt(&mut self, src: &mut String, depth: usize) {
+        match self.below(if depth > 0 { 10 } else { 4 }) {
+            0 => {
+                let name = self.fresh("v");
+                let init = self.expr(2);
+                src.push_str(&format!("var {name} = {init};\n"));
+                self.vars.push(name);
+            }
+            1 if !self.vars.is_empty() => {
+                let i = self.below(self.vars.len());
+                let target = self.vars[i].clone();
+                let value = self.expr(2);
+                let op = ["=", "+=", "-=", "*="][self.below(4)];
+                src.push_str(&format!("{target} {op} {value};\n"));
+            }
+            2 if !self.vars.is_empty() => {
+                let i = self.below(self.vars.len());
+                let target = self.vars[i].clone();
+                let form = ["++", "--"][self.below(2)];
+                if self.below(2) == 0 {
+                    src.push_str(&format!("{target}{form};\n"));
+                } else {
+                    src.push_str(&format!("{form}{target};\n"));
+                }
+            }
+            3 => {
+                let e = self.expr(3);
+                src.push_str(&format!("out += '|' + {e};\n"));
+            }
+            4 => {
+                let cond = self.expr(2);
+                src.push_str(&format!("if ({cond}) {{\n"));
+                self.stmt(src, depth - 1);
+                if self.below(2) == 0 {
+                    src.push_str("} else {\n");
+                    self.stmt(src, depth - 1);
+                }
+                src.push_str("}\n");
+            }
+            5 => {
+                let i = self.fresh("i");
+                let bound = 2 + self.below(4);
+                src.push_str(&format!(
+                    "for (var {i} = 0; {i} < {bound}; {i}++) {{\nout += ':' + {i};\n"
+                ));
+                if self.below(3) == 0 {
+                    src.push_str(&format!("if ({i} == 1) continue;\n"));
+                }
+                if self.below(3) == 0 {
+                    src.push_str(&format!("if ({i} == 2) break;\n"));
+                }
+                self.stmt(src, depth - 1);
+                src.push_str("}\n");
+            }
+            6 => {
+                let w = self.fresh("w");
+                let bound = 1 + self.below(4);
+                src.push_str(&format!(
+                    "var {w} = 0;\nwhile ({w} < {bound}) {{\n{w}++;\nout += '.' + {w};\n"
+                ));
+                self.stmt(src, depth - 1);
+                src.push_str("}\n");
+                self.vars.push(w);
+            }
+            7 => {
+                let o = self.fresh("o");
+                let (a, b) = (self.expr(2), self.expr(2));
+                let k = self.fresh("k");
+                src.push_str(&format!(
+                    "var {o} = {{a: {a}, b: {b}}};\n\
+                     {o}.a = {o}.a + 1;\n\
+                     for (var {k} in {o}) {{ out += ';' + {k} + '=' + {o}[{k}]; }}\n"
+                ));
+            }
+            8 => {
+                let f = self.fresh("f");
+                let ret = self.expr(2);
+                let body_obs = self.expr(2);
+                src.push_str(&format!(
+                    "function {f}(a, b) {{\n\
+                     var local = a + b;\n\
+                     if (local > 10) {{ return 'big:' + local; }}\n\
+                     out += '#' + {body_obs};\n\
+                     return local + ({ret} === undefined ? 0 : 0);\n\
+                     }}\n"
+                ));
+                self.funcs.push(f.clone());
+                let (x, y) = (self.expr(1), self.expr(1));
+                src.push_str(&format!("out += '!' + {f}({x}, {y});\n"));
+            }
+            _ => {
+                let thrown = self.expr(1);
+                let guard = self.expr(2);
+                src.push_str(&format!(
+                    "try {{\nif ({guard}) {{ throw {thrown}; }}\nout += 'T';\n"
+                ));
+                self.stmt(src, depth.saturating_sub(1));
+                src.push_str("} catch (e) {\nout += 'C' + e;\n} finally {\nout += 'F';\n}\n");
+            }
+        }
+    }
+
+    fn program(&mut self, stmts: usize) -> String {
+        let mut src = String::from("var out = '';\n");
+        self.vars.push("out".to_string());
+        for _ in 0..stmts {
+            self.stmt(&mut src, 2);
+        }
+        src.push_str("out");
+        src
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn generated_programs_agree(seed in any::<u64>()) {
+        let src = Gen::new(seed).program(8);
+        let i = outcome(run_interp(&src, GENEROUS_FUEL, DEFAULT_MEMORY_LIMIT));
+        let v = outcome(run_vm(&src, GENEROUS_FUEL, DEFAULT_MEMORY_LIMIT));
+        prop_assert_eq!(i, v, "engines disagree on generated program:\n{}", src);
+    }
+
+    #[test]
+    fn generated_programs_agree_under_tight_fuel(seed in any::<u64>()) {
+        // Fuel counts legitimately differ between engines; under a tight
+        // limit the engines must either agree on the outcome or at least one
+        // must die with a resource kill.
+        let src = Gen::new(seed).program(6);
+        let i = run_interp(&src, 2_000, DEFAULT_MEMORY_LIMIT);
+        let v = run_vm(&src, 2_000, DEFAULT_MEMORY_LIMIT);
+        let resource_kill = |r: &Result<Value, ScriptError>| {
+            matches!(r, Err(e) if e.is_resource_kill())
+        };
+        if !resource_kill(&i) && !resource_kill(&v) {
+            prop_assert_eq!(
+                outcome(i),
+                outcome(v),
+                "engines disagree under tight fuel:\n{}",
+                src
+            );
+        }
+    }
+}

@@ -4,9 +4,9 @@
 Usage: compare_bench.py BASELINE CURRENT [--threshold PCT]
 
 Scenarios are matched by (name, transport) — currently cold-cache,
-warm-keepalive, warm-close, warm-concurrent, bench_stream, bench_mixed
-and bench_peer on threaded and reactor (docs/BENCHMARKING.md describes
-each).  A scenario
+warm-keepalive, warm-close, warm-concurrent, bench_stream, bench_mixed,
+bench_peer, bench_scripted and bench_scripted_interp on threaded and
+reactor (docs/BENCHMARKING.md describes each).  A scenario
 present in the baseline but slower in the current run by more than the
 threshold (default 25%) fails the check; new scenarios (no baseline) and
 removed ones only inform.  CI wires this against the previous successful
