@@ -7,10 +7,12 @@
 //! proxy path and records it in `BENCH_proxy.json`, so the performance
 //! trajectory of the transport stack is tracked PR over PR.
 
+use nakika_bench::hostile::{format_hostile_report, run_hostile_suite, HostileKnobs};
 use nakika_bench::{
     bench_proxy_suite, format_proxy_suite, format_resource_controls, format_simm, format_spec,
     format_table2,
 };
+use nakika_server::Transport;
 use nakika_sim::experiments;
 
 fn main() {
@@ -139,5 +141,39 @@ fn main() {
             }
         }
         Err(e) => eprintln!("proxy throughput bench failed: {e}"),
+    }
+
+    println!("\n== hostile workloads: flash crowd, slow-loris/flood barrage, keep-alive soak ==");
+    println!("(the survival numbers: polite p99 under active attack, attacker evictions,");
+    println!(" and thousands of simultaneous keep-alive sessions with zero drops;");
+    println!(" NAKIKA_SOAK_CONNS overrides the soak size)\n");
+    let mut knobs = if quick {
+        HostileKnobs::quick()
+    } else {
+        HostileKnobs::full()
+    };
+    if let Some(conns) = std::env::var("NAKIKA_SOAK_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        knobs.soak_connections = conns;
+    }
+    for transport in [Transport::Threaded, Transport::Reactor] {
+        match run_hostile_suite(transport, knobs) {
+            Ok(report) => {
+                print!("{}", format_hostile_report(&report));
+                if report.soak.dropped > 0 {
+                    eprintln!(
+                        "HOSTILE REGRESSION: {} polite soak connections dropped on {:?}",
+                        report.soak.dropped, transport
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("hostile suite failed on {transport:?}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

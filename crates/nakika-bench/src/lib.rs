@@ -8,7 +8,10 @@
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod hist;
+pub mod hostile;
 
+use hist::LatencyRecorder;
 use nakika_core::service::{service_fn, NakikaError};
 use nakika_core::{scripts, NodeBuilder, ScriptEngine};
 use nakika_http::{Request, Response};
@@ -35,6 +38,37 @@ pub struct ProxyBenchScenario {
     pub elapsed_secs: f64,
     /// Throughput in requests per second.
     pub requests_per_sec: f64,
+    /// Median per-request latency, in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile per-request latency, in microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile per-request latency, in microseconds.  Only
+    /// meaningful once a scenario records >= 1000 samples; below that it
+    /// degenerates to the maximum observed latency.
+    pub p999_us: u64,
+}
+
+/// Builds the scenario record from the measured run and its histogram.
+fn scenario_result(
+    name: &str,
+    transport: Transport,
+    requests: usize,
+    concurrency: usize,
+    elapsed_secs: f64,
+    hist: &LatencyRecorder,
+) -> ProxyBenchScenario {
+    let (p50_us, p99_us, p999_us) = hist.summary_us();
+    ProxyBenchScenario {
+        name: name.to_string(),
+        transport: transport_name(transport),
+        requests,
+        concurrency,
+        elapsed_secs,
+        requests_per_sec: requests as f64 / elapsed_secs,
+        p50_us,
+        p99_us,
+        p999_us,
+    }
 }
 
 /// The full multi-scenario result set recorded in `BENCH_proxy.json`.
@@ -53,13 +87,17 @@ impl ProxyBenchSuite {
         for (i, s) in self.scenarios.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"transport\": \"{}\", \"requests\": {}, \
-                 \"concurrency\": {}, \"elapsed_secs\": {:.6}, \"requests_per_sec\": {:.2}}}{}\n",
+                 \"concurrency\": {}, \"elapsed_secs\": {:.6}, \"requests_per_sec\": {:.2}, \
+                 \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}}}{}\n",
                 s.name,
                 s.transport,
                 s.requests,
                 s.concurrency,
                 s.elapsed_secs,
                 s.requests_per_sec,
+                s.p50_us,
+                s.p99_us,
+                s.p999_us,
                 if i + 1 < self.scenarios.len() {
                     ","
                 } else {
@@ -87,12 +125,22 @@ impl ProxyBenchSuite {
 /// Formats the suite as an aligned text table for the job log, one line per
 /// scenario, so CI shows the per-scenario trajectory without parsing JSON.
 pub fn format_proxy_suite(suite: &ProxyBenchSuite) -> String {
-    let mut out =
-        String::from("Scenario          Transport   Requests  Conns   Elapsed (s)  Requests/sec\n");
+    let mut out = String::from(
+        "Scenario          Transport   Requests  Conns   Elapsed (s)  Requests/sec  \
+         p50 (us)  p99 (us)  p999 (us)\n",
+    );
     for s in &suite.scenarios {
         out.push_str(&format!(
-            "{:<17} {:<11} {:>8} {:>6} {:>12.3} {:>13.0}\n",
-            s.name, s.transport, s.requests, s.concurrency, s.elapsed_secs, s.requests_per_sec
+            "{:<17} {:<11} {:>8} {:>6} {:>12.3} {:>13.0} {:>9} {:>9} {:>10}\n",
+            s.name,
+            s.transport,
+            s.requests,
+            s.concurrency,
+            s.elapsed_secs,
+            s.requests_per_sec,
+            s.p50_us,
+            s.p99_us,
+            s.p999_us
         ));
     }
     out
@@ -144,14 +192,17 @@ fn stand_up(
 /// Runs `work` against a fresh [`stand_up`] deployment and times it;
 /// returns the measured scenario.  `body_bytes` sizes the origin's
 /// responses (the classic scenarios use the paper's 2,096-byte page;
-/// `bench_stream` uses 1 MiB).
+/// `bench_stream` uses 1 MiB).  `work` records every request's latency
+/// into the supplied [`LatencyRecorder`]; the recorder is shared, so
+/// concurrent scenarios hand the same `&LatencyRecorder` to every
+/// client thread.
 fn run_scenario(
     name: &str,
     transport: Transport,
     requests: usize,
     concurrency: usize,
     body_bytes: usize,
-    work: impl FnOnce(&ProxyServer, &str) -> Result<(), NakikaError>,
+    work: impl FnOnce(&ProxyServer, &str, &LatencyRecorder) -> Result<(), NakikaError>,
 ) -> Result<ProxyBenchScenario, NakikaError> {
     let (origin, proxy) = stand_up(
         service_fn(move |_req: Request, _ctx| {
@@ -160,17 +211,30 @@ fn run_scenario(
         }),
         transport,
     )?;
+    let hist = LatencyRecorder::new();
     let start = Instant::now();
-    work(&proxy, &origin.base_url())?;
+    work(&proxy, &origin.base_url(), &hist)?;
     let elapsed_secs = start.elapsed().as_secs_f64().max(1e-9);
-    Ok(ProxyBenchScenario {
-        name: name.to_string(),
-        transport: transport_name(transport),
+    Ok(scenario_result(
+        name,
+        transport,
         requests,
         concurrency,
         elapsed_secs,
-        requests_per_sec: requests as f64 / elapsed_secs,
-    })
+        &hist,
+    ))
+}
+
+/// Issues one keep-alive GET and records its latency.
+fn timed_get(
+    client: &mut ProxyClient,
+    url: &str,
+    hist: &LatencyRecorder,
+) -> Result<Response, NakikaError> {
+    let t = Instant::now();
+    let response = client.get(url)?;
+    hist.record(t.elapsed());
+    Ok(response)
 }
 
 /// Measures `bench_mixed` on one transport: `concurrency` warm keep-alive
@@ -209,6 +273,7 @@ fn run_mixed_scenario(
 
     let per_client = (warm_requests / concurrency).max(8);
     let total = per_client * concurrency;
+    let hist = Arc::new(LatencyRecorder::new());
     let stop = Arc::new(AtomicBool::new(false));
     let cold_client = {
         let stop = stop.clone();
@@ -229,10 +294,11 @@ fn run_mixed_scenario(
         .map(|_| {
             let url = hot_url.clone();
             let addr = proxy.addr();
+            let hist = hist.clone();
             std::thread::spawn(move || -> Result<(), NakikaError> {
                 let mut client = ProxyClient::connect(addr)?;
                 for _ in 0..per_client {
-                    client.get(&url)?;
+                    timed_get(&mut client, &url, &hist)?;
                 }
                 Ok(())
             })
@@ -249,14 +315,14 @@ fn run_mixed_scenario(
         .join()
         .map_err(|_| NakikaError::Internal("mixed cold client panicked".into()))??;
 
-    Ok(ProxyBenchScenario {
-        name: "bench_mixed".to_string(),
-        transport: transport_name(transport),
-        requests: total,
+    Ok(scenario_result(
+        "bench_mixed",
+        transport,
+        total,
         concurrency,
         elapsed_secs,
-        requests_per_sec: total as f64 / elapsed_secs,
-    })
+        &hist,
+    ))
 }
 
 /// Measures `bench_peer` on one transport: two cooperating edge nodes over
@@ -285,15 +351,18 @@ fn run_peer_scenario(
     // all of them live in A's cache (were B already joined, keys B owns
     // would be forwarded to — and cached on — B during the warm-up).
     let base = origin.base_url();
-    let keys = (requests / 4).max(8);
+    // Half the suite's scaling knob: peer-answered misses are cheap
+    // enough that percentiles need a real sample count to mean anything.
+    let keys = (requests / 2).max(8);
     for i in 0..keys {
         http_get_via_proxy(node_a.server.addr(), &format!("{base}/peer/{i}.html"))?;
     }
     let node_b = cluster::start_local_node("bench-peer-b", &overlay, transport, None)?;
+    let hist = LatencyRecorder::new();
     let start = Instant::now();
     let mut client = ProxyClient::connect(node_b.server.addr())?;
     for i in 0..keys {
-        client.get(&format!("{base}/peer/{i}.html"))?;
+        timed_get(&mut client, &format!("{base}/peer/{i}.html"), &hist)?;
     }
     let elapsed_secs = start.elapsed().as_secs_f64().max(1e-9);
     let stats = node_b.handle.node().stats();
@@ -303,14 +372,14 @@ fn run_peer_scenario(
             stats.peer_hits, stats.peer_misses
         )));
     }
-    Ok(ProxyBenchScenario {
-        name: "bench_peer".to_string(),
-        transport: transport_name(transport),
-        requests: keys,
-        concurrency: 1,
+    Ok(scenario_result(
+        "bench_peer",
+        transport,
+        keys,
+        1,
         elapsed_secs,
-        requests_per_sec: keys as f64 / elapsed_secs,
-    })
+        &hist,
+    ))
 }
 
 /// Measures `bench_scripted` on one transport: a fully scripted edge node
@@ -377,10 +446,11 @@ p.register();
     // Warm-up: compiles the two walls and the site stage, caches the page.
     http_get_via_proxy(proxy.addr(), &url)?;
     let compiles_after_warmup = edge.node().cache_stats().script_compiles;
+    let hist = LatencyRecorder::new();
     let start = Instant::now();
     let mut client = ProxyClient::connect(proxy.addr())?;
     for _ in 0..requests {
-        let response = client.get(&url)?;
+        let response = timed_get(&mut client, &url, &hist)?;
         if response.headers.get("x-script-work").is_none() {
             return Err(NakikaError::Internal(
                 "bench_scripted response missing the handler's header".into(),
@@ -395,14 +465,14 @@ p.register();
              ({compiles_after_warmup} compiles after warm-up, {compiles} after the run)"
         )));
     }
-    Ok(ProxyBenchScenario {
-        name: name.to_string(),
-        transport: transport_name(transport),
+    Ok(scenario_result(
+        name,
+        transport,
         requests,
-        concurrency: 1,
+        1,
         elapsed_secs,
-        requests_per_sec: requests as f64 / elapsed_secs,
-    })
+        &hist,
+    ))
 }
 
 /// Measures the proxy-path scenario suite on both transports:
@@ -449,10 +519,10 @@ pub fn bench_proxy_suite(
             cold,
             1,
             2096,
-            |proxy, base| {
+            |proxy, base, hist| {
                 let mut client = ProxyClient::connect(proxy.addr())?;
                 for i in 0..cold {
-                    client.get(&format!("{base}/cold/{i}.html"))?;
+                    timed_get(&mut client, &format!("{base}/cold/{i}.html"), hist)?;
                 }
                 Ok(())
             },
@@ -464,14 +534,14 @@ pub fn bench_proxy_suite(
             requests,
             1,
             2096,
-            |proxy, base| {
+            |proxy, base, hist| {
                 let url = format!("{base}/hot.html");
                 let mut client = ProxyClient::connect(proxy.addr())?;
                 // The first request warms the cache; it is counted, and at
                 // these request counts its contribution is noise.
-                client.get(&url)?;
+                timed_get(&mut client, &url, hist)?;
                 for _ in 1..requests {
-                    client.get(&url)?;
+                    timed_get(&mut client, &url, hist)?;
                 }
                 Ok(())
             },
@@ -484,10 +554,12 @@ pub fn bench_proxy_suite(
             close_requests,
             1,
             2096,
-            |proxy, base| {
+            |proxy, base, hist| {
                 let url = format!("{base}/hot.html");
                 for _ in 0..close_requests {
+                    let t = Instant::now();
                     http_get_via_proxy(proxy.addr(), &url)?;
+                    hist.record(t.elapsed());
                 }
                 Ok(())
             },
@@ -501,29 +573,35 @@ pub fn bench_proxy_suite(
             total,
             concurrency,
             2096,
-            |proxy, base| {
+            |proxy, base, hist| {
                 let url = format!("{base}/hot.html");
                 // Warm the cache before the clients pile in.
                 http_get_via_proxy(proxy.addr(), &url)?;
-                let workers: Vec<_> = (0..concurrency)
-                    .map(|_| {
-                        let url = url.clone();
-                        let addr = proxy.addr();
-                        std::thread::spawn(move || -> Result<(), NakikaError> {
-                            let mut client = ProxyClient::connect(addr)?;
-                            for _ in 0..per_client {
-                                client.get(&url)?;
-                            }
-                            Ok(())
+                std::thread::scope(|scope| {
+                    let workers: Vec<_> = (0..concurrency)
+                        .map(|_| {
+                            let url = url.clone();
+                            let addr = proxy.addr();
+                            // Per-thread recorders merged at join time, so
+                            // this scenario also exercises the merge path.
+                            scope.spawn(move || -> Result<LatencyRecorder, NakikaError> {
+                                let local = LatencyRecorder::new();
+                                let mut client = ProxyClient::connect(addr)?;
+                                for _ in 0..per_client {
+                                    timed_get(&mut client, &url, &local)?;
+                                }
+                                Ok(local)
+                            })
                         })
-                    })
-                    .collect();
-                for worker in workers {
-                    worker
-                        .join()
-                        .map_err(|_| NakikaError::Internal("bench client panicked".into()))??;
-                }
-                Ok(())
+                        .collect();
+                    for worker in workers {
+                        let local = worker
+                            .join()
+                            .map_err(|_| NakikaError::Internal("bench client panicked".into()))??;
+                        hist.merge(&local);
+                    }
+                    Ok(())
+                })
             },
         )?);
 
@@ -531,20 +609,23 @@ pub fn bench_proxy_suite(
         // connection — the scenario the streaming `Body` redesign targets.
         // Throughput here is dominated by how many times the stack copies
         // (or used to double-buffer) a large response.
-        let stream_requests = (requests / 8).max(8);
+        // A quarter (not an eighth) of the scaling knob: 30 one-MiB
+        // transfers left the percentiles hostage to a single scheduler
+        // hiccup; see docs/BENCHMARKING.md on the noise floor.
+        let stream_requests = (requests / 4).max(8);
         suite.scenarios.push(run_scenario(
             "bench_stream",
             transport,
             stream_requests,
             1,
             STREAM_SCENARIO_BODY_BYTES,
-            |proxy, base| {
+            |proxy, base, hist| {
                 let url = format!("{base}/stream.bin");
                 let mut client = ProxyClient::connect(proxy.addr())?;
                 // Warm the cache (the first fetch tees the streamed body in).
-                client.get(&url)?;
+                timed_get(&mut client, &url, hist)?;
                 for _ in 1..stream_requests {
-                    let response = client.get(&url)?;
+                    let response = timed_get(&mut client, &url, hist)?;
                     if response.body.len() != STREAM_SCENARIO_BODY_BYTES {
                         return Err(NakikaError::Internal(format!(
                             "short stream body: {}",
@@ -572,7 +653,9 @@ pub fn bench_proxy_suite(
         // bench_scripted: the warm scripted pipeline under both script
         // engines — the VM-vs-interpreter ratio is the headline number of
         // the bytecode compiler.
-        let scripted_requests = (requests / 4).max(8);
+        // Half (not a quarter) of the scaling knob, for the same
+        // percentile-stability reason as bench_stream.
+        let scripted_requests = (requests / 2).max(8);
         suite.scenarios.push(run_scripted_scenario(
             "bench_scripted",
             transport,

@@ -65,7 +65,9 @@ pub mod vocab;
 
 pub use builder::{NodeBuilder, NodeHandle, NodeService};
 pub use cache::{CacheStats, ProxyCache};
-pub use middleware::{AccessLogLayer, AdmissionLayer, IntegrityLayer, RedirectLayer};
+pub use middleware::{
+    AccessLogLayer, AdmissionLayer, IntegrityLayer, RateLimitLayer, RedirectLayer,
+};
 pub use node::{NaKikaNode, NodeConfig, NodeMode, OriginFetch};
 pub use pipeline::{PipelineOutcome, PipelineRunner};
 pub use policy::{Matcher, Policy, PolicySet};

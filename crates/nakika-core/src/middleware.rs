@@ -11,7 +11,9 @@ use nakika_integrity::{verify_response, SigningKey};
 use nakika_overlay::{Location, NodeId, Overlay};
 use nakika_state::{AccessLog, LogEntry};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -163,6 +165,117 @@ impl HttpService for Admitted {
             (request_bytes + response.body.len()) as f64,
         );
         Ok(response)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-client rate limiting
+// ---------------------------------------------------------------------------
+
+/// A token-bucket rate limiter keyed by client IP: each client refills
+/// `rate_per_sec` tokens per second up to a `burst` ceiling, and every
+/// request spends one.  An empty bucket rejects with
+/// [`NakikaError::RateLimited`], which the transport seam maps to `429 Too
+/// Many Requests` — distinct from the congestion controller's per-*site*
+/// 503s ([`AdmissionLayer`]); this layer defends against a single hostile
+/// *client* flooding the node.
+///
+/// Time comes from [`RequestCtx::arrival_secs`], so the layer is driven by
+/// whatever [`Clock`](crate::service::Clock) the transport installed
+/// (deterministic under a
+/// [`ManualClock`](crate::service::ManualClock)).  The layer is cheap to
+/// clone and clones share one bucket table, so callers can keep a handle
+/// for the [`rejections`](RateLimitLayer::rejections) counter after
+/// handing the layer to a
+/// [`NodeBuilder`](crate::builder::NodeBuilder::layer).
+#[derive(Clone)]
+pub struct RateLimitLayer {
+    rate_per_sec: u64,
+    burst: u64,
+    state: Arc<RateLimitState>,
+}
+
+#[derive(Default)]
+struct RateLimitState {
+    buckets: Mutex<HashMap<IpAddr, TokenBucket>>,
+    rejected: AtomicU64,
+}
+
+struct TokenBucket {
+    tokens: u64,
+    last_secs: u64,
+}
+
+impl RateLimitLayer {
+    /// A limiter admitting `rate_per_sec` sustained requests per second
+    /// per client, with bursts up to `burst` (both clamped to ≥ 1).
+    pub fn new(rate_per_sec: u64, burst: u64) -> RateLimitLayer {
+        RateLimitLayer {
+            rate_per_sec: rate_per_sec.max(1),
+            burst: burst.max(1),
+            state: Arc::new(RateLimitState::default()),
+        }
+    }
+
+    /// Requests rejected over the limiter's lifetime — the
+    /// `rejected_rate_limited` counter of the survival instrumentation.
+    pub fn rejections(&self) -> u64 {
+        self.state.rejected.load(Ordering::Relaxed)
+    }
+
+    fn admit(&self, client: IpAddr, now_secs: u64) -> bool {
+        let mut buckets = self.state.buckets.lock();
+        let bucket = buckets.entry(client).or_insert(TokenBucket {
+            tokens: self.burst,
+            last_secs: now_secs,
+        });
+        // A coarse clock can step backwards across ctx snapshots; treat
+        // that as zero elapsed time rather than underflowing.
+        let elapsed = now_secs.saturating_sub(bucket.last_secs);
+        bucket.tokens = bucket
+            .tokens
+            .saturating_add(elapsed.saturating_mul(self.rate_per_sec))
+            .min(self.burst);
+        bucket.last_secs = bucket.last_secs.max(now_secs);
+        if bucket.tokens == 0 {
+            self.state.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        bucket.tokens -= 1;
+        true
+    }
+}
+
+impl Layer for RateLimitLayer {
+    fn wrap(&self, inner: Arc<dyn HttpService>) -> Arc<dyn HttpService> {
+        Arc::new(RateLimited {
+            inner,
+            limiter: self.clone(),
+        })
+    }
+
+    /// The token check reads no bodies.
+    fn requires_full_body(&self) -> bool {
+        false
+    }
+}
+
+struct RateLimited {
+    inner: Arc<dyn HttpService>,
+    limiter: RateLimitLayer,
+}
+
+impl HttpService for RateLimited {
+    fn call(&self, req: Request, ctx: &RequestCtx) -> Result<Response, NakikaError> {
+        let client = if req.client_ip.is_unspecified() {
+            ctx.client_ip
+        } else {
+            req.client_ip
+        };
+        if !self.limiter.admit(client, ctx.arrival_secs) {
+            return Err(NakikaError::RateLimited { client });
+        }
+        self.inner.call(req, ctx)
     }
 }
 
@@ -389,6 +502,45 @@ mod tests {
             }
             other => panic!("expected a typed admission rejection, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn rate_limit_layer_spends_refills_and_isolates_clients() {
+        let limiter = RateLimitLayer::new(2, 3);
+        let stack = limiter.clone().wrap(ok_service());
+        let hog: IpAddr = "10.0.0.1".parse().unwrap();
+        let polite: IpAddr = "10.0.0.2".parse().unwrap();
+
+        // The burst allows 3 immediate requests; the 4th in the same
+        // second is rejected with the typed 429 mapping.
+        let ctx = RequestCtx::at(100).with_client_ip(hog);
+        for _ in 0..3 {
+            assert!(stack.call(Request::get("http://s.example/a"), &ctx).is_ok());
+        }
+        match stack.call(Request::get("http://s.example/a"), &ctx) {
+            Err(error @ NakikaError::RateLimited { client }) => {
+                assert_eq!(client, hog);
+                assert_eq!(error.status(), StatusCode::TOO_MANY_REQUESTS);
+                assert_eq!(error.to_response().status.as_u16(), 429);
+            }
+            other => panic!("expected a rate-limit rejection, got {other:?}"),
+        }
+        assert_eq!(limiter.rejections(), 1);
+
+        // A different client is untouched by the hog's empty bucket.
+        let ctx = RequestCtx::at(100).with_client_ip(polite);
+        assert!(stack.call(Request::get("http://s.example/b"), &ctx).is_ok());
+
+        // Two seconds later the hog has earned 2 * rate tokens back.
+        let ctx = RequestCtx::at(102).with_client_ip(hog);
+        for _ in 0..4 {
+            let _ = stack.call(Request::get("http://s.example/a"), &ctx);
+        }
+        assert_eq!(
+            limiter.rejections(),
+            2,
+            "4 tokens earned back? only 2/sec * 2s should refill"
+        );
     }
 
     #[test]

@@ -155,6 +155,14 @@ pub enum NakikaError {
         /// Site whose pipelines were terminated.
         site: String,
     },
+    /// The client exceeded its request-rate budget
+    /// ([`RateLimitLayer`](crate::middleware::RateLimitLayer)); maps to
+    /// 429 so well-behaved clients know to back off while throttled
+    /// *sites* keep their distinct 503.
+    RateLimited {
+        /// The client that ran out of tokens.
+        client: std::net::IpAddr,
+    },
     /// An upstream fetch (origin server or peer node) failed.
     Upstream {
         /// URL of the fetch that failed.
@@ -181,6 +189,7 @@ impl NakikaError {
         match self {
             NakikaError::Throttled { .. } => "throttled",
             NakikaError::Terminated { .. } => "terminated",
+            NakikaError::RateLimited { .. } => "rate-limited",
             NakikaError::Upstream { .. } => "upstream",
             NakikaError::Integrity { .. } => "integrity",
             NakikaError::Http(_) => "http",
@@ -194,6 +203,7 @@ impl NakikaError {
             NakikaError::Throttled { .. } | NakikaError::Terminated { .. } => {
                 StatusCode::SERVICE_UNAVAILABLE
             }
+            NakikaError::RateLimited { .. } => StatusCode::TOO_MANY_REQUESTS,
             NakikaError::Upstream { .. } | NakikaError::Integrity { .. } => StatusCode::BAD_GATEWAY,
             NakikaError::Http(_) => StatusCode::BAD_REQUEST,
             NakikaError::Internal(_) => StatusCode::INTERNAL_SERVER_ERROR,
@@ -216,6 +226,9 @@ impl std::fmt::Display for NakikaError {
             NakikaError::Throttled { site } => write!(f, "server busy: {site} is throttled"),
             NakikaError::Terminated { site } => {
                 write!(f, "server busy: pipelines of {site} were terminated")
+            }
+            NakikaError::RateLimited { client } => {
+                write!(f, "too many requests: {client} exceeded its rate budget")
             }
             NakikaError::Upstream { url, reason } => {
                 write!(f, "upstream fetch of {url} failed: {reason}")

@@ -29,6 +29,13 @@ pub enum HttpError {
         /// Limit in bytes that was exceeded.
         limit: usize,
     },
+    /// The header block exceeded the configured byte or count limit.
+    /// Distinct from [`HttpError::BodyTooLarge`] so servers can answer
+    /// 431 (header flood) rather than 413 (oversized payload).
+    HeadersTooLarge {
+        /// Limit (bytes or header count, per context) that was exceeded.
+        limit: usize,
+    },
     /// The input ended before a complete message was available.
     Incomplete,
     /// A CIDR block or address pattern was malformed.
@@ -49,6 +56,9 @@ impl fmt::Display for HttpError {
             HttpError::MalformedChunk(s) => write!(f, "malformed chunk: {s}"),
             HttpError::InvalidContentLength(s) => write!(f, "invalid content length: {s}"),
             HttpError::BodyTooLarge { limit } => write!(f, "body exceeds limit of {limit} bytes"),
+            HttpError::HeadersTooLarge { limit } => {
+                write!(f, "headers exceed limit of {limit}")
+            }
             HttpError::Incomplete => write!(f, "incomplete message"),
             HttpError::InvalidPattern(s) => write!(f, "invalid pattern: {s}"),
             HttpError::Io(s) => write!(f, "i/o error: {s}"),

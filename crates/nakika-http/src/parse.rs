@@ -21,6 +21,11 @@ pub const MAX_HEADER_BYTES: usize = 64 * 1024;
 /// Default maximum body size accepted by the parser (64 MiB).
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 
+/// Maximum number of header fields accepted per message.  Header floods
+/// (endless short `X-Flood-N: x` lines) stay under [`MAX_HEADER_BYTES`]
+/// for a long time; the count cap rejects them after one parse attempt.
+pub const MAX_HEADER_COUNT: usize = 128;
+
 /// Outcome of a parse attempt.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseOutcome<T> {
@@ -185,7 +190,7 @@ fn find_head(input: &[u8]) -> Result<Option<usize>> {
     if let Some(pos) = window_find(&input[..limit], b"\r\n\r\n") {
         Ok(Some(pos))
     } else if input.len() > MAX_HEADER_BYTES {
-        Err(HttpError::BodyTooLarge {
+        Err(HttpError::HeadersTooLarge {
             limit: MAX_HEADER_BYTES,
         })
     } else {
@@ -210,9 +215,16 @@ fn parse_version(v: &str) -> Result<bool> {
 
 fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers> {
     let mut headers = Headers::new();
+    let mut count = 0usize;
     for line in lines {
         if line.is_empty() {
             continue;
+        }
+        count += 1;
+        if count > MAX_HEADER_COUNT {
+            return Err(HttpError::HeadersTooLarge {
+                limit: MAX_HEADER_COUNT,
+            });
         }
         let idx = line
             .find(':')
@@ -456,7 +468,7 @@ impl ChunkedDecoder {
                     let Some(nl) = input[pos..].iter().position(|&b| b == b'\n') else {
                         self.pending.extend_from_slice(&input[pos..]);
                         if self.pending.len() > MAX_HEADER_BYTES {
-                            return Err(HttpError::BodyTooLarge {
+                            return Err(HttpError::HeadersTooLarge {
                                 limit: MAX_HEADER_BYTES,
                             });
                         }
@@ -574,8 +586,28 @@ mod tests {
         raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + 10));
         assert!(matches!(
             parse_request(&raw),
-            Err(HttpError::BodyTooLarge { .. })
+            Err(HttpError::HeadersTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn header_count_limit() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..MAX_HEADER_COUNT + 1 {
+            raw.extend(format!("X-Flood-{i}: x\r\n").into_bytes());
+        }
+        raw.extend(b"\r\n");
+        assert!(matches!(
+            parse_request(&raw),
+            Err(HttpError::HeadersTooLarge { .. })
+        ));
+        // One under the cap still parses.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..MAX_HEADER_COUNT - 1 {
+            raw.extend(format!("X-Ok-{i}: x\r\n").into_bytes());
+        }
+        raw.extend(b"\r\n");
+        assert!(parse_request(&raw).is_ok());
     }
 
     #[test]

@@ -30,8 +30,14 @@ impl StatusCode {
     pub const FORBIDDEN: StatusCode = StatusCode(403);
     /// 404 Not Found
     pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 408 Request Timeout — the connection idled past its deadline.
+    pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
     /// 413 Payload Too Large
     pub const PAYLOAD_TOO_LARGE: StatusCode = StatusCode(413);
+    /// 429 Too Many Requests — emitted by `RateLimitLayer`.
+    pub const TOO_MANY_REQUESTS: StatusCode = StatusCode(429);
+    /// 431 Request Header Fields Too Large — header count/size cap tripped.
+    pub const REQUEST_HEADER_FIELDS_TOO_LARGE: StatusCode = StatusCode(431);
     /// 500 Internal Server Error
     pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
     /// 502 Bad Gateway
@@ -118,6 +124,7 @@ impl StatusCode {
             413 => "Payload Too Large",
             414 => "URI Too Long",
             429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             501 => "Not Implemented",
             502 => "Bad Gateway",

@@ -70,7 +70,8 @@
 use crate::{CtxFactory, HttpService};
 use nakika_core::service::DispatchHint;
 use nakika_http::{
-    parse_request, Body, ParseOutcome, Response, ResponseWriter, StatusCode, STREAM_CHUNK_BYTES,
+    parse_request, Body, HttpError, ParseOutcome, Response, ResponseWriter, StatusCode,
+    STREAM_CHUNK_BYTES,
 };
 use std::collections::VecDeque;
 use std::io;
@@ -213,6 +214,11 @@ pub(crate) struct HttpConn {
     /// Response whose body is being buffered off-engine before activation
     /// (the HTTP/1.0 unknown-length path).
     pending_activation: Option<Response>,
+    /// Complete requests parsed over the connection's lifetime.  Transports
+    /// re-arm their per-connection deadline when this advances: buffered
+    /// bytes that never become a request (slow-loris drip) do not count as
+    /// progress, so the connection is evicted at the deadline.
+    requests_parsed: u64,
     gauge: Arc<OutputGauge>,
 }
 
@@ -234,6 +240,7 @@ impl HttpConn {
             pending_call: None,
             pending_pull: false,
             pending_activation: None,
+            requests_parsed: 0,
             gauge,
         }
     }
@@ -288,17 +295,26 @@ impl HttpConn {
                         }
                         break;
                     }
-                    Err(_) => {
+                    Err(error) => {
                         // The stream is unrecoverable past a parse error:
-                        // answer 400 and close without looking at later
+                        // answer with the most specific status (431 for
+                        // header floods, 413 for oversized payloads, 400
+                        // otherwise) and close without looking at later
                         // bytes.
-                        self.queued
-                            .push_back(Response::error(StatusCode::BAD_REQUEST));
+                        let status = match error {
+                            HttpError::HeadersTooLarge { .. } => {
+                                StatusCode::REQUEST_HEADER_FIELDS_TOO_LARGE
+                            }
+                            HttpError::BodyTooLarge { .. } => StatusCode::PAYLOAD_TOO_LARGE,
+                            _ => StatusCode::BAD_REQUEST,
+                        };
+                        self.queued.push_back(Response::error(status));
                         self.open = false;
                         break;
                     }
                 };
                 self.inbuf.drain(..consumed);
+                self.requests_parsed += 1;
                 request.client_ip = self.peer;
                 let keep_alive = request.headers.keep_alive(request.version_11);
                 let ctx = ctx_factory.make(self.peer);
@@ -527,6 +543,21 @@ impl HttpConn {
     /// flushes.
     pub fn is_open(&self) -> bool {
         self.open
+    }
+
+    /// Number of complete requests parsed so far.  Deadline-driven
+    /// transports treat an advance of this counter as proof of protocol
+    /// progress; see the field doc on `requests_parsed`.
+    pub fn requests_parsed(&self) -> u64 {
+        self.requests_parsed
+    }
+
+    /// True when no response bytes are in flight on the wire: nothing
+    /// mid-emission, nothing queued, nothing buffered unsent.  At such a
+    /// boundary a transport evicting the connection can still write a
+    /// framing-safe courtesy response (408).
+    pub fn at_response_boundary(&self) -> bool {
+        self.active.is_none() && self.queued.is_empty() && !self.has_unsent_output()
     }
 
     /// True while an offloaded unit of [`Work`] is outstanding.

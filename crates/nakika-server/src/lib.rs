@@ -41,6 +41,7 @@
 mod conn;
 mod reactor;
 mod sys;
+mod timer;
 
 pub use conn::OUTPUT_WINDOW_BYTES;
 pub use reactor::{ReactorConfig, ReactorServer};
@@ -60,10 +61,10 @@ use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// The real transports' [`Clock`]: seconds since the Unix epoch.
 pub struct WallClock;
@@ -76,6 +77,103 @@ impl Clock for WallClock {
             .unwrap_or(0)
     }
 }
+
+/// Hostile-traffic survival knobs shared by both transports: how long a
+/// connection may sit without protocol progress, and how many connections
+/// the server holds at once.  See `docs/ARCHITECTURE.md`, "Surviving
+/// hostile traffic".
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Per-connection deadline in milliseconds.  A connection that makes
+    /// no protocol progress — no complete request parsed, no pending
+    /// output drained — for this long is evicted (counted in
+    /// [`ServerStats::timeouts`]; a 408 is sent when the connection is at
+    /// a request boundary).  Raw bytes are *not* progress: a slow-loris
+    /// client dripping header bytes is evicted all the same.  `0` (the
+    /// default) means [`DEFAULT_IDLE_TIMEOUT_MS`].
+    pub idle_timeout_ms: u64,
+    /// Hard cap on concurrently open client connections.  Arrivals past
+    /// the cap are answered with a canned `503` and closed immediately
+    /// (counted in [`ServerStats::rejected_over_cap`]).  `0` (the
+    /// default) means unlimited.
+    pub max_connections: usize,
+}
+
+/// Default per-connection progress deadline (30 s), generous enough for
+/// polite keep-alive reuse and origin stalls, short enough to reclaim
+/// slab slots and threads from abandoned or adversarial peers.
+pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 30_000;
+
+impl ServerOptions {
+    pub(crate) fn resolved_idle_timeout_ms(&self) -> u64 {
+        if self.idle_timeout_ms > 0 {
+            self.idle_timeout_ms
+        } else {
+            DEFAULT_IDLE_TIMEOUT_MS
+        }
+    }
+}
+
+/// Survival counters for one server, in the same always-on spirit as
+/// [`CacheStats`](nakika_core::CacheStats): cheap atomics bumped on the
+/// serving paths, snapshot by accessor.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    timeouts: AtomicU64,
+    rejected_over_cap: AtomicU64,
+    open_connections: AtomicUsize,
+}
+
+impl ServerStats {
+    /// Connections evicted by the idle/progress deadline.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused because [`ServerOptions::max_connections`] was
+    /// reached.
+    pub fn rejected_over_cap(&self) -> u64 {
+        self.rejected_over_cap.load(Ordering::Relaxed)
+    }
+
+    /// Client connections currently open.
+    pub fn open_connections(&self) -> usize {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_over_cap(&self) {
+        self.rejected_over_cap.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Claims a connection slot; `false` (and a bumped rejection counter)
+    /// when the cap is already reached.  `cap == 0` means unlimited.
+    pub(crate) fn try_open(&self, cap: usize) -> bool {
+        let open = self.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        if cap > 0 && open > cap {
+            self.open_connections.fetch_sub(1, Ordering::Relaxed);
+            self.note_over_cap();
+            return false;
+        }
+        true
+    }
+
+    pub(crate) fn close_connection(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The canned response written to connections refused over the cap; kept
+/// static so the rejection path allocates nothing.
+pub(crate) const OVER_CAP_RESPONSE: &[u8] =
+    b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+
+/// The canned response for a connection evicted at a request boundary.
+pub(crate) const TIMEOUT_RESPONSE: &[u8] =
+    b"HTTP/1.1 408 Request Timeout\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
 
 /// Which connection-handling strategy a front-end server uses.
 ///
@@ -101,6 +199,7 @@ enum ServerImpl {
         shutdown: Arc<AtomicBool>,
         acceptor: Option<JoinHandle<()>>,
         gauge: Arc<OutputGauge>,
+        stats: Arc<ServerStats>,
     },
     // Held for its Drop (which joins the reactor threads) and its gauge.
     Reactor {
@@ -123,11 +222,22 @@ impl HttpServer {
         HttpServer::start_with(port, service, Transport::Threaded)
     }
 
-    /// Starts a server using the given [`Transport`].
+    /// Starts a server using the given [`Transport`] with default
+    /// [`ServerOptions`].
     pub fn start_with(
         port: u16,
         service: Arc<dyn HttpService>,
         transport: Transport,
+    ) -> std::io::Result<HttpServer> {
+        HttpServer::start_with_options(port, service, transport, ServerOptions::default())
+    }
+
+    /// Starts a server using the given [`Transport`] and survival knobs.
+    pub fn start_with_options(
+        port: u16,
+        service: Arc<dyn HttpService>,
+        transport: Transport,
+        options: ServerOptions,
     ) -> std::io::Result<HttpServer> {
         match transport {
             Transport::Threaded => {
@@ -138,19 +248,36 @@ impl HttpServer {
                 let ctx_factory = Arc::new(CtxFactory::new(Arc::new(WallClock)));
                 let gauge = Arc::new(OutputGauge::default());
                 let conn_gauge = gauge.clone();
+                let stats = Arc::new(ServerStats::default());
+                let accept_stats = stats.clone();
                 // The accept loop blocks — no polling.  Drop wakes it with a
                 // bare connect so the flag check below runs one last time.
                 let acceptor = std::thread::spawn(move || {
-                    while let Ok((stream, peer)) = listener.accept() {
+                    while let Ok((mut stream, peer)) = listener.accept() {
                         if shutdown_flag.load(Ordering::Relaxed) {
                             break;
+                        }
+                        if !accept_stats.try_open(options.max_connections) {
+                            // Over the cap: a canned 503 and an immediate
+                            // close, without spending a thread on the peer.
+                            let _ = stream.write_all(OVER_CAP_RESPONSE);
+                            continue;
                         }
                         let service = service.clone();
                         let ctx_factory = ctx_factory.clone();
                         let gauge = conn_gauge.clone();
+                        let stats = accept_stats.clone();
                         std::thread::spawn(move || {
-                            let _ =
-                                serve_connection(stream, peer.ip(), &*service, &ctx_factory, gauge);
+                            let _ = serve_connection(
+                                stream,
+                                peer.ip(),
+                                &*service,
+                                &ctx_factory,
+                                gauge,
+                                &stats,
+                                options,
+                            );
+                            stats.close_connection();
                         });
                     }
                 });
@@ -161,11 +288,19 @@ impl HttpServer {
                         shutdown,
                         acceptor: Some(acceptor),
                         gauge,
+                        stats,
                     },
                 })
             }
             Transport::Reactor => {
-                let server = ReactorServer::start(port, service)?;
+                let server = ReactorServer::start_with_config(
+                    port,
+                    service,
+                    ReactorConfig {
+                        options,
+                        ..ReactorConfig::default()
+                    },
+                )?;
                 Ok(HttpServer {
                     addr: server.addr(),
                     transport,
@@ -199,6 +334,15 @@ impl HttpServer {
         match &self.imp {
             ServerImpl::Threaded { gauge, .. } => gauge.peak(),
             ServerImpl::Reactor { server } => server.peak_buffered_output(),
+        }
+    }
+
+    /// This server's survival counters (deadline evictions, over-cap
+    /// rejections, open connections).
+    pub fn stats(&self) -> &ServerStats {
+        match &self.imp {
+            ServerImpl::Threaded { stats, .. } => stats,
+            ServerImpl::Reactor { server } => server.stats(),
         }
     }
 }
@@ -248,6 +392,18 @@ impl ProxyServer {
         })
     }
 
+    /// Starts the proxy using the given [`Transport`] and survival knobs.
+    pub fn start_with_options(
+        port: u16,
+        service: Arc<dyn HttpService>,
+        transport: Transport,
+        options: ServerOptions,
+    ) -> std::io::Result<ProxyServer> {
+        Ok(ProxyServer {
+            inner: HttpServer::start_with_options(port, service, transport, options)?,
+        })
+    }
+
     /// The address the proxy listens on.
     pub fn addr(&self) -> SocketAddr {
         self.inner.addr()
@@ -262,6 +418,11 @@ impl ProxyServer {
     /// [`HttpServer::peak_buffered_output`].
     pub fn peak_buffered_output(&self) -> usize {
         self.inner.peak_buffered_output()
+    }
+
+    /// This proxy's survival counters — see [`HttpServer::stats`].
+    pub fn stats(&self) -> &ServerStats {
+        self.inner.stats()
     }
 }
 
@@ -928,31 +1089,87 @@ impl Drop for WorkerPool {
 /// [`HttpConn`] engine the reactor uses (in its inline mode: service calls
 /// and body pulls block this thread, and only this thread): read, feed,
 /// dispatch, flush, repeat until a request (or error) closes the session.
+///
+/// Survival discipline: the loop enforces the same *progress* deadline as
+/// the reactor's timer wheel, via the socket timeouts (`SO_RCVTIMEO` /
+/// `SO_SNDTIMEO`).  The deadline re-arms when a complete request parses
+/// or a response flushes — never on raw bytes — so a slow-loris client
+/// dripping header bytes is evicted when its request fails to complete in
+/// time, and a slow-read client stalling the response write is evicted by
+/// the send timeout.
 fn serve_connection(
     mut stream: TcpStream,
     peer: IpAddr,
     service: &dyn HttpService,
     ctx_factory: &CtxFactory,
     gauge: Arc<OutputGauge>,
+    stats: &ServerStats,
+    options: ServerOptions,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let idle = Duration::from_millis(options.resolved_idle_timeout_ms());
+    stream.set_write_timeout(Some(idle))?;
     let mut conn = HttpConn::new(peer, gauge);
     let mut chunk = [0u8; 8192];
+    let mut deadline = Instant::now() + idle;
+    let mut parsed = 0u64;
     loop {
         conn.dispatch(service, ctx_factory);
+        if conn.requests_parsed() > parsed {
+            parsed = conn.requests_parsed();
+            deadline = Instant::now() + idle;
+        }
+        let mut flushed = false;
         while conn.wants_write() {
-            let n = stream.write(conn.pending_output())?;
-            if n == 0 {
-                return Ok(());
+            match stream.write(conn.pending_output()) {
+                Ok(0) => return Ok(()),
+                Ok(n) => {
+                    conn.advance_output(n);
+                    flushed = true;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // SO_SNDTIMEO expired: the peer held the response
+                    // hostage (slow read) for a whole deadline.
+                    stats.note_timeout();
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
             }
-            conn.advance_output(n);
+        }
+        if flushed {
+            // A drained response is protocol progress.
+            deadline = Instant::now() + idle;
         }
         if !conn.is_open() {
             return Ok(());
         }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            stats.note_timeout();
+            // Inline mode flushes whole responses above, so the stream is
+            // always at a response boundary here: a 408 cannot corrupt
+            // any in-flight framing.
+            let _ = stream.write_all(TIMEOUT_RESPONSE);
+            return Ok(());
+        }
+        stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(()),
             Ok(n) => conn.feed(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                stats.note_timeout();
+                let _ = stream.write_all(TIMEOUT_RESPONSE);
+                return Ok(());
+            }
             Err(_) => return Ok(()),
         }
     }

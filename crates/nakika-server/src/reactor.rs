@@ -58,16 +58,29 @@
 
 use crate::conn::{Done, HttpConn, OutputGauge, Work};
 use crate::sys::{Interest, PollEvent, Poller};
-use crate::{CtxFactory, HttpService, WallClock, WorkerPool};
+use crate::timer::{TimerVerdict, TimerWheel};
+use crate::{
+    CtxFactory, HttpService, ServerOptions, ServerStats, WallClock, WorkerPool, OVER_CAP_RESPONSE,
+    TIMEOUT_RESPONSE,
+};
 use parking_lot::Mutex;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Token reserved for the wake socket; connections use their slab index.
 const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Timer-wheel granularity.  Deadlines fire within one tick of their due
+/// time; 10 ms is far below any sane idle timeout.
+const WHEEL_TICK_MS: u64 = 10;
+
+/// Timer-wheel slot count: one rotation covers ~5 s, and longer deadlines
+/// are lazily re-filed as the sweep reaches them.
+const WHEEL_SLOTS: usize = 512;
 
 /// Sizing knobs for the reactor transport
 /// ([`Transport::Reactor`](crate::Transport)).
@@ -79,7 +92,7 @@ const WAKE_TOKEN: u64 = u64::MAX;
 /// let auto = ReactorConfig::default();
 /// // Pin them — e.g. one event loop and a deep pool for an
 /// // origin-latency-bound deployment:
-/// let pinned = ReactorConfig { reactors: 1, workers: 16 };
+/// let pinned = ReactorConfig { reactors: 1, workers: 16, ..ReactorConfig::default() };
 /// # let _ = (auto, pinned);
 /// ```
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +110,11 @@ pub struct ReactorConfig {
     /// to overlap, not toward client concurrency — warm hits never enter
     /// the pool.
     pub workers: usize,
+    /// Survival knobs shared with the threaded transport: the
+    /// per-connection progress deadline (enforced here by the reactor's
+    /// timer wheel) and the server-wide connection cap (enforced at the
+    /// acceptor).
+    pub options: ServerOptions,
 }
 
 impl ReactorConfig {
@@ -194,6 +212,14 @@ struct Conn {
     /// ignored direction would spin the loop).
     registered: bool,
     gen: u64,
+    /// Authoritative progress deadline, in reactor-epoch milliseconds.
+    /// Re-armed on protocol progress only (request parsed, output
+    /// drained) — never on raw bytes, so slow-loris drips do not extend
+    /// it.  The wheel holds one lazy entry per connection and re-files it
+    /// against this field.
+    deadline_ms: u64,
+    /// `engine.requests_parsed()` as of the last progress check.
+    parsed: u64,
 }
 
 /// The per-thread reactor: poller, connection slab, service stack, and a
@@ -208,10 +234,22 @@ struct Reactor {
     wake_rx: TcpStream,
     pool: Arc<WorkerPool>,
     gauge: Arc<OutputGauge>,
+    stats: Arc<ServerStats>,
     next_gen: u64,
+    /// Per-connection progress deadlines; also the source of the poll
+    /// timeout, so deadlines fire even when no event and no wakeup ever
+    /// arrives (the whole point — see `timer.rs`).
+    wheel: TimerWheel,
+    idle_ms: u64,
+    /// Zero point for this reactor's millisecond clock.
+    epoch: Instant,
 }
 
 impl Reactor {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
     fn run(mut self) {
         use std::os::unix::io::AsRawFd;
         if self
@@ -223,7 +261,14 @@ impl Reactor {
         }
         let mut events: Vec<PollEvent> = Vec::new();
         loop {
-            if self.poller.wait(&mut events, -1).is_err() {
+            // Sleep until I/O, a wakeup, or the earliest possible deadline
+            // — never forever while a deadline is armed.
+            let timeout_ms = self
+                .wheel
+                .next_deadline_ms(self.now_ms())
+                .map(|ms| ms.min(i32::MAX as u64) as i32)
+                .unwrap_or(-1);
+            if self.poller.wait(&mut events, timeout_ms).is_err() {
                 return;
             }
             for &event in &events {
@@ -237,6 +282,54 @@ impl Reactor {
                 } else {
                     self.drive(event.token as usize, event.readable, event.writable);
                 }
+            }
+            self.sweep_deadlines();
+        }
+    }
+
+    /// Sweeps the timer wheel, evicting every connection whose
+    /// authoritative deadline has passed.  Entries for connections that
+    /// made progress since they were filed (or that are waiting on
+    /// offloaded origin work — the server's own slowness must not evict
+    /// the client) are re-filed instead.
+    fn sweep_deadlines(&mut self) {
+        let now = self.now_ms();
+        let idle = self.idle_ms;
+        let slab = &self.slab;
+        let fired = self.wheel.expire(now, |entry| {
+            let Some(conn) = slab.get(entry.idx).and_then(Option::as_ref) else {
+                return TimerVerdict::Drop;
+            };
+            if conn.gen != entry.gen {
+                return TimerVerdict::Drop;
+            }
+            if conn.engine.has_pending_work() {
+                return TimerVerdict::Refile(now + idle);
+            }
+            if conn.deadline_ms <= now {
+                TimerVerdict::Fire
+            } else {
+                TimerVerdict::Refile(conn.deadline_ms)
+            }
+        });
+        for entry in fired {
+            let boundary = self
+                .slab
+                .get_mut(entry.idx)
+                .and_then(Option::as_mut)
+                .filter(|conn| conn.gen == entry.gen)
+                .map(|conn| {
+                    let at_boundary = conn.engine.at_response_boundary();
+                    if at_boundary {
+                        // Best-effort courtesy 408; framing-safe because
+                        // nothing of a response is in flight.
+                        let _ = conn.stream.write(TIMEOUT_RESPONSE);
+                    }
+                    at_boundary
+                });
+            if boundary.is_some() {
+                self.stats.note_timeout();
+                self.close(entry.idx);
             }
         }
     }
@@ -263,16 +356,23 @@ impl Reactor {
                 .is_err()
             {
                 self.free.push(idx);
+                self.stats.close_connection();
                 continue; // dropping the stream closes it
             }
             self.next_gen += 1;
+            let deadline_ms = self.now_ms() + self.idle_ms;
             self.slab[idx] = Some(Conn {
                 stream,
                 engine: HttpConn::offloading(peer, self.gauge.clone()),
                 interest: Interest::READ,
                 registered: true,
                 gen: self.next_gen,
+                deadline_ms,
+                parsed: 0,
             });
+            // One wheel entry per connection for its whole lifetime; the
+            // sweep re-files it against `deadline_ms` as progress happens.
+            self.wheel.insert(idx, self.next_gen, deadline_ms);
         }
     }
 
@@ -354,6 +454,11 @@ impl Reactor {
     /// thing the connection is waiting on.
     fn progress(&mut self, idx: usize) {
         use std::os::unix::io::AsRawFd;
+        let had_output = self
+            .slab
+            .get(idx)
+            .and_then(Option::as_ref)
+            .is_some_and(|conn| conn.engine.has_unsent_output());
         loop {
             // Generate: parse, inline-dispatch, pump; ship may-block work.
             loop {
@@ -401,12 +506,22 @@ impl Reactor {
                 break;
             }
         }
+        let now = self.now_ms();
+        let idle = self.idle_ms;
         let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else {
             return;
         };
         if conn.engine.done() {
             self.close(idx);
             return;
+        }
+        // Progress check: a newly parsed request or a fully drained output
+        // re-arms the deadline.  Raw bytes deliberately do not.
+        let parsed_now = conn.engine.requests_parsed();
+        let drained = had_output && !conn.engine.has_unsent_output();
+        if parsed_now != conn.parsed || drained {
+            conn.parsed = parsed_now;
+            conn.deadline_ms = now + idle;
         }
         let wanted = Interest {
             readable: conn.engine.wants_read(),
@@ -443,6 +558,7 @@ impl Reactor {
             if conn.registered {
                 let _ = self.poller.remove(conn.stream.as_raw_fd());
             }
+            self.stats.close_connection();
             self.free.push(idx);
             // conn drops here, closing the socket.  Any work still in
             // flight for it completes harmlessly: the generation check in
@@ -472,6 +588,7 @@ pub struct ReactorServer {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<(Arc<Injector>, Option<JoinHandle<()>>)>,
     gauge: Arc<OutputGauge>,
+    stats: Arc<ServerStats>,
     // Held only for its Drop: declared after the reactor handles, so the
     // offload workers are joined only once every reactor thread — which
     // shares the pool — has been joined by Drop above.
@@ -497,7 +614,10 @@ impl ReactorServer {
         let addr = listener.local_addr()?;
         let ctx_factory = Arc::new(CtxFactory::new(Arc::new(WallClock)));
         let gauge = Arc::new(OutputGauge::default());
+        let stats = Arc::new(ServerStats::default());
         let pool = Arc::new(WorkerPool::new(config.resolved_workers()));
+        let idle_ms = config.options.resolved_idle_timeout_ms();
+        let max_connections = config.options.max_connections;
 
         // Create every fallible resource (wake pairs, epoll fds) before
         // spawning any thread: a mid-loop failure (fd exhaustion) must not
@@ -511,6 +631,7 @@ impl ReactorServer {
                 shutdown: AtomicBool::new(false),
                 wake_tx,
             });
+            let epoch = Instant::now();
             reactors.push(Reactor {
                 poller: Poller::new()?,
                 slab: Vec::new(),
@@ -521,7 +642,11 @@ impl ReactorServer {
                 wake_rx,
                 pool: pool.clone(),
                 gauge: gauge.clone(),
+                stats: stats.clone(),
                 next_gen: 0,
+                wheel: TimerWheel::new(WHEEL_TICK_MS, WHEEL_SLOTS, 0),
+                idle_ms,
+                epoch,
             });
         }
         let mut workers = Vec::with_capacity(reactor_count);
@@ -537,13 +662,21 @@ impl ReactorServer {
         let shutdown_flag = shutdown.clone();
         // Same accept discipline as the threaded server: block in accept,
         // let Drop wake it with a bare connect so the flag check runs.
+        let accept_stats = stats.clone();
         let acceptor = std::thread::spawn(move || {
             let mut next = 0usize;
-            while let Ok((stream, peer)) = listener.accept() {
+            while let Ok((mut stream, peer)) = listener.accept() {
                 if shutdown_flag.load(Ordering::Relaxed) {
                     break;
                 }
+                if !accept_stats.try_open(max_connections) {
+                    // Over the cap: canned 503, immediate close, no slab
+                    // slot spent on the peer.
+                    let _ = stream.write_all(OVER_CAP_RESPONSE);
+                    continue;
+                }
                 if stream.set_nonblocking(true).is_err() {
+                    accept_stats.close_connection();
                     continue;
                 }
                 let _ = stream.set_nodelay(true);
@@ -558,6 +691,7 @@ impl ReactorServer {
             acceptor: Some(acceptor),
             workers,
             gauge,
+            stats,
             _pool: pool,
         })
     }
@@ -577,6 +711,12 @@ impl ReactorServer {
     /// [`HttpServer::peak_buffered_output`](crate::HttpServer::peak_buffered_output).
     pub fn peak_buffered_output(&self) -> usize {
         self.gauge.peak()
+    }
+
+    /// This server's survival counters (deadline evictions, over-cap
+    /// rejections, open connections).
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
     }
 }
 
@@ -777,6 +917,7 @@ mod tests {
             ReactorConfig {
                 reactors: 1,
                 workers: 2,
+                ..ReactorConfig::default()
             },
         )
         .unwrap();

@@ -89,6 +89,7 @@ fn slow_cold_origin_does_not_stall_warm_reactor_clients() {
         ReactorConfig {
             reactors: 1,
             workers: 4,
+            ..ReactorConfig::default()
         },
     )
     .unwrap();
