@@ -24,7 +24,7 @@
 use nakika_core::service::{DispatchHint, HttpService, NakikaError, RequestCtx};
 use nakika_core::{NodeBuilder, NodeHandle};
 use nakika_http::{Request, Response};
-use nakika_overlay::{key_for, Location, Overlay};
+use nakika_overlay::{key_for, Location, Membership, MembershipConfig, Overlay};
 use nakika_server::{http_get_via_proxy, ProxyServer, TcpOrigin, Transport};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -76,11 +76,12 @@ impl HttpService for ClusterService {
 
 /// Renders the counters served at [`STATS_PATH`]: the node's request
 /// counters plus the cache shard totals, one `key value` pair per line
-/// (the `node` line carries the node's name instead of a number).
+/// (the `node` line carries the node's name instead of a number).  Nodes
+/// running gossip membership append their `gossip_*` counters.
 pub fn stats_text(handle: &NodeHandle, name: &str) -> String {
     let stats = handle.node().stats();
     let cache = handle.node().cache_stats();
-    format!(
+    let mut text = format!(
         "node {name}\n\
          requests {}\n\
          cache_hits {}\n\
@@ -90,6 +91,7 @@ pub fn stats_text(handle: &NodeHandle, name: &str) -> String {
          peer_misses {}\n\
          origin_fetches {}\n\
          replication_pushes {}\n\
+         owner_redirects {}\n\
          script_compiles {}\n\
          script_cache_hits {}\n",
         stats.requests,
@@ -100,9 +102,22 @@ pub fn stats_text(handle: &NodeHandle, name: &str) -> String {
         stats.peer_misses,
         stats.origin_fetches,
         stats.replication_pushes,
+        stats.owner_redirects,
         cache.script_compiles,
         cache.script_cache_hits,
-    )
+    );
+    if let Some(membership) = handle.membership() {
+        let gossip = membership.stats();
+        text.push_str(&format!(
+            "gossip_alive {}\n\
+             gossip_suspect {}\n\
+             gossip_faulty {}\n\
+             gossip_probes {}\n\
+             gossip_roster_version {}\n",
+            gossip.alive, gossip.suspect, gossip.faulty, gossip.probes_sent, gossip.roster_version,
+        ));
+    }
+    text
 }
 
 /// Parses a [`STATS_PATH`] response body back into a counter map.
@@ -187,33 +202,69 @@ pub fn start_local_node(
     })
 }
 
+/// The `edge-node --help` text.  Printed verbatim; the deprecation note on
+/// the `PEERS` handshake is part of the operator contract.
+pub const NODE_USAGE: &str = "\
+usage: edge-node NAME [flags]
+
+One cooperative edge node.  Serves client traffic, the gossip membership
+exchange (/__nakika/gossip) and its counters (/__nakika/stats) on one port,
+and exits cleanly when stdin reaches EOF.
+
+flags:
+  --port P                 listen port (0 = ephemeral, the default)
+  --transport T            threaded | reactor (default reactor)
+  --replicate N            hot-entry replication onto N successors (0 = off)
+  --threshold T            local hits before an entry counts as hot
+  --join URL               gossip seed to bootstrap the roster from; repeat
+                           for multiple seeds.  One seed is enough: the
+                           roster converges through the gossip exchange.
+  --probe-interval-ms MS   gossip probe interval (default 250)
+  --suspect-timeout-ms MS  unrefuted suspicion before faulty (default 1000)
+  --redirect-to-owner      answer cacheable requests owned by another live
+                           member with a 307 to that member instead of
+                           relaying (counted as owner_redirects in stats)
+
+The node always prints `READY <name> <base-url>` on stdout once listening.
+DEPRECATED: the static stdio roster handshake (parent writes
+`PEERS <name>=<url>,...`, node answers `JOINED`) is still honoured as a
+compatibility path, but it neither detects failures nor admits new members;
+use --join, which subsumes it.
+";
+
 /// Runs one cluster node as a child process until stdin closes.
 ///
-/// `args` is the argument list after the program name:
+/// `args` is the argument list after the program name; see [`NODE_USAGE`]
+/// for the flags.  The node prints `READY <name> <base-url>` once it is
+/// listening and serves until stdin reaches EOF, then exits cleanly.
 ///
-/// ```text
-/// NAME [--port P] [--transport threaded|reactor] [--replicate N] [--threshold T]
-/// ```
-///
-/// The child speaks a line protocol on stdio so a parent can wire up a
-/// cluster without fixed ports:
-///
-/// 1. child prints `READY <name> <base-url>` once it is listening;
-/// 2. parent writes `PEERS <name>=<url>,<name>=<url>,...` (the full
-///    roster, the child's own entry included);
-/// 3. child joins every peer into its membership view and prints
-///    `JOINED`;
-/// 4. child serves until stdin reaches EOF, then exits cleanly.
+/// Membership is learned over gossip from the `--join` seeds.  The legacy
+/// static handshake — parent writes `PEERS <name>=<url>,...` on stdin, the
+/// node answers `JOINED` — still works as a deprecated compatibility path:
+/// the roster entries are fed into the same membership machinery (as
+/// `introduce`d alive members), so gossip and failure detection pick them
+/// up from there.
 ///
 /// Returns an error string suitable for printing to stderr.
 pub fn node_main<I: IntoIterator<Item = String>>(args: I) -> Result<(), String> {
     let mut args = args.into_iter();
-    let name = args.next().ok_or("usage: edge-node NAME [--port P] ...")?;
+    let name = args.next().ok_or(NODE_USAGE)?;
+    if name == "--help" || name == "-h" {
+        print!("{NODE_USAGE}");
+        return Ok(());
+    }
     let mut port = 0u16;
     let mut transport = Transport::Reactor;
     let mut replicate = 0usize;
     let mut threshold = 2u32;
+    let mut joins: Vec<String> = Vec::new();
+    let mut gossip_config = MembershipConfig::default();
+    let mut redirect_to_owner = false;
     while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{NODE_USAGE}");
+            return Ok(());
+        }
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
             "--port" => port = value()?.parse().map_err(|e| format!("--port: {e}"))?,
@@ -230,6 +281,18 @@ pub fn node_main<I: IntoIterator<Item = String>>(args: I) -> Result<(), String> 
             "--threshold" => {
                 threshold = value()?.parse().map_err(|e| format!("--threshold: {e}"))?
             }
+            "--join" => joins.push(value()?),
+            "--redirect-to-owner" => redirect_to_owner = true,
+            "--probe-interval-ms" => {
+                gossip_config.probe_interval_ms = value()?
+                    .parse()
+                    .map_err(|e| format!("--probe-interval-ms: {e}"))?
+            }
+            "--suspect-timeout-ms" => {
+                gossip_config.suspect_timeout_ms = value()?
+                    .parse()
+                    .map_err(|e| format!("--suspect-timeout-ms: {e}"))?
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -237,11 +300,16 @@ pub fn node_main<I: IntoIterator<Item = String>>(args: I) -> Result<(), String> 
     let overlay = Arc::new(Overlay::with_defaults());
     let id = key_for(&name);
     overlay.join(id, Location::new(0.0, 0.0));
+    let membership = Arc::new(Membership::new(&name, gossip_config));
     let mut builder = NodeBuilder::proxy_with_dht(&name)
         .overlay(Arc::clone(&overlay), id)
+        .gossip(Arc::clone(&membership))
         .origin(Arc::new(TcpOrigin::new()));
     if replicate > 0 {
         builder = builder.replicate_hot(replicate, threshold);
+    }
+    if redirect_to_owner {
+        builder = builder.redirect_to_owner();
     }
     let handle = Arc::new(builder.build());
     let service = Arc::new(ClusterService::new(Arc::clone(&handle), &name));
@@ -250,6 +318,11 @@ pub fn node_main<I: IntoIterator<Item = String>>(args: I) -> Result<(), String> 
     let base_url = format!("http://{}", server.addr());
     handle.node().set_public_addr(&base_url);
     overlay.set_addr(id, &base_url);
+    for seed in &joins {
+        membership.add_seed(seed);
+    }
+    // Probing starts only now that the node knows its own address.
+    membership.set_self_addr(&base_url);
 
     let stdout = std::io::stdout();
     writeln!(stdout.lock(), "READY {name} {base_url}").map_err(|e| e.to_string())?;
@@ -261,12 +334,16 @@ pub fn node_main<I: IntoIterator<Item = String>>(args: I) -> Result<(), String> 
         let Some(roster) = line.trim().strip_prefix("PEERS ") else {
             continue;
         };
+        // Deprecated compatibility path: feed the static roster into the
+        // membership as introduced alive members, so gossip and the failure
+        // detector take over from there.
         for entry in roster.split(',').filter(|s| !s.trim().is_empty()) {
             let Some((peer, url)) = entry.trim().split_once('=') else {
                 return Err(format!("bad roster entry {entry}"));
             };
             if peer != name {
-                overlay.join_with_addr(key_for(peer), Location::new(0.0, 0.0), url);
+                let events = membership.introduce(peer, url);
+                nakika_core::gossip::apply_events(&overlay, &events);
             }
         }
         writeln!(stdout.lock(), "JOINED").map_err(|e| e.to_string())?;
@@ -294,6 +371,16 @@ impl ClusterProc {
     /// Fetches and parses this node's [`STATS_PATH`] counters.
     pub fn stats(&self) -> Result<HashMap<String, u64>, NakikaError> {
         fetch_stats(&self.base_url)
+    }
+
+    /// Kills the node abruptly (SIGKILL, no shutdown handshake) and reaps
+    /// it — the churn tests' stand-in for a crashed member.  The survivors
+    /// must notice through gossip, not through any exit notification.
+    pub fn kill(&mut self) -> std::io::Result<()> {
+        drop(self.stdin.take());
+        self.child.kill()?;
+        self.child.wait()?;
+        Ok(())
     }
 }
 
@@ -389,6 +476,93 @@ pub fn spawn_cluster(
         }
     }
     Ok(procs)
+}
+
+/// Spawns a cluster that bootstraps itself over gossip instead of the
+/// static `PEERS` handshake: the first name becomes the seed (started with
+/// no `--join`), every later node is started with `--join <seed-url>` and
+/// learns the rest of the roster through the gossip exchange.  No roster is
+/// ever broadcast — follow with [`wait_for_members`] to block until the
+/// views converge.  `prefix_args` and `extra_args` are as in
+/// [`spawn_cluster`].
+pub fn spawn_gossip_cluster(
+    program: &std::path::Path,
+    prefix_args: &[&str],
+    names: &[&str],
+    extra_args: &[&str],
+) -> std::io::Result<Vec<ClusterProc>> {
+    let mut procs: Vec<ClusterProc> = Vec::with_capacity(names.len());
+    for name in names {
+        let mut command = Command::new(program);
+        command.args(prefix_args).arg(name).args(extra_args);
+        if let Some(seed) = procs.first() {
+            command.arg("--join").arg(&seed.base_url);
+        }
+        let mut child = command
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let ready = read_trimmed_line(&mut stdout)?;
+        let mut parts = ready.split_whitespace();
+        let base_url = match (parts.next(), parts.next(), parts.next()) {
+            (Some("READY"), Some(n), Some(url)) if n == *name => url.to_string(),
+            _ => {
+                return Err(std::io::Error::other(format!(
+                    "bad READY line from {name}: {ready:?}"
+                )));
+            }
+        };
+        procs.push(ClusterProc {
+            name: name.to_string(),
+            base_url,
+            child,
+            stdin: Some(stdin),
+            stdout,
+        });
+    }
+    Ok(procs)
+}
+
+/// Polls every node at `base_urls` until each reports `gossip_alive >=
+/// alive` (the counter includes the node itself), i.e. until the rosters
+/// have converged to at least `alive` live members everywhere.  Errors out
+/// after `deadline`.
+pub fn wait_for_members(
+    base_urls: &[&str],
+    alive: u64,
+    deadline: std::time::Duration,
+) -> Result<(), NakikaError> {
+    let start = std::time::Instant::now();
+    loop {
+        let converged = base_urls.iter().all(|url| {
+            fetch_stats(url)
+                .ok()
+                .and_then(|stats| stats.get("gossip_alive").copied())
+                .is_some_and(|n| n >= alive)
+        });
+        if converged {
+            return Ok(());
+        }
+        if start.elapsed() > deadline {
+            let views: Vec<String> = base_urls
+                .iter()
+                .map(|url| {
+                    let seen = fetch_stats(url)
+                        .ok()
+                        .and_then(|stats| stats.get("gossip_alive").copied());
+                    format!("{url}={seen:?}")
+                })
+                .collect();
+            return Err(NakikaError::Internal(format!(
+                "rosters did not converge to {alive} live members within {deadline:?}: {}",
+                views.join(", ")
+            )));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,8 @@
 //! assert_eq!(edge.node().stats().cache_hits, 1);
 //! ```
 
+use crate::gossip::{apply_events, gossip_exchange, gossip_probe_via, GossipService};
+use crate::middleware::RedirectLayer;
 use crate::node::{origin_from_fn, NaKikaNode, NodeConfig, NodeMode, OriginFetch};
 use crate::peering;
 use crate::pipeline::{CLIENT_WALL_URL, SERVER_WALL_URL};
@@ -28,7 +30,7 @@ use crate::resource::{ResourceKind, ResourceManagerConfig};
 use crate::service::{layered, DispatchHint, HttpService, Layer, NakikaError, RequestCtx};
 use nakika_http::pattern::Cidr;
 use nakika_http::{Request, Response};
-use nakika_overlay::{NodeId, Overlay};
+use nakika_overlay::{Membership, NodeId, Overlay, ProbeAction};
 use nakika_state::Update;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -135,6 +137,92 @@ impl Drop for ReplicationWorker {
     }
 }
 
+/// The background thread driving the SWIM membership: it ticks
+/// [`Membership::poll`], performs the probe actions over the node's
+/// [`OriginFetch::fetch_peer`] transport (direct exchange, then indirect
+/// probes through relays before calling a peer unreachable), and applies
+/// the resulting roster events to the overlay.  Stops and joins when the
+/// owning [`NodeHandle`] drops.
+struct GossipWorker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl GossipWorker {
+    fn spawn(
+        name: &str,
+        membership: Arc<Membership>,
+        overlay: Arc<Overlay>,
+        origin: Arc<dyn OriginFetch>,
+    ) -> GossipWorker {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        // Tick well below the probe interval so suspect timeouts and queued
+        // failure hints are noticed promptly; `poll` itself rate-limits the
+        // actual probes.
+        let tick = Duration::from_millis((membership.config().probe_interval_ms / 4).clamp(5, 50));
+        let handle = std::thread::Builder::new()
+            .name(format!("nakika-gossip-{name}"))
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    let (actions, events) = membership.poll();
+                    apply_events(&overlay, &events);
+                    for ProbeAction::Ping { name, addr } in actions {
+                        if stop_flag.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        run_probe(&membership, &overlay, &origin, name.as_deref(), &addr);
+                    }
+                    std::thread::sleep(tick);
+                }
+            })
+            .expect("failed to spawn the gossip worker thread");
+        GossipWorker {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for GossipWorker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One probe: a direct digest exchange with `addr`; on failure, indirect
+/// probes through up to `indirect_probes` alive relays (SWIM's ping-req)
+/// before the target is reported unreachable.  Seed probes (`name` absent)
+/// carry no verdict — the seed either answers and names itself through its
+/// digest, or stays unknown.
+fn run_probe(
+    membership: &Arc<Membership>,
+    overlay: &Arc<Overlay>,
+    origin: &Arc<dyn OriginFetch>,
+    name: Option<&str>,
+    addr: &str,
+) {
+    if gossip_exchange(membership, overlay, origin, addr).is_ok() {
+        if let Some(name) = name {
+            membership.on_ack(name);
+        }
+        return;
+    }
+    let Some(name) = name else {
+        return;
+    };
+    for relay in membership.relay_candidates(name) {
+        if gossip_probe_via(membership, overlay, origin, &relay.addr, addr).is_ok() {
+            membership.on_ack(name);
+            return;
+        }
+    }
+    membership.on_probe_failed(name);
+}
+
 /// Pushes one hot entry to the key's successor peers by fetching the URL
 /// *through* each successor's proxy front-end: the successor misses locally,
 /// pulls the entry from the owner over the regular peer path, and tees it
@@ -180,6 +268,7 @@ pub struct NodeHandle {
     node: Arc<NaKikaNode>,
     service: Arc<dyn HttpService>,
     _replication_worker: Option<ReplicationWorker>,
+    _gossip_worker: Option<GossipWorker>,
 }
 
 impl NodeHandle {
@@ -191,6 +280,11 @@ impl NodeHandle {
     /// The layered service stack.
     pub fn service(&self) -> Arc<dyn HttpService> {
         self.service.clone()
+    }
+
+    /// The gossip membership, if [`NodeBuilder::gossip`] configured one.
+    pub fn membership(&self) -> Option<Arc<Membership>> {
+        self.node.gossip().cloned()
     }
 }
 
@@ -213,6 +307,8 @@ pub struct NodeBuilder {
     layers: Vec<Box<dyn Layer>>,
     public_addr: Option<String>,
     replicate: Option<(usize, u32)>,
+    gossip: Option<Arc<Membership>>,
+    redirect_to_owner: bool,
 }
 
 impl NodeBuilder {
@@ -242,6 +338,8 @@ impl NodeBuilder {
             layers: Vec::new(),
             public_addr: None,
             replicate: None,
+            gossip: None,
+            redirect_to_owner: false,
         }
     }
 
@@ -367,6 +465,29 @@ impl NodeBuilder {
         self
     }
 
+    /// Enables dynamic membership: the node serves the gossip exchange
+    /// endpoint (`/__nakika/gossip`) and a background worker drives the
+    /// SWIM-style probe loop, applying roster events to the overlay so key
+    /// ownership re-homes as members join, fail and recover.  Requires an
+    /// [`overlay`](Self::overlay) and an origin whose `fetch_peer` reaches
+    /// real peers; without an overlay the setting is inert.  Probing stays
+    /// dormant until `Membership::set_self_addr` is called (typically after
+    /// the server binds its port).
+    pub fn gossip(mut self, membership: Arc<Membership>) -> NodeBuilder {
+        self.gossip = Some(membership);
+        self
+    }
+
+    /// Answers cacheable client requests whose consistent-hash owner is
+    /// another live member with a `307` to that owner (see
+    /// [`RedirectLayer::route_to_owner`]) instead of relaying.  Requires
+    /// [`overlay`](Self::overlay) and [`gossip`](Self::gossip) — without a
+    /// live roster there is no "alive" to consult, so the setting is inert.
+    pub fn redirect_to_owner(mut self) -> NodeBuilder {
+        self.redirect_to_owner = true;
+        self
+    }
+
     /// How the node obtains resources it does not have cached.
     pub fn origin(mut self, origin: Arc<dyn OriginFetch>) -> NodeBuilder {
         self.origin = Some(origin);
@@ -405,20 +526,58 @@ impl NodeBuilder {
         if let Some(addr) = &self.public_addr {
             node.set_public_addr(addr);
         }
+        // Gossip needs an overlay to apply roster events to; inert without.
+        let gossip = match (&self.gossip, &self.overlay) {
+            (Some(membership), Some((overlay, _))) => Some((membership.clone(), overlay.clone())),
+            _ => None,
+        };
+        if let Some((membership, _)) = &gossip {
+            node.attach_gossip(membership.clone());
+        }
         let node = Arc::new(node);
         let origin = self.origin.unwrap_or_else(|| Arc::new(NoOrigin));
+        // Owner-aware redirection rides the layer stack, but it needs the
+        // built node (for its counter) and the live roster, so the builder
+        // assembles it here rather than asking the caller to.  Innermost of
+        // the caller's layers: access logging and admission still see the
+        // requests it answers.
+        let mut layers = self.layers;
+        if self.redirect_to_owner {
+            if let (Some((overlay, id)), Some(membership)) = (&self.overlay, &self.gossip) {
+                layers.push(Box::new(RedirectLayer::owner_aware(
+                    overlay.clone(),
+                    *id,
+                    membership.clone(),
+                    node.clone(),
+                )));
+            }
+        }
         let replication_worker = self.overlay.and_then(|(overlay, id)| {
             ReplicationWorker::spawn(node.clone(), overlay, id, origin.clone())
         });
-        let base: Arc<dyn HttpService> = Arc::new(NodeService {
+        let mut base: Arc<dyn HttpService> = Arc::new(NodeService {
             node: node.clone(),
-            origin,
+            origin: origin.clone(),
         });
-        let service = layered(base, self.layers);
+        let mut gossip_worker = None;
+        if let Some((membership, overlay)) = gossip {
+            // The gossip endpoint wraps the node directly — inside every
+            // middleware layer — so exchanges bypass redirection, admission
+            // and logging, and the node's request counters never see them.
+            base = Arc::new(GossipService::new(
+                base,
+                membership.clone(),
+                overlay.clone(),
+                origin.clone(),
+            ));
+            gossip_worker = Some(GossipWorker::spawn(&name, membership, overlay, origin));
+        }
+        let service = layered(base, layers);
         NodeHandle {
             node,
             service,
             _replication_worker: replication_worker,
+            _gossip_worker: gossip_worker,
         }
     }
 }

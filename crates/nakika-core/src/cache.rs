@@ -78,6 +78,10 @@ pub struct CacheStats {
     /// loop-guarded), each falling back to the origin.  Like
     /// [`peer_hits`](CacheStats::peer_hits), maintained by the node.
     pub peer_misses: u64,
+    /// Client requests 307-redirected to the key's live consistent-hash
+    /// owner instead of being relayed.  Like
+    /// [`peer_hits`](CacheStats::peer_hits), maintained by the node.
+    pub owner_redirects: u64,
     /// Scripts parsed and lowered to bytecode — one per distinct source the
     /// node has ever run (walls, site stages, pages).  Maintained by the
     /// node's compiled-program cache, not the shards; [`ProxyCache::stats`]
@@ -110,6 +114,7 @@ impl CacheStats {
             evictions: self.evictions + other.evictions,
             peer_hits: self.peer_hits + other.peer_hits,
             peer_misses: self.peer_misses + other.peer_misses,
+            owner_redirects: self.owner_redirects + other.owner_redirects,
             script_compiles: self.script_compiles + other.script_compiles,
             script_cache_hits: self.script_cache_hits + other.script_cache_hits,
         }

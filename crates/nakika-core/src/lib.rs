@@ -51,6 +51,7 @@
 
 pub mod builder;
 pub mod cache;
+pub mod gossip;
 pub mod middleware;
 pub mod node;
 pub mod pages;
@@ -65,6 +66,7 @@ pub mod vocab;
 
 pub use builder::{NodeBuilder, NodeHandle, NodeService};
 pub use cache::{CacheStats, ProxyCache};
+pub use gossip::GossipService;
 pub use middleware::{
     AccessLogLayer, AdmissionLayer, IntegrityLayer, RateLimitLayer, RedirectLayer,
 };

@@ -4,11 +4,13 @@
 //! service so transports and the [`NodeBuilder`](crate::builder::NodeBuilder)
 //! compose them freely.
 
+use crate::node::NaKikaNode;
+use crate::peering;
 use crate::resource::{Admission, ResourceKind, ResourceManager};
 use crate::service::{HttpService, Layer, NakikaError, RequestCtx};
 use nakika_http::{Request, Response};
 use nakika_integrity::{verify_response, SigningKey};
-use nakika_overlay::{Location, NodeId, Overlay};
+use nakika_overlay::{key_for, Location, Membership, NodeId, Overlay, PeerState};
 use nakika_state::{AccessLog, LogEntry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -88,7 +90,7 @@ impl HttpService for AccessLogged {
 /// The controller's `CONTROL` procedure runs lazily off request arrival
 /// times, once per configured period.
 ///
-/// A scripted [`NaKikaNode`](crate::node::NaKikaNode) runs its own
+/// A scripted [`NaKikaNode`] runs its own
 /// congestion controller internally; when stacking this layer in front of
 /// one, either share the node's manager
 /// ([`NaKikaNode::resource_manager`](crate::node::NaKikaNode::resource_manager))
@@ -366,6 +368,15 @@ impl HttpService for Verified {
 /// injected: `locate` maps a client address into the overlay's latency
 /// space (return `None` to serve locally), and `peer_url` maps a node id to
 /// the base URL clients should be sent to.
+///
+/// With [`route_to_owner`](Self::route_to_owner) the layer additionally
+/// consults the live gossip membership and answers `307 Temporary
+/// Redirect` pointing cacheable requests at the key's consistent-hash
+/// owner when that owner is a live member — the client's next request hits
+/// the node that holds (or will hold) the cached copy, skipping the relay
+/// hop.  A suspect or faulty owner is never redirected to; the request is
+/// served locally instead, with the peer relay as the fallback, so clients
+/// keep working through churn.
 pub struct RedirectLayer {
     overlay: Arc<Overlay>,
     self_id: NodeId,
@@ -373,6 +384,15 @@ pub struct RedirectLayer {
     locate: Arc<dyn Fn(IpAddr) -> Option<Location> + Send + Sync>,
     #[allow(clippy::type_complexity)]
     peer_url: Arc<dyn Fn(NodeId) -> Option<String> + Send + Sync>,
+    owner: Option<Arc<OwnerRouting>>,
+}
+
+/// The owner-aware half of [`RedirectLayer`]: the live roster deciding
+/// whether the owner is worth sending the client to, and the node whose
+/// `owner_redirects` counter records each one issued.
+struct OwnerRouting {
+    membership: Arc<Membership>,
+    node: Arc<NaKikaNode>,
 }
 
 impl RedirectLayer {
@@ -392,7 +412,34 @@ impl RedirectLayer {
             self_id,
             locate: Arc::new(locate),
             peer_url: Arc::new(peer_url),
+            owner: None,
         }
+    }
+
+    /// A redirection layer that routes purely by key ownership — no client
+    /// geolocation; see [`route_to_owner`](Self::route_to_owner).
+    pub fn owner_aware(
+        overlay: Arc<Overlay>,
+        self_id: NodeId,
+        membership: Arc<Membership>,
+        node: Arc<NaKikaNode>,
+    ) -> RedirectLayer {
+        RedirectLayer::new(overlay, self_id, |_| None, |_| None).route_to_owner(membership, node)
+    }
+
+    /// Enables owner-aware redirection: cacheable client requests whose
+    /// consistent-hash owner is another *live* member (per `membership`)
+    /// are answered with a `307` to the owner's address instead of being
+    /// relayed.  Internal traffic — peer fetches, replication pushes,
+    /// gossip, anything under the node's internal path prefix — is never
+    /// redirected; each issued redirect is counted in `node`'s cache stats.
+    pub fn route_to_owner(
+        mut self,
+        membership: Arc<Membership>,
+        node: Arc<NaKikaNode>,
+    ) -> RedirectLayer {
+        self.owner = Some(Arc::new(OwnerRouting { membership, node }));
+        self
     }
 }
 
@@ -404,6 +451,7 @@ impl Layer for RedirectLayer {
             self_id: self.self_id,
             locate: self.locate.clone(),
             peer_url: self.peer_url.clone(),
+            owner: self.owner.clone(),
         })
     }
 }
@@ -414,6 +462,46 @@ struct Redirected {
     self_id: NodeId,
     locate: Arc<dyn Fn(IpAddr) -> Option<Location> + Send + Sync>,
     peer_url: Arc<dyn Fn(NodeId) -> Option<String> + Send + Sync>,
+    owner: Option<Arc<OwnerRouting>>,
+}
+
+impl Redirected {
+    /// The owner-aware verdict for `req`: `Some(307)` when a different live
+    /// member owns the key, `None` to serve locally (relay fallback).
+    fn owner_redirect(&self, req: &Request) -> Option<Response> {
+        let routing = self.owner.as_ref()?;
+        // Only client-facing cacheable traffic is redirected: internal
+        // exchanges (peer fetches, replication, gossip) must terminate
+        // here, and non-cacheable methods gain nothing from the owner.
+        if !req.method.is_cacheable()
+            || req.uri.path.starts_with(peering::INTERNAL_PREFIX)
+            || peering::has_internal_headers(req)
+        {
+            return None;
+        }
+        let owner = self.overlay.owner_of(&crate::node::cache_key(req))?;
+        if owner.id == self.self_id {
+            return None;
+        }
+        // "Alive" is the gossip membership's word, not the overlay's: a
+        // planted or suspect owner is served locally via the relay path.
+        let alive = routing
+            .membership
+            .members()
+            .iter()
+            .any(|m| m.state == PeerState::Alive && key_for(&m.name) == owner.id);
+        if !alive {
+            return None;
+        }
+        let base = owner.addr?;
+        let base = base.trim_end_matches('/');
+        let target = match &req.uri.query {
+            Some(query) => format!("{base}{}?{query}", req.uri.path),
+            None => format!("{base}{}", req.uri.path),
+        };
+        routing.node.record_owner_redirect();
+        Some(Response::redirect_temporary(&target))
+    }
 }
 
 impl HttpService for Redirected {
@@ -436,6 +524,9 @@ impl HttpService for Redirected {
                     }
                 }
             }
+        }
+        if let Some(redirect) = self.owner_redirect(&req) {
+            return Ok(redirect);
         }
         self.inner.call(req, ctx)
     }
@@ -612,5 +703,70 @@ mod tests {
             .call(Request::get("http://site.example/page"), &near)
             .unwrap();
         assert_eq!(resp.status, StatusCode::OK);
+    }
+
+    #[test]
+    fn owner_aware_layer_redirects_to_live_owners_only() {
+        let overlay = Arc::new(Overlay::with_defaults());
+        let me = key_for("edge-a");
+        let peer = key_for("edge-b");
+        overlay.join(me, sites::US_EAST);
+        overlay.join_with_addr(peer, sites::ASIA, "http://edge-b.example");
+        let handle = crate::builder::NodeBuilder::proxy_with_dht("edge-a").build();
+        let node = Arc::clone(handle.node());
+        let membership = Arc::new(Membership::with_manual_clock(
+            "edge-a",
+            nakika_overlay::MembershipConfig::default(),
+        ));
+        membership.set_self_addr("http://edge-a.example");
+        membership.introduce("edge-b", "http://edge-b.example");
+        let stack = RedirectLayer::owner_aware(
+            Arc::clone(&overlay),
+            me,
+            Arc::clone(&membership),
+            Arc::clone(&node),
+        )
+        .wrap(ok_service());
+        let ctx = RequestCtx::at(0);
+
+        // Consistent hashing spreads keys across both members; pick one
+        // owned by each side.
+        let owned_by = |id: NodeId| {
+            (0..)
+                .map(|i| format!("http://site.example/page-{i}.html"))
+                .find(|url| {
+                    let key = crate::node::cache_key(&Request::get(url));
+                    overlay.owner_of(&key).is_some_and(|m| m.id == id)
+                })
+                .expect("some key hashes to the node")
+        };
+        let peers_url = owned_by(peer);
+        let own_url = owned_by(me);
+
+        // The peer's key is answered with a 307 to the owner, and counted.
+        let resp = stack.call(Request::get(&peers_url), &ctx).unwrap();
+        assert_eq!(resp.status, StatusCode::TEMPORARY_REDIRECT);
+        let expected = peers_url.replace("http://site.example", "http://edge-b.example");
+        assert_eq!(resp.headers.get("Location"), Some(expected.as_str()));
+        assert_eq!(node.stats().owner_redirects, 1);
+
+        // Keys this node owns, internal peer exchanges, and internal paths
+        // are all served locally, never redirected.
+        for req in [
+            Request::get(&own_url),
+            Request::get(&peers_url).with_header(peering::PEER_HOP_HEADER, "3"),
+            Request::get("http://site.example/__nakika/stats"),
+        ] {
+            let resp = stack.call(req, &ctx).unwrap();
+            assert_eq!(resp.body.to_text(), "payload");
+        }
+        assert_eq!(node.stats().owner_redirects, 1);
+
+        // A suspect owner is no longer redirected to — the local relay
+        // fallback takes over until gossip refutes or confirms the failure.
+        membership.on_probe_failed("edge-b");
+        let resp = stack.call(Request::get(&peers_url), &ctx).unwrap();
+        assert_eq!(resp.body.to_text(), "payload");
+        assert_eq!(node.stats().owner_redirects, 1);
     }
 }

@@ -23,7 +23,7 @@ use crate::vocab::VocabHooks;
 use nakika_http::cache_control::{freshness, Freshness};
 use nakika_http::pattern::Cidr;
 use nakika_http::{Body, Method, Request, Response};
-use nakika_overlay::{NodeId, Overlay};
+use nakika_overlay::{Membership, NodeId, Overlay};
 use nakika_script::ResourceMeter;
 use nakika_state::{AccessLog, LogEntry, MessageBus, SiteStore, Update};
 use parking_lot::Mutex;
@@ -114,6 +114,9 @@ pub struct NodeStats {
     pub origin_fetches: u64,
     /// Hot cache entries this node pushed to successor peers.
     pub replication_pushes: u64,
+    /// Client requests 307-redirected to the key's live consistent-hash
+    /// owner instead of being relayed (owner-aware redirection).
+    pub owner_redirects: u64,
     /// Responses generated entirely by scripts (no fetch at all).
     pub script_generated: u64,
     /// Requests rejected by throttling (server busy).
@@ -170,11 +173,19 @@ struct ResourceFetcher {
     heuristic_ttl: Duration,
     stats: Arc<Mutex<NodeStats>>,
     replication: Option<Arc<ReplicationShared>>,
+    gossip: Option<Arc<Membership>>,
+}
+
+/// The cache key the node's fetch path files `request` under — also the
+/// consistent-hash key that peer routing and owner-aware redirection
+/// locate the request's owner with.
+pub(crate) fn cache_key(request: &Request) -> String {
+    format!("{} {}", request.method, request.uri.to_origin())
 }
 
 impl ResourceFetcher {
     fn cache_key(request: &Request) -> String {
-        format!("{} {}", request.method, request.uri.to_origin())
+        cache_key(request)
     }
 
     fn fetch(&self, request: &Request, now: u64) -> Response {
@@ -249,6 +260,11 @@ impl ResourceFetcher {
                     // Typed errors already name the peer; the counter makes
                     // the fallback to the origin observable either way.
                     self.stats.lock().peer_misses += 1;
+                    // The failed fetch is free negative evidence for the
+                    // failure detector: suspicion, refutable through gossip.
+                    if let Some(gossip) = &self.gossip {
+                        gossip.note_failure(&peer);
+                    }
                 }
             }
             tried = Some(peer);
@@ -441,6 +457,7 @@ pub struct NaKikaNode {
     /// binds, hence the interior mutability.
     public_addr: Mutex<Option<String>>,
     replication: Option<Arc<ReplicationShared>>,
+    gossip: Option<Arc<Membership>>,
 }
 
 impl NaKikaNode {
@@ -470,6 +487,7 @@ impl NaKikaNode {
             last_control: Mutex::new(0),
             public_addr: Mutex::new(None),
             replication: None,
+            gossip: None,
             config,
         }
     }
@@ -493,6 +511,22 @@ impl NaKikaNode {
     /// Counts one successful hot-entry push (the replication worker's hook).
     pub(crate) fn record_replication_push(&self) {
         self.stats.lock().replication_pushes += 1;
+    }
+
+    /// Attaches the gossip membership (the builder's job).  From then on
+    /// failed peer fetches feed the failure detector as negative evidence.
+    pub(crate) fn attach_gossip(&mut self, membership: Arc<Membership>) {
+        self.gossip = Some(membership);
+    }
+
+    /// The gossip membership, if dynamic membership is configured.
+    pub fn gossip(&self) -> Option<&Arc<Membership>> {
+        self.gossip.as_ref()
+    }
+
+    /// Counts one owner-aware client redirect (the redirect layer's hook).
+    pub(crate) fn record_owner_redirect(&self) {
+        self.stats.lock().owner_redirects += 1;
     }
 
     /// Records the base URL where this node's proxy front-end is reachable
@@ -552,6 +586,7 @@ impl NaKikaNode {
         let node = self.stats.lock();
         stats.peer_hits = node.peer_hits;
         stats.peer_misses = node.peer_misses;
+        stats.owner_redirects = node.owner_redirects;
         drop(node);
         let (compiles, hits) = self.programs.counters();
         stats.script_compiles = compiles;
@@ -685,6 +720,7 @@ impl NaKikaNode {
                 NodeMode::PlainProxy => None,
                 _ => self.replication.clone(),
             },
+            gossip: self.gossip.clone(),
         };
 
         let response = match self.config.mode {

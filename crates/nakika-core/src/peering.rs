@@ -32,6 +32,27 @@ pub const PEER_VIA_HEADER: &str = "X-Nakika-Via";
 /// Marks a request issued by the replication worker to pre-warm a successor.
 pub const REPLICATE_HEADER: &str = "X-Nakika-Replicate";
 
+/// Prefix of every internal (non-client) path a node serves; the owner-aware
+/// redirect layer and other client-facing machinery must leave these alone.
+pub const INTERNAL_PREFIX: &str = "/__nakika/";
+
+/// Path of the gossip membership exchange endpoint.  A gossip probe is a
+/// plain GET to this path carrying the prober's roster digest in
+/// [`GOSSIP_HEADER`]; the response body is the responder's digest.  Riding
+/// the existing HTTP plane means no extra listener, and GET (idempotent)
+/// keeps the exchange on the pooled keep-alive connections.
+pub const GOSSIP_PATH: &str = "/__nakika/gossip";
+
+/// Request header carrying the prober's roster digest on a gossip exchange.
+pub const GOSSIP_HEADER: &str = "X-Nakika-Gossip";
+
+/// Header asking a relay to probe a third node on the requester's behalf
+/// (SWIM's ping-req).  The value is the target's base URL; the relay
+/// answers 200 with its own digest if the target responded, 502 otherwise.
+/// Relayed exchanges never carry this header themselves, so indirection is
+/// a single level deep by construction.
+pub const GOSSIP_PROBE_HEADER: &str = "X-Nakika-Gossip-Probe";
+
 /// Hop budget: how many times a request may be forwarded between peers.
 /// One hop reaches the key's owner; the second tolerates a briefly divergent
 /// membership view during joins and leaves.
@@ -84,6 +105,8 @@ pub fn has_internal_headers(request: &Request) -> bool {
     request.headers.contains(PEER_HOP_HEADER)
         || request.headers.contains(PEER_VIA_HEADER)
         || request.headers.contains(REPLICATE_HEADER)
+        || request.headers.contains(GOSSIP_HEADER)
+        || request.headers.contains(GOSSIP_PROBE_HEADER)
 }
 
 /// Removes the cooperative network's internal headers; called before a
@@ -92,6 +115,8 @@ pub fn strip_internal_headers(request: &mut Request) {
     request.headers.remove(PEER_HOP_HEADER);
     request.headers.remove(PEER_VIA_HEADER);
     request.headers.remove(REPLICATE_HEADER);
+    request.headers.remove(GOSSIP_HEADER);
+    request.headers.remove(GOSSIP_PROBE_HEADER);
 }
 
 #[cfg(test)]

@@ -680,6 +680,15 @@ impl Response {
         r
     }
 
+    /// A temporary redirect (307) to `location`: the client must retry
+    /// with the same method, unlike the method-rewriting 302.
+    pub fn redirect_temporary(location: &str) -> Response {
+        let mut r = Response::new(StatusCode::TEMPORARY_REDIRECT);
+        r.headers.set("Location", location);
+        r.headers.set("Content-Length", "0");
+        r
+    }
+
     /// Builder-style helper setting a header.
     pub fn with_header(mut self, name: &str, value: &str) -> Response {
         self.headers.set(name, value);

@@ -22,6 +22,8 @@ impl StatusCode {
     pub const FOUND: StatusCode = StatusCode(302);
     /// 304 Not Modified
     pub const NOT_MODIFIED: StatusCode = StatusCode(304);
+    /// 307 Temporary Redirect — same method, same body, try over there.
+    pub const TEMPORARY_REDIRECT: StatusCode = StatusCode(307);
     /// 400 Bad Request
     pub const BAD_REQUEST: StatusCode = StatusCode(400);
     /// 401 Unauthorized — used by the paper's digital-library policy (Fig. 5).

@@ -228,6 +228,15 @@ impl Overlay {
         }
     }
 
+    /// Marks a node as failed.  This is the failure detector's entry point
+    /// (gossip membership declaring a peer faulty): mechanically identical
+    /// to [`leave`](Self::leave), but named for the involuntary case —
+    /// ownership and successor sets re-home to the surviving nodes on the
+    /// next lookup.
+    pub fn fail(&self, id: NodeId) {
+        self.leave(id);
+    }
+
     /// Number of live nodes.
     pub fn len(&self) -> usize {
         self.nodes.read().iter().filter(|n| n.alive).count()

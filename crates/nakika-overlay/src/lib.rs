@@ -51,10 +51,14 @@
 
 pub mod cluster;
 pub mod dht;
+pub mod gossip;
 pub mod id;
 pub mod redirect;
 
 pub use cluster::{ClusterLevel, Location};
 pub use dht::{Member, Overlay, OverlayConfig, OverlayStats, StoredValue};
+pub use gossip::{
+    GossipStats, Membership, MembershipConfig, MembershipEvent, PeerInfo, PeerState, ProbeAction,
+};
 pub use id::{key_for, NodeId};
 pub use redirect::Redirector;

@@ -60,7 +60,7 @@ use nakika_http::{Request, Response};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
-use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -534,8 +534,12 @@ impl OriginFetch for TcpOrigin {
 
     /// Fetches `request` from a peer Na Kika node over TCP.  `peer` is the
     /// base URL the peer announced to the overlay (`http://host:port`); the
-    /// request goes through the peer's proxy front-end in absolute form via
-    /// [`http_fetch_streaming_via_proxy`], so the body streams hop by hop.
+    /// request goes through the peer's proxy front-end in absolute form, on
+    /// the same keep-alive pool that serves origin fetches — node-to-node
+    /// traffic (peer fetches, replication pushes, gossip probes) is the
+    /// steadiest traffic a node generates, so paying a TCP handshake per
+    /// exchange was pure overhead.  The body streams hop by hop, and the
+    /// socket is parked back into the pool once it drains cleanly.
     /// Connection and read failures come back as [`NakikaError::Upstream`]
     /// naming the peer, letting the node count the failure and fall back to
     /// the origin without hiding the dead peer.
@@ -544,26 +548,50 @@ impl OriginFetch for TcpOrigin {
             url: request.uri.to_string(),
             reason: format!("peer {peer}: {reason}"),
         };
-        let proxy = resolve_peer_addr(peer).map_err(&peer_error)?;
-        http_fetch_streaming_via_proxy(proxy, request).map_err(|e| match e {
-            NakikaError::Upstream { reason, .. } => peer_error(reason),
-            other => other,
+        let key = peer_pool_key(peer).map_err(&peer_error)?;
+        let url = request.uri.to_string();
+        let mut outbound = request.clone();
+        // Connection management is this hop's business (see `fetch`).
+        outbound.headers.remove("Connection");
+        let wire = nakika_http::serialize::serialize_request_absolute(&outbound);
+        // Stale-pooled-connection retry only for idempotent methods, for
+        // the same replay reasons as in `fetch`.
+        if request.method.is_idempotent() {
+            let pooled = { self.pool.idle.lock().get_mut(&key).and_then(Vec::pop) };
+            if let Some(stream) = pooled {
+                if let Ok(response) =
+                    exchange_streaming_wire(stream, &wire, &url, Some((self.pool.clone(), &key)))
+                {
+                    return Ok(response);
+                }
+            }
+        }
+        let stream = TcpStream::connect((key.0.as_str(), key.1))
+            .map_err(|e| peer_error(format!("connect failed: {e}")))?;
+        exchange_streaming_wire(stream, &wire, &url, Some((self.pool.clone(), &key))).map_err(|e| {
+            match e {
+                NakikaError::Upstream { reason, .. } => peer_error(reason),
+                other => other,
+            }
         })
     }
 }
 
 /// Parses an overlay peer payload — a base URL like `http://127.0.0.1:4001`
-/// (a bare `host:port` is tolerated) — into a socket address.
-fn resolve_peer_addr(peer: &str) -> Result<SocketAddr, String> {
+/// (a bare `host:port` is tolerated) — into the connection pool's
+/// `(host, port)` key.
+fn peer_pool_key(peer: &str) -> Result<(String, u16), String> {
     let authority = peer
         .strip_prefix("http://")
         .unwrap_or(peer)
         .trim_end_matches('/');
-    authority
-        .to_socket_addrs()
-        .map_err(|e| format!("unresolvable address: {e}"))?
-        .next()
-        .ok_or_else(|| "no addresses resolved".to_string())
+    match authority.rsplit_once(':') {
+        Some((host, port)) => {
+            let port = port.parse().map_err(|e| format!("bad port: {e}"))?;
+            Ok((host.to_string(), port))
+        }
+        None => Ok((authority.to_string(), 80)),
+    }
 }
 
 /// Reads socket bytes until a complete response head is parsed; returns the

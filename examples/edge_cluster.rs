@@ -9,8 +9,10 @@
 //! The parent process starts an origin server, then re-invokes itself
 //! three times with `--node NAME` — one OS process per edge node, exactly
 //! as a real deployment would run them (see `docs/CLUSTER.md`).  The
-//! nodes find each other through the stdio roster handshake in
-//! `nakika_bench::cluster`, after which the parent demonstrates the
+//! nodes find each other through gossip: only the first node's address is
+//! ever configured (each later node gets a single `--join` seed), and the
+//! roster converges on its own through the membership exchange.  Once the
+//! parent sees every node report three alive members, it demonstrates the
 //! cooperative data path:
 //!
 //! 1. a page is fetched through one node (cold miss → origin);
@@ -20,13 +22,14 @@
 //! 3. every node's counters are printed from its `/__nakika/stats`
 //!    endpoint.
 
-use nakika_bench::cluster::{node_main, spawn_cluster};
+use nakika_bench::cluster::{node_main, spawn_gossip_cluster, wait_for_members};
 use nakika_core::service::service_fn;
 use nakika_http::{Request, Response};
 use nakika_server::{http_get_via_proxy, HttpServer};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -59,7 +62,7 @@ fn main() {
     println!("origin server   -> {}", origin.base_url());
 
     let program = std::env::current_exe().expect("current executable path");
-    let nodes = spawn_cluster(
+    let nodes = spawn_gossip_cluster(
         &program,
         &["--node"],
         &["tokyo", "reykjavik", "lima"],
@@ -69,6 +72,13 @@ fn main() {
     for node in &nodes {
         println!("edge {:<10} -> {}", node.name, node.base_url);
     }
+
+    // Only tokyo's address was ever configured; wait for gossip to teach
+    // every node the full three-member roster.
+    let urls: Vec<String> = nodes.iter().map(|n| n.base_url.clone()).collect();
+    let url_refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+    wait_for_members(&url_refs, 3, Duration::from_secs(30)).expect("gossip roster never converged");
+    println!("gossip roster converged: every node sees 3 alive members");
 
     let url = format!("{}/articles/today.html", origin.base_url());
     println!("\nGET {url} via tokyo (cluster-wide cold miss; the key's owner fetches the origin):");
@@ -95,19 +105,20 @@ fn main() {
 
     println!("\nper-node counters (from each node's /__nakika/stats):");
     println!(
-        "  {:<10} {:>8} {:>10} {:>9} {:>11} {:>13}",
-        "node", "requests", "cache_hits", "peer_hits", "peer_misses", "origin_fetch"
+        "  {:<10} {:>8} {:>10} {:>9} {:>11} {:>13} {:>6}",
+        "node", "requests", "cache_hits", "peer_hits", "peer_misses", "origin_fetch", "alive"
     );
     for node in &nodes {
         let stats = node.stats().expect("node stats");
         println!(
-            "  {:<10} {:>8} {:>10} {:>9} {:>11} {:>13}",
+            "  {:<10} {:>8} {:>10} {:>9} {:>11} {:>13} {:>6}",
             node.name,
             stats["requests"],
             stats["cache_hits"],
             stats["peer_hits"],
             stats["peer_misses"],
             stats["origin_fetches"],
+            stats["gossip_alive"],
         );
     }
     println!("\ncluster shutting down (stdin EOF to every node)");

@@ -6,12 +6,16 @@
 //! stdio handshake) lives in `tests/edge_cluster.rs`; the protocol itself
 //! is documented in `docs/CLUSTER.md`.
 
-use nakika_bench::cluster::{fetch_stats, start_local_node, LocalNode};
+use nakika_bench::cluster::{fetch_stats, start_local_node, ClusterService, LocalNode};
 use nakika_core::peering::{PEER_HOP_HEADER, PEER_VIA_HEADER};
 use nakika_core::service::service_fn;
+use nakika_core::NodeBuilder;
 use nakika_http::{Request, Response};
 use nakika_overlay::{key_for, Location, Overlay};
-use nakika_server::{http_fetch_streaming_via_proxy, http_get_via_proxy, HttpServer, Transport};
+use nakika_server::{
+    http_fetch_streaming_via_proxy, http_get_via_proxy, HttpServer, ProxyServer, TcpOrigin,
+    Transport,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -148,6 +152,64 @@ fn hop_budget_and_via_trail_stop_loops_at_the_tcp_boundary() {
     assert_eq!(stats["peer_hits"], 0, "loop guards must stop peer routing");
     assert_eq!(stats["peer_misses"], 0);
     assert_eq!(stats["origin_fetches"], 2);
+}
+
+#[test]
+fn peer_fetches_reuse_one_pooled_keep_alive_connection() {
+    let (origin, origin_hits) = counting_origin();
+    let overlay = Arc::new(Overlay::with_defaults());
+    let a = start_local_node("pool-a", &overlay, Transport::Reactor, None).expect("node a");
+
+    // Warm three keys into A's cache, then plant each key's consistent-hash
+    // owner at A's address so B's misses all route there.
+    let urls: Vec<String> = (0..3)
+        .map(|i| format!("{}/pooled/{i}.html", origin.base_url()))
+        .collect();
+    for url in &urls {
+        http_get_via_proxy(a.server.addr(), url).expect("warm a");
+        overlay.join_with_addr(key_for(&get_key(url)), Location::new(0.0, 0.0), &a.base_url);
+    }
+    assert_eq!(origin_hits.load(Ordering::SeqCst), 3);
+
+    // B is assembled by hand (instead of through `start_local_node`) so the
+    // test keeps a handle on its `TcpOrigin` and can watch the pool.
+    let fetcher = Arc::new(TcpOrigin::new());
+    let id = key_for("pool-b");
+    overlay.join(id, Location::new(0.0, 0.0));
+    let handle = Arc::new(
+        NodeBuilder::proxy_with_dht("pool-b")
+            .overlay(Arc::clone(&overlay), id)
+            .origin(fetcher.clone())
+            .build(),
+    );
+    let service = Arc::new(ClusterService::new(Arc::clone(&handle), "pool-b"));
+    let server = ProxyServer::start_with(0, service, Transport::Threaded).expect("node b");
+    let base_url = format!("http://{}", server.addr());
+    handle.node().set_public_addr(&base_url);
+    overlay.set_addr(id, &base_url);
+
+    // Every fetch via B misses locally and is answered by A over TCP.
+    for url in &urls {
+        let response = http_get_via_proxy(server.addr(), url).expect("fetch via b");
+        assert!(response.status.is_success());
+    }
+    assert_eq!(
+        origin_hits.load(Ordering::SeqCst),
+        3,
+        "all three fetches must be peer-served, not origin-fetched"
+    );
+    let stats = fetch_stats(&base_url).expect("stats via b");
+    assert_eq!(stats["peer_hits"], 3);
+
+    // One socket carried all three peer fetches: the connection was parked
+    // after the first and reused — not re-dialed — by the rest.  A fetcher
+    // dialing per request would have parked one idle socket per fetch.
+    let peer_addr = a.server.addr();
+    assert_eq!(
+        fetcher.idle_connections(&peer_addr.ip().to_string(), peer_addr.port()),
+        1,
+        "peer fetches must share one pooled keep-alive connection"
+    );
 }
 
 #[test]
