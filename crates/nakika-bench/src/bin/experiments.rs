@@ -10,7 +10,7 @@
 use nakika_bench::hostile::{format_hostile_report, run_hostile_suite, HostileKnobs};
 use nakika_bench::{
     bench_proxy_suite, format_proxy_suite, format_resource_controls, format_simm, format_spec,
-    format_table2,
+    format_splice_comparison, format_table2,
 };
 use nakika_server::Transport;
 use nakika_sim::experiments;
@@ -94,10 +94,17 @@ fn main() {
     println!("(cold cache / warm keep-alive / warm close / 64-way concurrent keep-alive /");
     println!(" 1 MiB streamed bodies / mixed warm+slow-cold-origin / peer-answered misses /");
     println!(" warm scripted pipeline under the bytecode VM and the interpreter,");
-    println!(" threaded vs reactor; see docs/BENCHMARKING.md for what each isolates)\n");
+    println!(" threaded vs reactor, with the miss-heavy scenarios also measured as");
+    println!(" reactor-splice — the event-loop origin splice, the production default;");
+    println!(" see docs/BENCHMARKING.md for what each isolates)\n");
     match bench_proxy_suite(if quick { 240 } else { 2_048 }, 64) {
         Ok(suite) => {
             println!("{}", format_proxy_suite(&suite));
+            let splice_vs_offload = format_splice_comparison(&suite);
+            if !splice_vs_offload.is_empty() {
+                println!("cache-miss relay, event-loop splice vs worker-pool offload:");
+                println!("{splice_vs_offload}");
+            }
             if let (Some(threaded), Some(reactor)) = (
                 suite.scenario("warm-concurrent", "threaded"),
                 suite.scenario("warm-concurrent", "reactor"),
@@ -114,6 +121,18 @@ fn main() {
             ) {
                 println!(
                     "reactor warm throughput retained under slow cold misses: {:.0}%",
+                    100.0 * mixed.requests_per_sec / pure.requests_per_sec.max(1e-9)
+                );
+            }
+            // The warm path is identical whichever way misses are relayed,
+            // so the splice's retention is judged against the same
+            // pure-warm `reactor` baseline.
+            if let (Some(pure), Some(mixed)) = (
+                suite.scenario("warm-concurrent", "reactor"),
+                suite.scenario("bench_mixed", "reactor-splice"),
+            ) {
+                println!(
+                    "splice warm throughput retained under slow cold misses: {:.0}%",
                     100.0 * mixed.requests_per_sec / pure.requests_per_sec.max(1e-9)
                 );
             }

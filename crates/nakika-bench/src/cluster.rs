@@ -179,6 +179,32 @@ pub fn start_local_node(
     transport: Transport,
     replicate: Option<(usize, u32)>,
 ) -> Result<LocalNode, NakikaError> {
+    start_local_node_with(name, overlay, replicate, |service| {
+        ProxyServer::start_with(0, service, transport)
+    })
+}
+
+/// As [`start_local_node`], but the front-end runs the reactor transport
+/// with an explicit [`nakika_server::ReactorConfig`] — benchmarks use this
+/// to pin `splice_origin` so the pooled-offload and event-loop-splice miss
+/// paths can be measured side by side.
+pub fn start_local_reactor_node(
+    name: &str,
+    overlay: &Arc<Overlay>,
+    config: nakika_server::ReactorConfig,
+    replicate: Option<(usize, u32)>,
+) -> Result<LocalNode, NakikaError> {
+    start_local_node_with(name, overlay, replicate, |service| {
+        ProxyServer::start_reactor(0, service, config)
+    })
+}
+
+fn start_local_node_with(
+    name: &str,
+    overlay: &Arc<Overlay>,
+    replicate: Option<(usize, u32)>,
+    front: impl FnOnce(Arc<dyn HttpService>) -> std::io::Result<ProxyServer>,
+) -> Result<LocalNode, NakikaError> {
     let id = key_for(name);
     overlay.join(id, Location::new(0.0, 0.0));
     let mut builder = NodeBuilder::proxy_with_dht(name)
@@ -189,7 +215,7 @@ pub fn start_local_node(
     }
     let handle = Arc::new(builder.build());
     let service = Arc::new(ClusterService::new(Arc::clone(&handle), name));
-    let server = ProxyServer::start_with(0, service, transport)
+    let server = front(service)
         .map_err(|e| NakikaError::Internal(format!("node {name} failed to listen: {e}")))?;
     let base_url = format!("http://{}", server.addr());
     handle.node().set_public_addr(&base_url);

@@ -16,11 +16,33 @@ use nakika_core::service::{service_fn, NakikaError};
 use nakika_core::{scripts, NodeBuilder, ScriptEngine};
 use nakika_http::{Request, Response};
 use nakika_server::{
-    http_get_via_proxy, HttpServer, ProxyClient, ProxyServer, TcpOrigin, Transport,
+    http_get_via_proxy, HttpServer, ProxyClient, ProxyServer, ReactorConfig, TcpOrigin, Transport,
 };
 use nakika_sim::experiments::{MicroRow, ResourceControlRow, SimmResult, SpecResult};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Which proxy front-end a benchmark scenario measures.
+///
+/// The reactor transport appears twice because its cache-miss path has two
+/// implementations: [`BenchTransport::Reactor`] pins the historical
+/// worker-pool offload (`splice_origin = false`), keeping the `reactor`
+/// rows in `BENCH_proxy.json` comparable across runs, while
+/// [`BenchTransport::ReactorSplice`] measures the production default — the
+/// event-loop origin splice, which relays a miss with zero worker
+/// hand-offs.  The miss-heavy scenarios run both so the splice-vs-offload
+/// delta is recorded side by side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchTransport {
+    /// One blocking thread per connection.
+    Threaded,
+    /// Reactor with misses offloaded to the worker pool (recorded as
+    /// `reactor`).
+    Reactor,
+    /// Reactor with the event-loop origin splice, the production default
+    /// (recorded as `reactor-splice`).
+    ReactorSplice,
+}
 
 /// One measured proxy-path scenario: a named workload against one transport.
 #[derive(Debug, Clone)]
@@ -28,7 +50,7 @@ pub struct ProxyBenchScenario {
     /// Workload name (`cold-cache`, `warm-keepalive`, `warm-close`,
     /// `warm-concurrent`).
     pub name: String,
-    /// Transport under test (`threaded` or `reactor`).
+    /// Transport under test (`threaded`, `reactor`, or `reactor-splice`).
     pub transport: String,
     /// Total requests issued through the proxy.
     pub requests: usize,
@@ -51,7 +73,7 @@ pub struct ProxyBenchScenario {
 /// Builds the scenario record from the measured run and its histogram.
 fn scenario_result(
     name: &str,
-    transport: Transport,
+    transport: BenchTransport,
     requests: usize,
     concurrency: usize,
     elapsed_secs: f64,
@@ -165,10 +187,32 @@ pub const MIXED_SCENARIO_ORIGIN_DELAY_MS: u64 = 25;
 pub const SCRIPTED_SCENARIO_LOOP_ITERS: usize = 600;
 
 /// The `transport` field value recorded for a scenario.
-fn transport_name(transport: Transport) -> String {
+fn transport_name(transport: BenchTransport) -> String {
     match transport {
-        Transport::Threaded => "threaded".to_string(),
-        Transport::Reactor => "reactor".to_string(),
+        BenchTransport::Threaded => "threaded".to_string(),
+        BenchTransport::Reactor => "reactor".to_string(),
+        BenchTransport::ReactorSplice => "reactor-splice".to_string(),
+    }
+}
+
+/// Starts the proxy front-end a scenario measures through.
+fn front(
+    service: Arc<dyn nakika_core::service::HttpService>,
+    transport: BenchTransport,
+) -> std::io::Result<ProxyServer> {
+    match transport {
+        BenchTransport::Threaded => ProxyServer::start_with(0, service, Transport::Threaded),
+        BenchTransport::Reactor => ProxyServer::start_reactor(
+            0,
+            service,
+            ReactorConfig {
+                splice_origin: false,
+                ..ReactorConfig::default()
+            },
+        ),
+        BenchTransport::ReactorSplice => {
+            ProxyServer::start_reactor(0, service, ReactorConfig::default())
+        }
     }
 }
 
@@ -177,15 +221,14 @@ fn transport_name(transport: Transport) -> String {
 /// `TcpOrigin`, and a front-end on `transport`.
 fn stand_up(
     origin_service: Arc<dyn nakika_core::service::HttpService>,
-    transport: Transport,
+    transport: BenchTransport,
 ) -> Result<(HttpServer, ProxyServer), NakikaError> {
     let origin =
         HttpServer::start(0, origin_service).map_err(internal("origin server failed to start"))?;
     let edge = NodeBuilder::plain_proxy("bench-proxy")
         .origin(Arc::new(TcpOrigin::new()))
         .build();
-    let proxy = ProxyServer::start_with(0, edge.service(), transport)
-        .map_err(internal("proxy failed to start"))?;
+    let proxy = front(edge.service(), transport).map_err(internal("proxy failed to start"))?;
     Ok((origin, proxy))
 }
 
@@ -198,7 +241,7 @@ fn stand_up(
 /// client thread.
 fn run_scenario(
     name: &str,
-    transport: Transport,
+    transport: BenchTransport,
     requests: usize,
     concurrency: usize,
     body_bytes: usize,
@@ -249,7 +292,7 @@ fn timed_get(
 /// all sit outside the measured window, which `run_scenario`'s
 /// whole-closure timer cannot express.
 fn run_mixed_scenario(
-    transport: Transport,
+    transport: BenchTransport,
     warm_requests: usize,
     concurrency: usize,
 ) -> Result<ProxyBenchScenario, NakikaError> {
@@ -333,8 +376,34 @@ fn run_mixed_scenario(
 /// `cold-cache` (origin-answered miss) and `warm-keepalive` (local hit).
 /// The run fails loudly if any measured request fell back to the origin —
 /// a silent fallback would quietly benchmark the wrong code path.
+/// Starts an overlay-joined edge node fronted by `transport` — the
+/// cluster-node counterpart of [`front`].
+fn start_bench_node(
+    name: &str,
+    overlay: &Arc<nakika_overlay::Overlay>,
+    transport: BenchTransport,
+) -> Result<cluster::LocalNode, NakikaError> {
+    match transport {
+        BenchTransport::Threaded => {
+            cluster::start_local_node(name, overlay, Transport::Threaded, None)
+        }
+        BenchTransport::Reactor => cluster::start_local_reactor_node(
+            name,
+            overlay,
+            ReactorConfig {
+                splice_origin: false,
+                ..ReactorConfig::default()
+            },
+            None,
+        ),
+        BenchTransport::ReactorSplice => {
+            cluster::start_local_reactor_node(name, overlay, ReactorConfig::default(), None)
+        }
+    }
+}
+
 fn run_peer_scenario(
-    transport: Transport,
+    transport: BenchTransport,
     requests: usize,
 ) -> Result<ProxyBenchScenario, NakikaError> {
     let origin = HttpServer::start(
@@ -346,7 +415,7 @@ fn run_peer_scenario(
     )
     .map_err(internal("peer origin failed to start"))?;
     let overlay = Arc::new(nakika_overlay::Overlay::with_defaults());
-    let node_a = cluster::start_local_node("bench-peer-a", &overlay, transport, None)?;
+    let node_a = start_bench_node("bench-peer-a", &overlay, transport)?;
     // Warm every key through A while it is the cluster's only member, so
     // all of them live in A's cache (were B already joined, keys B owns
     // would be forwarded to — and cached on — B during the warm-up).
@@ -357,7 +426,7 @@ fn run_peer_scenario(
     for i in 0..keys {
         http_get_via_proxy(node_a.server.addr(), &format!("{base}/peer/{i}.html"))?;
     }
-    let node_b = cluster::start_local_node("bench-peer-b", &overlay, transport, None)?;
+    let node_b = start_bench_node("bench-peer-b", &overlay, transport)?;
     let hist = LatencyRecorder::new();
     let start = Instant::now();
     let mut client = ProxyClient::connect(node_b.server.addr())?;
@@ -396,7 +465,7 @@ fn run_peer_scenario(
 /// silently regressed).
 fn run_scripted_scenario(
     name: &str,
-    transport: Transport,
+    transport: BenchTransport,
     requests: usize,
     engine: ScriptEngine,
 ) -> Result<ProxyBenchScenario, NakikaError> {
@@ -440,8 +509,8 @@ p.register();
         )
         .origin(Arc::new(TcpOrigin::new()))
         .build();
-    let proxy = ProxyServer::start_with(0, edge.service(), transport)
-        .map_err(internal("scripted proxy failed to start"))?;
+    let proxy =
+        front(edge.service(), transport).map_err(internal("scripted proxy failed to start"))?;
     let url = format!("{base}/hot.html");
     // Warm-up: compiles the two walls and the site stage, caches the page.
     http_get_via_proxy(proxy.addr(), &url)?;
@@ -500,6 +569,13 @@ p.register();
 ///   bytecode VM and under the reference interpreter; the pair isolates
 ///   what compiling NkScript to bytecode buys on the hot path.
 ///
+/// Every scenario runs on `threaded` and `reactor` (the reactor's
+/// worker-pool miss offload, pinned with `splice_origin = false`); the
+/// miss-dominated ones — `cold-cache`, `bench_stream`, `bench_mixed` —
+/// additionally run as `reactor-splice`, the production default that
+/// relays misses on the event loop, so the splice-vs-offload delta is
+/// recorded side by side (see [`format_splice_comparison`]).
+///
 /// `requests` scales every scenario (the slower workloads run a fraction of
 /// it); `concurrency` is the client count for `warm-concurrent` and
 /// `bench_mixed`.  `docs/BENCHMARKING.md` documents each scenario and how
@@ -511,22 +587,10 @@ pub fn bench_proxy_suite(
     let requests = requests.max(16);
     let concurrency = concurrency.max(1);
     let mut suite = ProxyBenchSuite::default();
-    for transport in [Transport::Threaded, Transport::Reactor] {
-        let cold = requests / 4;
-        suite.scenarios.push(run_scenario(
-            "cold-cache",
-            transport,
-            cold,
-            1,
-            2096,
-            |proxy, base, hist| {
-                let mut client = ProxyClient::connect(proxy.addr())?;
-                for i in 0..cold {
-                    timed_get(&mut client, &format!("{base}/cold/{i}.html"), hist)?;
-                }
-                Ok(())
-            },
-        )?);
+    for transport in [BenchTransport::Threaded, BenchTransport::Reactor] {
+        suite
+            .scenarios
+            .push(run_cold_scenario(transport, requests)?);
 
         suite.scenarios.push(run_scenario(
             "warm-keepalive",
@@ -605,37 +669,9 @@ pub fn bench_proxy_suite(
             },
         )?);
 
-        // bench_stream: 1 MiB bodies over a warm cache on one keep-alive
-        // connection — the scenario the streaming `Body` redesign targets.
-        // Throughput here is dominated by how many times the stack copies
-        // (or used to double-buffer) a large response.
-        // A quarter (not an eighth) of the scaling knob: 30 one-MiB
-        // transfers left the percentiles hostage to a single scheduler
-        // hiccup; see docs/BENCHMARKING.md on the noise floor.
-        let stream_requests = (requests / 4).max(8);
-        suite.scenarios.push(run_scenario(
-            "bench_stream",
-            transport,
-            stream_requests,
-            1,
-            STREAM_SCENARIO_BODY_BYTES,
-            |proxy, base, hist| {
-                let url = format!("{base}/stream.bin");
-                let mut client = ProxyClient::connect(proxy.addr())?;
-                // Warm the cache (the first fetch tees the streamed body in).
-                timed_get(&mut client, &url, hist)?;
-                for _ in 1..stream_requests {
-                    let response = timed_get(&mut client, &url, hist)?;
-                    if response.body.len() != STREAM_SCENARIO_BODY_BYTES {
-                        return Err(NakikaError::Internal(format!(
-                            "short stream body: {}",
-                            response.body.len()
-                        )));
-                    }
-                }
-                Ok(())
-            },
-        )?);
+        suite
+            .scenarios
+            .push(run_stream_scenario(transport, requests)?);
 
         // bench_mixed: warm concurrency under continuous slow cold misses —
         // the workload that used to collapse the reactor to origin latency
@@ -669,7 +705,115 @@ pub fn bench_proxy_suite(
             ScriptEngine::Interp,
         )?);
     }
+
+    // The splice variant: re-measure the scenarios a cache-miss relay
+    // actually dominates under the production default (the event-loop
+    // origin splice), recorded as `reactor-splice` so the splice and the
+    // pooled-offload `reactor` rows sit side by side in the results —
+    // cold-cache (every request is a relayed miss), bench_stream (the
+    // 1 MiB warm-up tee crosses the splice's backpressure windows), and
+    // bench_mixed (the headline number: warm throughput while relays run).
+    let splice = BenchTransport::ReactorSplice;
+    suite.scenarios.push(run_cold_scenario(splice, requests)?);
+    suite.scenarios.push(run_stream_scenario(splice, requests)?);
+    suite
+        .scenarios
+        .push(run_mixed_scenario(splice, requests, concurrency)?);
     Ok(suite)
+}
+
+/// Runs `cold-cache` on one transport: every request targets a distinct
+/// URL, so each one is a full miss — parse → service → origin relay →
+/// store.  On `reactor-splice` this is the purest splice measurement:
+/// every single request crosses the event-loop relay.
+fn run_cold_scenario(
+    transport: BenchTransport,
+    requests: usize,
+) -> Result<ProxyBenchScenario, NakikaError> {
+    let cold = requests / 4;
+    run_scenario(
+        "cold-cache",
+        transport,
+        cold,
+        1,
+        2096,
+        |proxy, base, hist| {
+            let mut client = ProxyClient::connect(proxy.addr())?;
+            for i in 0..cold {
+                timed_get(&mut client, &format!("{base}/cold/{i}.html"), hist)?;
+            }
+            Ok(())
+        },
+    )
+}
+
+/// Runs `bench_stream` on one transport: 1 MiB bodies over a warm cache on
+/// one keep-alive connection — the scenario the streaming `Body` redesign
+/// targets.  Throughput here is dominated by how many times the stack
+/// copies (or used to double-buffer) a large response.
+/// A quarter (not an eighth) of the scaling knob: 30 one-MiB transfers
+/// left the percentiles hostage to a single scheduler hiccup; see
+/// docs/BENCHMARKING.md on the noise floor.
+fn run_stream_scenario(
+    transport: BenchTransport,
+    requests: usize,
+) -> Result<ProxyBenchScenario, NakikaError> {
+    let stream_requests = (requests / 4).max(8);
+    run_scenario(
+        "bench_stream",
+        transport,
+        stream_requests,
+        1,
+        STREAM_SCENARIO_BODY_BYTES,
+        |proxy, base, hist| {
+            let url = format!("{base}/stream.bin");
+            let mut client = ProxyClient::connect(proxy.addr())?;
+            // Warm the cache (the first fetch tees the streamed body in).
+            timed_get(&mut client, &url, hist)?;
+            for _ in 1..stream_requests {
+                let response = timed_get(&mut client, &url, hist)?;
+                if response.body.len() != STREAM_SCENARIO_BODY_BYTES {
+                    return Err(NakikaError::Internal(format!(
+                        "short stream body: {}",
+                        response.body.len()
+                    )));
+                }
+            }
+            Ok(())
+        },
+    )
+}
+
+/// Formats the splice-vs-offload comparison: for every scenario measured
+/// on both `reactor` (worker-pool offload) and `reactor-splice` (event-loop
+/// splice), one line with both throughputs, the splice/offload ratio, and
+/// both p99s.  Empty when no scenario carries both rows.
+pub fn format_splice_comparison(suite: &ProxyBenchSuite) -> String {
+    let mut out = String::new();
+    for s in &suite.scenarios {
+        if s.transport != "reactor-splice" {
+            continue;
+        }
+        let Some(offload) = suite.scenario(&s.name, "reactor") else {
+            continue;
+        };
+        if out.is_empty() {
+            out.push_str(
+                "Scenario          Offload rps   Splice rps   Splice/Offload  \
+                 Offload p99 (us)  Splice p99 (us)\n",
+            );
+        }
+        out.push_str(&format!(
+            "{:<17} {:>11.0} {:>12.0} {:>15.2}x {:>16} {:>16}\n",
+            s.name,
+            offload.requests_per_sec,
+            s.requests_per_sec,
+            s.requests_per_sec / offload.requests_per_sec.max(1e-9),
+            offload.p99_us,
+            s.p99_us
+        ));
+    }
+    out
 }
 
 /// Formats Table 2 (micro-benchmark latency) as an aligned text table.
@@ -761,8 +905,9 @@ mod tests {
     #[test]
     fn scripted_scenario_runs_under_both_engines() {
         for engine in [ScriptEngine::Vm, ScriptEngine::Interp] {
-            let scenario = run_scripted_scenario("bench_scripted", Transport::Threaded, 8, engine)
-                .expect("scripted scenario runs");
+            let scenario =
+                run_scripted_scenario("bench_scripted", BenchTransport::Threaded, 8, engine)
+                    .expect("scripted scenario runs");
             assert_eq!(scenario.requests, 8);
             assert!(scenario.requests_per_sec > 0.0);
         }

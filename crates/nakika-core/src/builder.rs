@@ -27,7 +27,9 @@ use crate::peering;
 use crate::pipeline::{CLIENT_WALL_URL, SERVER_WALL_URL};
 use crate::programs::ScriptEngine;
 use crate::resource::{ResourceKind, ResourceManagerConfig};
-use crate::service::{layered, DispatchHint, HttpService, Layer, NakikaError, RequestCtx};
+use crate::service::{
+    layered, DispatchHint, HttpService, Layer, NakikaError, RelayPlan, RequestCtx,
+};
 use nakika_http::pattern::Cidr;
 use nakika_http::{Request, Response};
 use nakika_overlay::{Membership, NodeId, Overlay, ProbeAction};
@@ -60,6 +62,10 @@ impl HttpService for NodeService {
 
     fn dispatch_hint(&self, req: &Request, ctx: &RequestCtx) -> DispatchHint {
         self.node.dispatch_hint(req, ctx.arrival_secs)
+    }
+
+    fn relay_plan(&self, req: &Request, ctx: &RequestCtx) -> Option<RelayPlan> {
+        self.node.relay_plan(req, ctx.arrival_secs, &self.origin)
     }
 }
 
@@ -295,6 +301,10 @@ impl HttpService for NodeHandle {
 
     fn dispatch_hint(&self, req: &Request, ctx: &RequestCtx) -> DispatchHint {
         self.service.dispatch_hint(req, ctx)
+    }
+
+    fn relay_plan(&self, req: &Request, ctx: &RequestCtx) -> Option<RelayPlan> {
+        self.service.relay_plan(req, ctx)
     }
 }
 

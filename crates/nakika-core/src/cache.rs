@@ -237,6 +237,16 @@ impl ProxyCache {
             .is_some_and(|entry| entry.fresh_until > now_secs)
     }
 
+    /// Records a miss for `key` without touching the entry map.  A
+    /// readiness transport that answers a miss by splicing bytes on its
+    /// event loop never runs the ordinary [`get`](ProxyCache::get), but
+    /// the exchange must still account one cache lookup (see
+    /// `NaKikaNode::relay_plan`); counting it at adoption time keeps
+    /// `hits + misses` equal to requests served on every transport.
+    pub fn record_miss(&self, key: &str) {
+        self.shard(key).lock().stats.misses += 1;
+    }
+
     /// Looks up a fresh response for `key` at time `now_secs`.
     pub fn get(&self, key: &str, now_secs: u64) -> Option<Response> {
         let mut shard = self.shard(key).lock();

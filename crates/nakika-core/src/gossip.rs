@@ -26,7 +26,7 @@
 
 use crate::node::OriginFetch;
 use crate::peering;
-use crate::service::{DispatchHint, HttpService, NakikaError, RequestCtx};
+use crate::service::{DispatchHint, HttpService, NakikaError, RelayPlan, RequestCtx};
 use nakika_http::{Request, Response, StatusCode};
 use nakika_overlay::{key_for, Location, Membership, MembershipEvent, Overlay};
 use std::sync::Arc;
@@ -175,6 +175,15 @@ impl HttpService for GossipService {
             };
         }
         self.inner.dispatch_hint(req, ctx)
+    }
+
+    fn relay_plan(&self, req: &Request, ctx: &RequestCtx) -> Option<RelayPlan> {
+        // Gossip exchanges are answered from membership state, never
+        // relayed from an upstream socket.
+        if req.uri.path == peering::GOSSIP_PATH {
+            return None;
+        }
+        self.inner.relay_plan(req, ctx)
     }
 }
 

@@ -18,10 +18,11 @@ use crate::pipeline::{
 };
 use crate::programs::{ProgramCache, ScriptEngine};
 use crate::resource::{Admission, ResourceKind, ResourceManager, ResourceManagerConfig};
-use crate::service::{DispatchHint, NakikaError};
+use crate::service::{DispatchHint, NakikaError, RelayAttempt, RelayPlan};
 use crate::vocab::VocabHooks;
 use nakika_http::cache_control::{freshness, Freshness};
 use nakika_http::pattern::Cidr;
+use nakika_http::serialize::{serialize_request, serialize_request_absolute};
 use nakika_http::{Body, Method, Request, Response};
 use nakika_overlay::{Membership, NodeId, Overlay};
 use nakika_script::ResourceMeter;
@@ -46,6 +47,16 @@ pub trait OriginFetch: Send + Sync {
     fn fetch_peer(&self, peer: &str, request: &Request) -> Result<Response, NakikaError> {
         let _ = peer;
         Ok(self.fetch_origin(request))
+    }
+
+    /// True when this fetch path is a plain TCP exchange a readiness-driven
+    /// transport may perform itself by splicing sockets (see
+    /// [`RelayPlan`]).  The default is `false`: simulated, scripted and
+    /// test origins answer from process memory, and a transport must not
+    /// bypass them with real connections.  `TcpOrigin` in `nakika-server`
+    /// overrides this.
+    fn relay_eligible(&self) -> bool {
+        false
     }
 }
 
@@ -181,6 +192,21 @@ struct ResourceFetcher {
 /// locate the request's owner with.
 pub(crate) fn cache_key(request: &Request) -> String {
     format!("{} {}", request.method, request.uri.to_origin())
+}
+
+/// Splits a peer's overlay payload (`http://host:port`, optional trailing
+/// slash) into a connectable host/port pair; `None` when the payload is not
+/// a base URL (a simulated node announcing its bare name).
+fn peer_host_port(peer: &str) -> Option<(String, u16)> {
+    let rest = peer.strip_prefix("http://").unwrap_or(peer);
+    let rest = rest.trim_end_matches('/');
+    if rest.is_empty() || rest.contains('/') {
+        return None;
+    }
+    match rest.rsplit_once(':') {
+        Some((host, port)) => port.parse().ok().map(|port| (host.to_string(), port)),
+        None => Some((rest.to_string(), 80)),
+    }
 }
 
 impl ResourceFetcher {
@@ -676,6 +702,219 @@ impl NaKikaNode {
         } else {
             DispatchHint::MayBlock
         }
+    }
+
+    /// Plans one cache miss as a socket-to-socket relay (see [`RelayPlan`]):
+    /// the upstreams [`ResourceFetcher::fetch`] would try — announced peer,
+    /// consistent-hash owner, origin — as connect targets plus serialized
+    /// request bytes, with the fetch path's side effects (hit counters,
+    /// cache capture, access logging) packaged as callbacks the transport
+    /// runs at the matching moments.  Planning itself mutates nothing, so a
+    /// transport that declines the plan and calls
+    /// [`process`](NaKikaNode::process) instead double-counts nothing.
+    ///
+    /// `None` whenever the exchange cannot be a plain relay: the origin
+    /// path is not raw TCP (`OriginFetch::relay_eligible`), the node runs
+    /// scripts, resource control is enabled (admission must see every
+    /// exchange), the method is not cacheable, the request carries a body,
+    /// or the cache turned warm since the dispatch hint.
+    pub(crate) fn relay_plan(
+        &self,
+        request: &Request,
+        now_secs: u64,
+        origin: &Arc<dyn OriginFetch>,
+    ) -> Option<RelayPlan> {
+        if !origin.relay_eligible() {
+            return None;
+        }
+        if !matches!(
+            self.config.mode,
+            NodeMode::PlainProxy | NodeMode::ProxyWithDht
+        ) {
+            return None;
+        }
+        if self.resource.is_enabled() {
+            return None;
+        }
+        if !request.method.is_cacheable() || !request.body.is_empty() {
+            return None;
+        }
+        let key = cache_key(request);
+        if self.cache.contains_fresh(&key, now_secs) {
+            // Raced warm between the dispatch hint and now; the ordinary
+            // call path answers from memory.
+            return None;
+        }
+
+        let fetcher = ResourceFetcher {
+            node_name: self.config.name.clone(),
+            public_addr: self.public_addr.lock().clone(),
+            cache: self.cache.clone(),
+            overlay: match self.config.mode {
+                NodeMode::PlainProxy => None,
+                _ => self.overlay.clone(),
+            },
+            origin: origin.clone(),
+            heuristic_ttl: self.config.heuristic_ttl,
+            stats: self.stats.clone(),
+            replication: match self.config.mode {
+                NodeMode::PlainProxy => None,
+                _ => self.replication.clone(),
+            },
+            gossip: self.gossip.clone(),
+        };
+
+        let mut attempts = Vec::new();
+        if let Some((overlay, node_id)) = &fetcher.overlay {
+            if peering::may_forward(request, &self.config.name) {
+                let announced = overlay
+                    .get(*node_id, &key, now_secs)
+                    .into_iter()
+                    .map(|p| p.payload)
+                    .find(|payload| !fetcher.is_self(payload));
+                let owner = overlay
+                    .owner_of(&key)
+                    .filter(|m| m.id != *node_id)
+                    .and_then(|m| m.addr)
+                    .filter(|addr| !fetcher.is_self(addr));
+                let mut forwarded = request.clone();
+                peering::mark_forwarded(&mut forwarded, &self.config.name);
+                forwarded.headers.set("Connection", "close");
+                let wire = serialize_request_absolute(&forwarded);
+                let mut tried: Option<String> = None;
+                for peer in [announced, owner].into_iter().flatten() {
+                    if tried.as_deref() == Some(peer.as_str()) {
+                        continue;
+                    }
+                    tried = Some(peer.clone());
+                    let Some((host, port)) = peer_host_port(&peer) else {
+                        continue;
+                    };
+                    let stats = self.stats.clone();
+                    let gossip = self.gossip.clone();
+                    let failed_peer = peer.clone();
+                    attempts.push(RelayAttempt {
+                        host,
+                        port,
+                        wire: wire.clone(),
+                        label: format!("peer {peer}"),
+                        fallback_on_error_status: true,
+                        on_fail: Some(Arc::new(move || {
+                            stats.lock().peer_misses += 1;
+                            if let Some(gossip) = &gossip {
+                                gossip.note_failure(&failed_peer);
+                            }
+                        })),
+                    });
+                }
+            }
+        }
+        let peer_attempts = attempts.len();
+
+        let mut origin_request = request.clone();
+        if peering::has_internal_headers(&origin_request) {
+            peering::strip_internal_headers(&mut origin_request);
+        }
+        origin_request.uri = origin_request.uri.to_origin();
+        origin_request.headers.set("Connection", "close");
+        attempts.push(RelayAttempt {
+            host: origin_request.uri.host.clone(),
+            port: origin_request.uri.port,
+            label: origin_request.uri.to_string(),
+            wire: serialize_request(&origin_request),
+            fallback_on_error_status: false,
+            on_fail: None,
+        });
+
+        let on_start = {
+            let stats = self.stats.clone();
+            let cache = self.cache.clone();
+            let key = key.clone();
+            Arc::new(move || {
+                stats.lock().requests += 1;
+                // The splice replaces the ordinary fetch, whose lookup
+                // would have recorded this miss.
+                cache.record_miss(&key);
+            })
+        };
+
+        let site = request.site();
+        let client = request.client_ip.to_string();
+        let method_str = request.method.as_str().to_string();
+        let url = request.uri.to_string();
+        let finish = {
+            let stats = self.stats.clone();
+            let access_log = self.access_log.clone();
+            let resource = self.resource.clone();
+            let method = request.method.clone();
+            let key = key.clone();
+            let (site, client, method_str, url) = (
+                site.clone(),
+                client.clone(),
+                method_str.clone(),
+                url.clone(),
+            );
+            Arc::new(move |response: Response, attempt: usize| {
+                {
+                    let mut stats = stats.lock();
+                    if attempt < peer_attempts {
+                        stats.peer_hits += 1;
+                    } else {
+                        stats.origin_fetches += 1;
+                    }
+                }
+                let response = fetcher.capture(key.clone(), &method, response, now_secs);
+                access_log.record(
+                    &site,
+                    LogEntry {
+                        timestamp: now_secs,
+                        client: client.clone(),
+                        method: method_str.clone(),
+                        url: url.clone(),
+                        status: response.status.as_u16(),
+                        bytes: response.body.len(),
+                    },
+                );
+                resource.record(
+                    &site,
+                    ResourceKind::BytesTransferred,
+                    response.body.len() as f64,
+                );
+                response
+            })
+        };
+
+        let fail = {
+            let stats = self.stats.clone();
+            let access_log = self.access_log.clone();
+            Arc::new(move |reason: &str| {
+                stats.lock().origin_fetches += 1;
+                let response = NakikaError::Upstream {
+                    url: url.clone(),
+                    reason: reason.to_string(),
+                }
+                .to_response();
+                access_log.record(
+                    &site,
+                    LogEntry {
+                        timestamp: now_secs,
+                        client: client.clone(),
+                        method: method_str.clone(),
+                        url: url.clone(),
+                        status: response.status.as_u16(),
+                        bytes: response.body.len(),
+                    },
+                );
+                response
+            })
+        };
+
+        Some(RelayPlan {
+            attempts,
+            on_start,
+            finish,
+            fail,
+        })
     }
 
     /// Mediates one HTTP exchange at time `now_secs`, fetching whatever it

@@ -274,6 +274,64 @@ pub enum DispatchHint {
     MayBlock,
 }
 
+/// One upstream a readiness-driven transport may splice a cache miss from:
+/// where to connect, what to write, and how to judge the outcome.
+///
+/// Attempts are tried in order; connection failures, malformed responses
+/// and deadline expiries advance to the next attempt until one delivers a
+/// usable response head (see [`RelayPlan`]).
+pub struct RelayAttempt {
+    /// Host to connect to — an IP literal in real deployments (peers
+    /// announce base URLs with literal addresses; origins in the bench and
+    /// test rigs are loopback).  Transports that cannot resolve this
+    /// without blocking fall back to the threaded fetch path.
+    pub host: String,
+    /// Port to connect to.
+    pub port: u16,
+    /// The serialized request to write upstream, `Connection: close` wire —
+    /// spliced upstream sockets are single-exchange by construction.
+    pub wire: Vec<u8>,
+    /// Label naming the upstream in error messages ("peer http://…" or the
+    /// origin URL).
+    pub label: String,
+    /// When true, a non-success response head is itself an attempt failure
+    /// (peer fetches fall back to the origin on any error status); when
+    /// false the head is forwarded as-is (origins speak for themselves).
+    pub fallback_on_error_status: bool,
+    /// Side effects of this attempt failing (peer-miss counters, negative
+    /// gossip evidence).  Runs at failure time, never at plan time.
+    pub on_fail: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+/// A side-effect-free description of how a transport can answer one cache
+/// miss by relaying bytes straight from an upstream socket — the seam the
+/// reactor's event-loop splice hangs off.
+///
+/// [`HttpService::relay_plan`] *describes* the fetch the service would
+/// perform for a request; it must not perform any of it.  A transport that
+/// adopts the plan runs [`on_start`](RelayPlan::on_start) once, connects
+/// through the [`attempts`](RelayPlan::attempts) in order, passes the
+/// winning response through [`finish`](RelayPlan::finish) (which applies
+/// cache capture and counters), and renders total failure with
+/// [`fail`](RelayPlan::fail).  A transport that does *not* adopt the plan
+/// simply calls [`HttpService::call`] as usual — because planning had no
+/// side effects, nothing is double-counted.
+pub struct RelayPlan {
+    /// Upstreams to try, in order: announced peer, consistent-hash owner,
+    /// then the origin.
+    pub attempts: Vec<RelayAttempt>,
+    /// Side effects of the exchange starting (the request counter) —
+    /// what [`HttpService::call`] would have done up front.
+    pub on_start: Arc<dyn Fn() + Send + Sync>,
+    /// Transforms the successful upstream response exactly as the in-call
+    /// fetch path would: hit counters keyed by the winning attempt's index,
+    /// cache capture (the streaming tee), access logging.
+    pub finish: Arc<dyn Fn(Response, usize) -> Response + Send + Sync>,
+    /// Renders the client-facing error response after every attempt failed
+    /// before delivering a head.
+    pub fail: Arc<dyn Fn(&str) -> Response + Send + Sync>,
+}
+
 /// The single boundary between transports and everything else: one HTTP
 /// exchange in, one HTTP exchange (or platform error) out.
 ///
@@ -303,6 +361,17 @@ pub trait HttpService: Send + Sync {
         let _ = (req, ctx);
         DispatchHint::MayBlock
     }
+
+    /// Describes, without side effects, how a transport could answer `req`
+    /// by splicing bytes from an upstream socket it drives itself (see
+    /// [`RelayPlan`]).  `None` — the default — means the transport must
+    /// run [`call`](HttpService::call) instead: the service cannot express
+    /// this exchange as a plain relay (scripted pipelines, middleware
+    /// stacks, warm cache hits, non-idempotent methods).
+    fn relay_plan(&self, req: &Request, ctx: &RequestCtx) -> Option<RelayPlan> {
+        let _ = (req, ctx);
+        None
+    }
 }
 
 impl HttpService for Arc<dyn HttpService> {
@@ -312,6 +381,10 @@ impl HttpService for Arc<dyn HttpService> {
 
     fn dispatch_hint(&self, req: &Request, ctx: &RequestCtx) -> DispatchHint {
         (**self).dispatch_hint(req, ctx)
+    }
+
+    fn relay_plan(&self, req: &Request, ctx: &RequestCtx) -> Option<RelayPlan> {
+        (**self).relay_plan(req, ctx)
     }
 }
 
@@ -423,6 +496,15 @@ impl HttpService for HintPreserving {
 
     fn dispatch_hint(&self, req: &Request, ctx: &RequestCtx) -> DispatchHint {
         self.classifier.dispatch_hint(req, ctx)
+    }
+
+    fn relay_plan(&self, req: &Request, ctx: &RequestCtx) -> Option<RelayPlan> {
+        // A layered stack must observe every exchange (logging, admission,
+        // redirection), and a splice bypasses `call` entirely — so the
+        // presence of any layer disables relay planning.  Hints can be
+        // forwarded past layers; relays cannot.
+        let _ = (req, ctx);
+        None
     }
 }
 

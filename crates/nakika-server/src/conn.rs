@@ -90,6 +90,13 @@ pub const OUTPUT_WINDOW_BYTES: usize = 256 * 1024;
 /// [`OUTPUT_WINDOW_BYTES`].
 const PART_HEADROOM_BYTES: usize = STREAM_CHUNK_BYTES + 4 * 1024;
 
+/// Parts at or above this size are queued as shared [`bytes::Bytes`] tails
+/// — written to the socket with `writev` by the reactor — instead of being
+/// copied into the contiguous front buffer.  Small parts (response heads,
+/// chunk framing lines) coalesce in the front buffer, where one copy is
+/// cheaper than one extra iovec per part.
+const TAIL_THRESHOLD_BYTES: usize = 1024;
+
 /// Per-server high-water mark of serialized-but-unsent bytes across that
 /// server's connections — the instrumentation behind the large-body
 /// bounded-memory tests and `examples/streaming_brigade.rs`.  One gauge is
@@ -194,6 +201,12 @@ pub(crate) struct HttpConn {
     inbuf: Vec<u8>,
     outbuf: Vec<u8>,
     written: usize,
+    /// Large body parts queued after `outbuf`, kept as the `Bytes` the
+    /// writer produced (zero-copy for `Content-Length` framing).  Wire
+    /// order is always `outbuf[written..]` first, then the tail in order.
+    tail: VecDeque<bytes::Bytes>,
+    /// Total bytes across `tail` (kept in step for O(1) window checks).
+    tail_len: usize,
     /// The response currently being emitted incrementally.
     active: Option<ResponseWriter>,
     /// Responses dispatched but not yet started (pipelining).
@@ -232,6 +245,8 @@ impl HttpConn {
             inbuf: Vec::new(),
             outbuf: Vec::new(),
             written: 0,
+            tail: VecDeque::new(),
+            tail_len: 0,
             active: None,
             queued: VecDeque::new(),
             open: true,
@@ -382,7 +397,7 @@ impl HttpConn {
                     Ok(part) => {
                         let finished = writer.is_done();
                         if let Some(part) = part {
-                            self.emit(&part);
+                            self.emit(part);
                         }
                         if finished {
                             self.active = None;
@@ -451,7 +466,7 @@ impl HttpConn {
                 return Some(Work::Pull { body });
             }
             match writer.next_part() {
-                Ok(Some(part)) => self.emit(&part),
+                Ok(Some(part)) => self.emit(part),
                 Ok(None) => self.active = None,
                 Err(_) => {
                     self.abort();
@@ -461,15 +476,27 @@ impl HttpConn {
         }
     }
 
-    /// Appends one wire part to the output buffer, compacting the flushed
-    /// prefix first so a long-lived keep-alive connection does not accrete
-    /// every response it ever sent.
-    fn emit(&mut self, part: &[u8]) {
-        if self.written > 0 {
-            self.outbuf.drain(..self.written);
-            self.written = 0;
+    /// Appends one wire part to the pending output.  Small parts coalesce
+    /// into the contiguous front buffer (compacting its flushed prefix
+    /// first, so a long-lived keep-alive connection does not accrete every
+    /// response it ever sent); large parts keep their `Bytes` identity in
+    /// the tail queue, where the reactor's `writev` sends them without
+    /// another copy.  A part can only join the front buffer while the tail
+    /// is empty — wire order is front-then-tail, always.
+    fn emit(&mut self, part: bytes::Bytes) {
+        if part.is_empty() {
+            return;
         }
-        self.outbuf.extend_from_slice(part);
+        if !self.tail.is_empty() || part.len() >= TAIL_THRESHOLD_BYTES {
+            self.tail_len += part.len();
+            self.tail.push_back(part);
+        } else {
+            if self.written > 0 {
+                self.outbuf.drain(..self.written);
+                self.written = 0;
+            }
+            self.outbuf.extend_from_slice(&part);
+        }
         self.gauge.note(self.pending_len());
     }
 
@@ -482,13 +509,37 @@ impl HttpConn {
         self.open = false;
     }
 
-    /// The serialized bytes not yet written to the socket.
+    /// The first contiguous run of serialized bytes not yet written to the
+    /// socket: the front buffer while it has unsent bytes, then each tail
+    /// part in turn.  Looping `pending_output`/
+    /// [`advance_output`](HttpConn::advance_output) sees every pending byte
+    /// exactly once.  Both transports flush with
+    /// [`output_slices`](HttpConn::output_slices) (one gathering write per
+    /// pass — separate syscalls per run would emit separate TCP segments);
+    /// this byte-wise view remains for the engine tests, which assert on
+    /// output without a socket.
+    #[cfg(test)]
     pub fn pending_output(&self) -> &[u8] {
-        &self.outbuf[self.written..]
+        let front = &self.outbuf[self.written..];
+        if !front.is_empty() {
+            return front;
+        }
+        self.tail.front().map(|part| &part[..]).unwrap_or(&[])
+    }
+
+    /// Every pending output run, in wire order, as `writev` iovecs.
+    pub fn output_slices(&self) -> Vec<io::IoSlice<'_>> {
+        let mut slices = Vec::with_capacity(1 + self.tail.len());
+        let front = &self.outbuf[self.written..];
+        if !front.is_empty() {
+            slices.push(io::IoSlice::new(front));
+        }
+        slices.extend(self.tail.iter().map(|part| io::IoSlice::new(part)));
+        slices
     }
 
     fn pending_len(&self) -> usize {
-        self.outbuf.len() - self.written
+        self.outbuf.len() - self.written + self.tail_len
     }
 
     /// True while serialized-but-unsent bytes are waiting for the socket —
@@ -504,8 +555,25 @@ impl HttpConn {
     /// freed window; in offloading mode the transport drives refills
     /// through [`advance`](HttpConn::advance) so pulls can be offloaded.
     pub fn advance_output(&mut self, n: usize) {
-        self.written += n;
-        debug_assert!(self.written <= self.outbuf.len());
+        let mut n = n;
+        let take = n.min(self.outbuf.len() - self.written);
+        self.written += take;
+        n -= take;
+        while n > 0 {
+            let front = self
+                .tail
+                .front_mut()
+                .expect("advanced past the pending output");
+            if n >= front.len() {
+                n -= front.len();
+                self.tail_len -= front.len();
+                self.tail.pop_front();
+            } else {
+                self.tail_len -= n;
+                *front = front.slice(n..);
+                n = 0;
+            }
+        }
         if !self.offload {
             let work = self.pump();
             debug_assert!(work.is_none(), "inline mode never offloads");
@@ -672,6 +740,68 @@ mod tests {
             !out.contains("/r0"),
             "earlier responses were compacted away"
         );
+    }
+
+    #[test]
+    fn vectored_tail_preserves_wire_order_and_byte_accounting() {
+        // A response whose body mixes parts below and above the tail
+        // threshold: heads and small chunks coalesce in the front buffer,
+        // large chunks ride the tail — and the wire sees one ordered
+        // stream either way, whether drained byte-wise (pending_output)
+        // or gathered (output_slices).
+        let big_a = Bytes::from(vec![b'A'; 8 * 1024]);
+        let big_b = Bytes::from(vec![b'B'; 8 * 1024]);
+        let chunks = vec![
+            Bytes::from_static(b"tiny-"),
+            big_a,
+            Bytes::from_static(b"-mid-"),
+            big_b,
+        ];
+        let total: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        let service = service_fn(move |_req: Request, _ctx| {
+            let mut resp = Response::new(StatusCode::OK);
+            resp.body = Body::stream_from_iter(chunks.clone(), Some(total));
+            Ok(resp)
+        });
+        let expected_body: usize = total as usize;
+
+        // Gather path: every pending byte appears exactly once, in order.
+        let mut conn = HttpConn::new(peer(), gauge());
+        conn.feed(b"GET /v HTTP/1.1\r\nHost: x\r\n\r\n");
+        conn.dispatch(&*service, &factory());
+        let mut gathered = Vec::new();
+        while conn.wants_write() {
+            let slices = conn.output_slices();
+            assert!(!slices.is_empty());
+            let n: usize = slices.iter().map(|s| s.len()).sum();
+            for s in &slices {
+                gathered.extend_from_slice(s);
+            }
+            conn.advance_output(n);
+        }
+        let head_end = gathered
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("head terminator")
+            + 4;
+        let body = &gathered[head_end..];
+        assert_eq!(body.len(), expected_body);
+        assert!(body.starts_with(b"tiny-"));
+        assert!(body[5..].starts_with(&[b'A'; 8 * 1024][..]));
+
+        // Byte-wise path with awkward advances (splitting tail parts).
+        let mut conn = HttpConn::new(peer(), gauge());
+        conn.feed(b"GET /v HTTP/1.1\r\nHost: x\r\n\r\n");
+        conn.dispatch(&*service, &factory());
+        let mut dribbled = Vec::new();
+        while conn.wants_write() {
+            let pending = conn.pending_output();
+            assert!(!pending.is_empty());
+            let take = (pending.len() / 2).clamp(1, 3000);
+            dribbled.extend_from_slice(&pending[..take]);
+            conn.advance_output(take);
+        }
+        assert_eq!(dribbled, gathered, "both drain styles see identical bytes");
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 mod conn;
 mod reactor;
+mod relay;
 mod sys;
 mod timer;
 
@@ -122,12 +123,37 @@ pub struct ServerStats {
     timeouts: AtomicU64,
     rejected_over_cap: AtomicU64,
     open_connections: AtomicUsize,
+    worker_submissions: AtomicU64,
+    spliced_relays: AtomicU64,
+    relay_aborts: AtomicU64,
 }
 
 impl ServerStats {
     /// Connections evicted by the idle/progress deadline.
     pub fn timeouts(&self) -> u64 {
         self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Work units handed to the reactor's worker pool — one per offloaded
+    /// service call or blocking body pull.  Always 0 on the threaded
+    /// transport (it has no pool), and stays 0 for reactor misses served by
+    /// the event-loop splice: the zero-hand-off regression test pins this.
+    pub fn worker_submissions(&self) -> u64 {
+        self.worker_submissions.load(Ordering::Relaxed)
+    }
+
+    /// Cache-miss responses relayed origin→client entirely on the event
+    /// loop (the splice path), counted when the origin's response head is
+    /// accepted.
+    pub fn spliced_relays(&self) -> u64 {
+        self.spliced_relays.load(Ordering::Relaxed)
+    }
+
+    /// Spliced relays that failed after the response head was already
+    /// committed to the client — the client connection is aborted so the
+    /// truncation stays detectable (never a silently short body).
+    pub fn relay_aborts(&self) -> u64 {
+        self.relay_aborts.load(Ordering::Relaxed)
     }
 
     /// Connections refused because [`ServerOptions::max_connections`] was
@@ -143,6 +169,18 @@ impl ServerStats {
 
     pub(crate) fn note_timeout(&self) {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_worker_submission(&self) {
+        self.worker_submissions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_spliced_relay(&self) {
+        self.spliced_relays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_relay_abort(&self) {
+        self.relay_aborts.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_over_cap(&self) {
@@ -292,22 +330,32 @@ impl HttpServer {
                     },
                 })
             }
-            Transport::Reactor => {
-                let server = ReactorServer::start_with_config(
-                    port,
-                    service,
-                    ReactorConfig {
-                        options,
-                        ..ReactorConfig::default()
-                    },
-                )?;
-                Ok(HttpServer {
-                    addr: server.addr(),
-                    transport,
-                    imp: ServerImpl::Reactor { server },
-                })
-            }
+            Transport::Reactor => HttpServer::start_reactor(
+                port,
+                service,
+                ReactorConfig {
+                    options,
+                    ..ReactorConfig::default()
+                },
+            ),
         }
+    }
+
+    /// Starts a reactor-transport server with an explicit [`ReactorConfig`]
+    /// — thread counts, survival knobs, and whether cache-miss origin
+    /// relays are spliced on the event loop (`splice_origin`) or offloaded
+    /// to the worker pool.
+    pub fn start_reactor(
+        port: u16,
+        service: Arc<dyn HttpService>,
+        config: ReactorConfig,
+    ) -> std::io::Result<HttpServer> {
+        let server = ReactorServer::start_with_config(port, service, config)?;
+        Ok(HttpServer {
+            addr: server.addr(),
+            transport: Transport::Reactor,
+            imp: ServerImpl::Reactor { server },
+        })
     }
 
     /// The address the server listens on.
@@ -389,6 +437,18 @@ impl ProxyServer {
     ) -> std::io::Result<ProxyServer> {
         Ok(ProxyServer {
             inner: HttpServer::start_with(port, service, transport)?,
+        })
+    }
+
+    /// Starts the proxy on the reactor transport with an explicit
+    /// [`ReactorConfig`] — see [`HttpServer::start_reactor`].
+    pub fn start_reactor(
+        port: u16,
+        service: Arc<dyn HttpService>,
+        config: ReactorConfig,
+    ) -> std::io::Result<ProxyServer> {
+        Ok(ProxyServer {
+            inner: HttpServer::start_reactor(port, service, config)?,
         })
     }
 
@@ -525,6 +585,13 @@ impl Default for TcpOrigin {
 }
 
 impl OriginFetch for TcpOrigin {
+    /// Misses through this origin are plain outbound HTTP over TCP — the
+    /// reactor transport may serve them as an event-loop splice instead of
+    /// calling [`fetch_origin`](OriginFetch::fetch_origin) on a worker.
+    fn relay_eligible(&self) -> bool {
+        true
+    }
+
     fn fetch_origin(&self, request: &Request) -> Response {
         match self.fetch(request) {
             Ok(response) => response,
@@ -1136,6 +1203,12 @@ fn serve_connection(
 ) -> std::io::Result<()> {
     let idle = Duration::from_millis(options.resolved_idle_timeout_ms());
     stream.set_write_timeout(Some(idle))?;
+    // Responses flush as one writev of head + body parts below, but a
+    // response the engine produces across several pump steps can still
+    // leave the socket mid-response between flushes; without nodelay,
+    // Nagle would then hold the continuation hostage to the client's
+    // delayed ACK (~40 ms per response on a keep-alive connection).
+    let _ = stream.set_nodelay(true);
     let mut conn = HttpConn::new(peer, gauge);
     let mut chunk = [0u8; 8192];
     let mut deadline = Instant::now() + idle;
@@ -1148,7 +1221,14 @@ fn serve_connection(
         }
         let mut flushed = false;
         while conn.wants_write() {
-            match stream.write(conn.pending_output()) {
+            // One gathering write per pass: the engine keeps a response's
+            // head and large body parts as separate runs, and writing them
+            // with separate syscalls would emit separate segments.
+            let result = {
+                let slices = conn.output_slices();
+                stream.write_vectored(&slices)
+            };
+            match result {
                 Ok(0) => return Ok(()),
                 Ok(n) => {
                     conn.advance_output(n);

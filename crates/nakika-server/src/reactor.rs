@@ -56,16 +56,21 @@
 //! the same path, so dropping a [`ReactorServer`] joins every thread
 //! deterministically — reactors first, then the worker pool.
 
-use crate::conn::{Done, HttpConn, OutputGauge, Work};
-use crate::sys::{Interest, PollEvent, Poller};
+use crate::conn::{Done, HttpConn, OutputGauge, Work, OUTPUT_WINDOW_BYTES};
+use crate::relay::{RelayEvent, ResponseRelay};
+use crate::sys::{connect_nonblocking_v4, Interest, PollEvent, Poller};
 use crate::timer::{TimerVerdict, TimerWheel};
 use crate::{
     CtxFactory, HttpService, ServerOptions, ServerStats, WallClock, WorkerPool, OVER_CAP_RESPONSE,
     TIMEOUT_RESPONSE,
 };
+use bytes::Bytes;
+use nakika_core::service::RelayPlan;
+use nakika_http::{Body, ChunkSource, Response};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
-use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, SocketAddrV4, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -73,6 +78,23 @@ use std::time::Instant;
 
 /// Token reserved for the wake socket; connections use their slab index.
 const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Token-space offset for upstream (origin-side) connections: poll tokens
+/// and timer-wheel indices at or above this address the `upstreams` slab,
+/// below it the client slab.  Client indices stay far under 2^32 — each
+/// one holds an open fd.
+const UPSTREAM_BASE: u64 = 1 << 32;
+const UPSTREAM_BASE_IDX: usize = 1 << 32;
+
+/// Splice backpressure, origin→client direction: once this many relayed
+/// body bytes are queued and the client has not pulled them, the upstream
+/// socket is deregistered — TCP receive-window pressure then reaches the
+/// origin.  Sized to the client output window: together they bound a
+/// stalled relay to ~half a megabyte, never the full body.
+const SPLICE_HIGH_WATER_BYTES: usize = OUTPUT_WINDOW_BYTES;
+
+/// Reads resume once the client drains the splice queue below this.
+const SPLICE_LOW_WATER_BYTES: usize = 64 * 1024;
 
 /// Timer-wheel granularity.  Deadlines fire within one tick of their due
 /// time; 10 ms is far below any sane idle timeout.
@@ -95,7 +117,7 @@ const WHEEL_SLOTS: usize = 512;
 /// let pinned = ReactorConfig { reactors: 1, workers: 16, ..ReactorConfig::default() };
 /// # let _ = (auto, pinned);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReactorConfig {
     /// Number of event-loop threads.  `0` (the default) derives
     /// `min(available cores, 4)`: event loops are CPU-bound and a handful
@@ -115,6 +137,26 @@ pub struct ReactorConfig {
     /// timer wheel) and the server-wide connection cap (enforced at the
     /// acceptor).
     pub options: ServerOptions,
+    /// Serve relayable cache misses as an event-loop *splice* (`true`, the
+    /// default): when the service stack publishes a
+    /// [`RelayPlan`](nakika_core::service::RelayPlan) for a miss, the
+    /// reactor opens the origin connection itself — non-blocking, in the
+    /// same slab and poller as the client sockets — and relays the
+    /// response with zero worker hand-offs.  `false` routes every miss
+    /// through the worker pool (the pre-splice behaviour; the benchmark
+    /// suite uses this to keep a comparable baseline).
+    pub splice_origin: bool,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            reactors: 0,
+            workers: 0,
+            options: ServerOptions::default(),
+            splice_origin: true,
+        }
+    }
 }
 
 impl ReactorConfig {
@@ -199,6 +241,154 @@ fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
     Ok((tx, rx))
 }
 
+/// Body bytes relayed from an upstream socket to one client, queued
+/// between the reactor's upstream read loop and the client engine's body
+/// pulls.  Both ends run on the same reactor thread; the mutex exists
+/// because the handle is embedded in a [`Body`] (which must stay `Send`
+/// for the non-splice paths) and is never contended.
+#[derive(Default)]
+struct SpliceShared {
+    inner: Mutex<SpliceState>,
+}
+
+#[derive(Default)]
+struct SpliceState {
+    chunks: VecDeque<Bytes>,
+    /// Total bytes across `chunks`, for O(1) backpressure checks.
+    queued: usize,
+    eof: bool,
+    /// Poisons the stream: the upstream died after the head was delivered,
+    /// so the client's framing cannot be repaired and its next pull must
+    /// abort the connection.
+    error: Option<String>,
+}
+
+impl SpliceShared {
+    fn push(&self, data: Bytes) {
+        if data.is_empty() {
+            return;
+        }
+        let mut state = self.inner.lock();
+        state.queued += data.len();
+        state.chunks.push_back(data);
+    }
+
+    fn set_eof(&self) {
+        self.inner.lock().eof = true;
+    }
+
+    fn set_error(&self, reason: String) {
+        let mut state = self.inner.lock();
+        if state.error.is_none() {
+            state.error = Some(reason);
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.inner.lock().queued
+    }
+
+    /// Whether a parked body pull could complete right now.
+    fn pull_ready(&self) -> bool {
+        let state = self.inner.lock();
+        !state.chunks.is_empty() || state.eof || state.error.is_some()
+    }
+
+    /// Whether the upstream is finished producing (everything it will ever
+    /// deliver is already queued).
+    fn input_finished(&self) -> bool {
+        let state = self.inner.lock();
+        state.eof || state.error.is_some()
+    }
+}
+
+/// The body source of a spliced response: pops what `drive_upstream`
+/// queued.  `may_block` is true so the engine always routes pulls through
+/// the transport — the reactor parks them until the queue has data, which
+/// is the non-blocking analogue of a blocking socket read.
+struct SpliceSource {
+    shared: Arc<SpliceShared>,
+}
+
+impl ChunkSource for SpliceSource {
+    fn next_chunk(&mut self) -> io::Result<Option<Bytes>> {
+        let mut state = self.shared.inner.lock();
+        if let Some(chunk) = state.chunks.pop_front() {
+            state.queued -= chunk.len();
+            return Ok(Some(chunk));
+        }
+        if let Some(reason) = state.error.clone() {
+            return Err(io::Error::other(reason));
+        }
+        if state.eof {
+            return Ok(None);
+        }
+        // Unreachable by construction: the reactor fulfills a parked pull
+        // only after `pull_ready()`, and a buffer only after
+        // `input_finished()`.
+        Err(io::Error::other(
+            "splice body polled before its data arrived",
+        ))
+    }
+
+    fn may_block(&self) -> bool {
+        true
+    }
+}
+
+/// Client-side record of an in-flight splice: which upstream slot serves
+/// it, the queue its body drains from, and the parked body work waiting on
+/// that queue.
+struct ClientSplice {
+    shared: Arc<SpliceShared>,
+    upstream: usize,
+    upstream_gen: u64,
+    /// The delivered response's body handle (after cache-capture teeing).
+    /// A `Work::Pull`/`Work::Buffer` belongs to this splice only if its
+    /// body is this one — pulls for *earlier* pipelined responses still go
+    /// to the worker pool.
+    body: Option<Body>,
+    /// A `Work::Pull` or `Work::Buffer` waiting for the queue.
+    parked: Option<Work>,
+}
+
+/// Where an upstream connection is in its single exchange.
+enum UpstreamState {
+    /// `connect(2)` returned `EINPROGRESS`; waiting for writability.
+    Connecting,
+    /// Writing the serialized upstream request.
+    Sending,
+    /// Relaying the response through a [`ResponseRelay`].
+    Reading,
+}
+
+/// One origin-side connection being spliced to a client: same slab, poller
+/// and timer-wheel treatment as a client [`Conn`], addressed by
+/// [`UPSTREAM_BASE`]-offset tokens.
+struct UpstreamConn {
+    stream: TcpStream,
+    gen: u64,
+    client: usize,
+    client_gen: u64,
+    state: UpstreamState,
+    plan: RelayPlan,
+    /// Index into `plan.attempts` currently being tried.
+    attempt: usize,
+    wire_written: usize,
+    relay: ResponseRelay,
+    shared: Arc<SpliceShared>,
+    interest: Interest,
+    registered: bool,
+    /// True while reading is suspended because the client is not draining
+    /// the queue (high-water mark).  A paused upstream is deregistered and
+    /// its deadline is excused — the client is the slow side.
+    paused: bool,
+    /// The head reached the client: failures from here on are stream
+    /// aborts (poisoned queue), not attempt fallbacks.
+    head_delivered: bool,
+    deadline_ms: u64,
+}
+
 /// One registered connection: its socket, protocol state machine, the
 /// interest currently installed in the poller (meaningful only while
 /// `registered`), and the generation guarding stale completions.
@@ -220,6 +410,10 @@ struct Conn {
     deadline_ms: u64,
     /// `engine.requests_parsed()` as of the last progress check.
     parsed: u64,
+    /// The event-loop relay currently answering this connection's cache
+    /// miss, if any.  At most one per connection: misses are dispatched
+    /// one at a time by the engine.
+    splice: Option<ClientSplice>,
 }
 
 /// The per-thread reactor: poller, connection slab, service stack, and a
@@ -228,6 +422,13 @@ struct Reactor {
     poller: Poller,
     slab: Vec<Option<Conn>>,
     free: Vec<usize>,
+    /// Origin-side connections for in-flight splices, addressed by
+    /// [`UPSTREAM_BASE`]-offset tokens.
+    upstreams: Vec<Option<UpstreamConn>>,
+    upstream_free: Vec<usize>,
+    /// [`ReactorConfig::splice_origin`]: false sends every miss through
+    /// the worker pool.
+    splice_origin: bool,
     service: Arc<dyn HttpService>,
     ctx_factory: Arc<CtxFactory>,
     injector: Arc<Injector>,
@@ -279,6 +480,12 @@ impl Reactor {
                     }
                     self.register_injected();
                     self.run_completions();
+                } else if event.token >= UPSTREAM_BASE {
+                    self.drive_upstream(
+                        (event.token - UPSTREAM_BASE) as usize,
+                        event.readable,
+                        event.writable,
+                    );
                 } else {
                     self.drive(event.token as usize, event.readable, event.writable);
                 }
@@ -296,7 +503,27 @@ impl Reactor {
         let now = self.now_ms();
         let idle = self.idle_ms;
         let slab = &self.slab;
+        let upstreams = &self.upstreams;
         let fired = self.wheel.expire(now, |entry| {
+            if entry.idx >= UPSTREAM_BASE_IDX {
+                let i = entry.idx - UPSTREAM_BASE_IDX;
+                let Some(up) = upstreams.get(i).and_then(Option::as_ref) else {
+                    return TimerVerdict::Drop;
+                };
+                if up.gen != entry.gen {
+                    return TimerVerdict::Drop;
+                }
+                if up.paused {
+                    // The client is the slow side; the origin owes nothing
+                    // while reads are suspended.
+                    return TimerVerdict::Refile(now + idle);
+                }
+                return if up.deadline_ms <= now {
+                    TimerVerdict::Fire
+                } else {
+                    TimerVerdict::Refile(up.deadline_ms)
+                };
+            }
             let Some(conn) = slab.get(entry.idx).and_then(Option::as_ref) else {
                 return TimerVerdict::Drop;
             };
@@ -313,6 +540,19 @@ impl Reactor {
             }
         });
         for entry in fired {
+            if entry.idx >= UPSTREAM_BASE_IDX {
+                let i = entry.idx - UPSTREAM_BASE_IDX;
+                let live = self
+                    .upstreams
+                    .get(i)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|up| up.gen == entry.gen);
+                if live {
+                    self.stats.note_timeout();
+                    self.fail_attempt(i, "stalled past the progress deadline".to_string());
+                }
+                continue;
+            }
             let boundary = self
                 .slab
                 .get_mut(entry.idx)
@@ -369,6 +609,7 @@ impl Reactor {
                 gen: self.next_gen,
                 deadline_ms,
                 parsed: 0,
+                splice: None,
             });
             // One wheel entry per connection for its whole lifetime; the
             // sweep re-files it against `deadline_ms` as progress happens.
@@ -397,6 +638,7 @@ impl Reactor {
     /// Ships one unit of may-block work to the pool; the completion comes
     /// back through the injector and the wake pipe.
     fn submit(&self, idx: usize, gen: u64, work: Work) {
+        self.stats.note_worker_submission();
         let service = self.service.clone();
         let injector = self.injector.clone();
         self.pool.execute(Box::new(move || {
@@ -472,7 +714,7 @@ impl Reactor {
                 else {
                     break;
                 };
-                self.submit(idx, gen, work);
+                self.route_work(idx, gen, work);
             }
             // Flush opportunistically; a drained window lets the next
             // generate pass pull more of a streamed response.
@@ -482,7 +724,13 @@ impl Reactor {
             let mut wrote = false;
             let mut would_block = false;
             while conn.engine.has_unsent_output() {
-                match conn.stream.write(conn.engine.pending_output()) {
+                // Gather-write the whole pending window (compacted head
+                // buffer plus queued body parts) in one syscall.
+                let result = {
+                    let slices = conn.engine.output_slices();
+                    conn.stream.write_vectored(&slices)
+                };
+                match result {
                     Ok(0) => {
                         self.close(idx);
                         return;
@@ -558,12 +806,678 @@ impl Reactor {
             if conn.registered {
                 let _ = self.poller.remove(conn.stream.as_raw_fd());
             }
+            if let Some(splice) = conn.splice {
+                // A dying client takes its origin-side half with it; the
+                // generation check skips upstreams already replaced.
+                let paired = self
+                    .upstreams
+                    .get(splice.upstream)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|up| up.gen == splice.upstream_gen);
+                if paired {
+                    self.teardown_upstream(splice.upstream);
+                }
+            }
             self.stats.close_connection();
             self.free.push(idx);
             // conn drops here, closing the socket.  Any work still in
             // flight for it completes harmlessly: the generation check in
             // run_completions drops the orphaned completion.
         }
+    }
+
+    /// Routes one unit of may-block work: spliceable service calls become
+    /// event-loop relays, body pulls for an active splice park on its
+    /// queue, and everything else ships to the worker pool.
+    fn route_work(&mut self, idx: usize, gen: u64, work: Work) {
+        match work {
+            Work::Call { request, ctx } => {
+                let spliceable = self.splice_origin
+                    && self
+                        .slab
+                        .get(idx)
+                        .and_then(Option::as_ref)
+                        .is_some_and(|conn| conn.splice.is_none());
+                if spliceable {
+                    if let Some(plan) = self.service.relay_plan(&request, &ctx) {
+                        if self.start_splice(idx, gen, plan) {
+                            return;
+                        }
+                    }
+                }
+                self.submit(idx, gen, Work::Call { request, ctx });
+            }
+            Work::Pull { body } => {
+                if self.splice_owns(idx, &body) {
+                    self.park_splice_work(idx, Work::Pull { body });
+                } else {
+                    self.submit(idx, gen, Work::Pull { body });
+                }
+            }
+            Work::Buffer { body } => {
+                if self.splice_owns(idx, &body) {
+                    self.park_splice_work(idx, Work::Buffer { body });
+                } else {
+                    self.submit(idx, gen, Work::Buffer { body });
+                }
+            }
+        }
+    }
+
+    /// Whether `body` is the delivered response body of `idx`'s splice.
+    /// Pulls for earlier pipelined responses (identity mismatch) keep
+    /// their worker-pool path.
+    fn splice_owns(&self, idx: usize, body: &Body) -> bool {
+        self.slab
+            .get(idx)
+            .and_then(Option::as_ref)
+            .and_then(|conn| conn.splice.as_ref())
+            .is_some_and(|splice| splice.body.as_ref() == Some(body))
+    }
+
+    /// Parks a body pull/buffer on the splice queue and fulfills it right
+    /// away if the queue already has what it needs.  A parked `Buffer`
+    /// needs the whole body, so the upstream must never pause for it.
+    fn park_splice_work(&mut self, idx: usize, work: Work) {
+        let unbounded = matches!(work, Work::Buffer { .. });
+        let Some(splice) = self
+            .slab
+            .get_mut(idx)
+            .and_then(Option::as_mut)
+            .and_then(|conn| conn.splice.as_mut())
+        else {
+            return;
+        };
+        splice.parked = Some(work);
+        let upstream = splice.upstream;
+        let upstream_gen = splice.upstream_gen;
+        if unbounded {
+            self.resume_upstream(upstream, upstream_gen);
+        }
+        self.try_fulfill(idx);
+    }
+
+    /// Completes the parked body work of `idx`'s splice if its queue is
+    /// ready.  Returns true when the engine consumed a completion — the
+    /// caller outside `progress` should then drive `progress` itself.
+    fn try_fulfill(&mut self, idx: usize) -> bool {
+        let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else {
+            return false;
+        };
+        let Some(splice) = conn.splice.as_mut() else {
+            return false;
+        };
+        let Some(work) = splice.parked.take() else {
+            return false;
+        };
+        let shared = splice.shared.clone();
+        let upstream = splice.upstream;
+        let upstream_gen = splice.upstream_gen;
+        match work {
+            Work::Pull { mut body } => {
+                if !shared.pull_ready() {
+                    splice.parked = Some(Work::Pull { body });
+                    return false;
+                }
+                // Pulling through the body handle (not the queue directly)
+                // keeps the cache-capture tee on the path.
+                let read = body.read_chunk();
+                let finished = matches!(read, Ok(None) | Err(_));
+                if finished {
+                    conn.splice = None;
+                }
+                conn.engine.complete(Done::Pull(read));
+                if !finished {
+                    self.maybe_resume_upstream(upstream, upstream_gen);
+                }
+                true
+            }
+            Work::Buffer { body } => {
+                if !shared.input_finished() {
+                    splice.parked = Some(Work::Buffer { body });
+                    return false;
+                }
+                conn.splice = None;
+                // The whole body is queued, so buffering cannot block.
+                let service = self.service.clone();
+                let done = Work::Buffer { body }.run(&*service);
+                conn.engine.complete(done);
+                true
+            }
+            Work::Call { .. } => {
+                // Calls are never parked (see park_splice_work).
+                debug_assert!(false, "a service call cannot park on a splice");
+                false
+            }
+        }
+    }
+
+    /// Adopts a relay plan for the client at `idx`: opens the first viable
+    /// upstream non-blocking and registers it with the poller.  Returns
+    /// false — before any side effect — when the plan cannot be spliced
+    /// (non-literal host), sending the call to the worker pool instead.
+    fn start_splice(&mut self, idx: usize, gen: u64, plan: RelayPlan) -> bool {
+        use std::os::unix::io::AsRawFd;
+        if plan.attempts.is_empty() {
+            return false;
+        }
+        // The event loop cannot afford blocking DNS: every attempt must
+        // name a literal IPv4 host or the whole plan falls back.
+        let mut addrs = Vec::with_capacity(plan.attempts.len());
+        for attempt in &plan.attempts {
+            match attempt.host.parse::<Ipv4Addr>() {
+                Ok(ip) => addrs.push(SocketAddrV4::new(ip, attempt.port)),
+                Err(_) => return false,
+            }
+        }
+        (plan.on_start)();
+        let mut attempt = 0;
+        let mut last_error = String::from("no viable upstream");
+        let opened = loop {
+            if attempt >= plan.attempts.len() {
+                break None;
+            }
+            match connect_nonblocking_v4(addrs[attempt]) {
+                Ok((stream, ready)) => {
+                    let _ = stream.set_nodelay(true);
+                    break Some((stream, ready));
+                }
+                Err(e) => {
+                    last_error = format!("{}: connect failed: {e}", plan.attempts[attempt].label);
+                    if let Some(on_fail) = &plan.attempts[attempt].on_fail {
+                        on_fail();
+                    }
+                    attempt += 1;
+                }
+            }
+        };
+        let Some((stream, ready)) = opened else {
+            self.deliver_response(idx, gen, (plan.fail)(&last_error));
+            return true;
+        };
+        let i = match self.upstream_free.pop() {
+            Some(i) => i,
+            None => {
+                self.upstreams.push(None);
+                self.upstreams.len() - 1
+            }
+        };
+        self.next_gen += 1;
+        let ugen = self.next_gen;
+        let interest = Interest {
+            readable: false,
+            writable: true,
+        };
+        if self
+            .poller
+            .add(stream.as_raw_fd(), UPSTREAM_BASE + i as u64, interest)
+            .is_err()
+        {
+            self.upstream_free.push(i);
+            self.deliver_response(idx, gen, (plan.fail)("upstream registration failed"));
+            return true;
+        }
+        let deadline_ms = self.now_ms() + self.idle_ms;
+        let shared = Arc::new(SpliceShared::default());
+        self.upstreams[i] = Some(UpstreamConn {
+            stream,
+            gen: ugen,
+            client: idx,
+            client_gen: gen,
+            state: if ready {
+                UpstreamState::Sending
+            } else {
+                UpstreamState::Connecting
+            },
+            plan,
+            attempt,
+            wire_written: 0,
+            relay: ResponseRelay::new(),
+            shared: shared.clone(),
+            interest,
+            registered: true,
+            paused: false,
+            head_delivered: false,
+            deadline_ms,
+        });
+        self.wheel.insert(UPSTREAM_BASE_IDX + i, ugen, deadline_ms);
+        if let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) {
+            if conn.gen == gen {
+                conn.splice = Some(ClientSplice {
+                    shared,
+                    upstream: i,
+                    upstream_gen: ugen,
+                    body: None,
+                    parked: None,
+                });
+            }
+        }
+        true
+    }
+
+    /// Feeds a ready response into the client engine, generation-guarded.
+    /// The caller drives `progress` (or is inside it already).
+    fn deliver_response(&mut self, idx: usize, gen: u64, response: Response) {
+        if let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) {
+            if conn.gen == gen {
+                conn.engine.complete(Done::Call(Ok(response)));
+            }
+        }
+    }
+
+    /// Handles one readiness event for an upstream connection: finish the
+    /// non-blocking connect, write the request, read and relay the
+    /// response.
+    fn drive_upstream(&mut self, i: usize, readable: bool, writable: bool) {
+        use std::os::unix::io::AsRawFd;
+        let now = self.now_ms();
+        let idle = self.idle_ms;
+        let Some(up) = self.upstreams.get_mut(i).and_then(Option::as_mut) else {
+            return;
+        };
+        if !up.registered {
+            return;
+        }
+        if matches!(up.state, UpstreamState::Connecting) {
+            if !writable {
+                return;
+            }
+            match up.stream.take_error() {
+                Ok(None) => {
+                    if up.stream.peer_addr().is_err() {
+                        return; // spurious wakeup; not connected yet
+                    }
+                    up.state = UpstreamState::Sending;
+                    up.deadline_ms = now + idle;
+                }
+                Ok(Some(e)) | Err(e) => {
+                    let label = up.plan.attempts[up.attempt].label.clone();
+                    return self.fail_attempt(i, format!("{label}: connect failed: {e}"));
+                }
+            }
+        }
+        if matches!(up.state, UpstreamState::Sending) {
+            loop {
+                let wire = &up.plan.attempts[up.attempt].wire;
+                if up.wire_written >= wire.len() {
+                    break;
+                }
+                match up.stream.write(&wire[up.wire_written..]) {
+                    Ok(0) => {
+                        let label = up.plan.attempts[up.attempt].label.clone();
+                        return self.fail_attempt(i, format!("{label}: closed during request"));
+                    }
+                    Ok(n) => {
+                        up.wire_written += n;
+                        up.deadline_ms = now + idle;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        let label = up.plan.attempts[up.attempt].label.clone();
+                        return self.fail_attempt(i, format!("{label}: write failed: {e}"));
+                    }
+                }
+            }
+            up.state = UpstreamState::Reading;
+            up.interest = Interest::READ;
+            let fd = up.stream.as_raw_fd();
+            if self
+                .poller
+                .modify(fd, UPSTREAM_BASE + i as u64, Interest::READ)
+                .is_err()
+            {
+                let label = up.plan.attempts[up.attempt].label.clone();
+                return self.fail_attempt(i, format!("{label}: poller failure"));
+            }
+        }
+        if !matches!(up.state, UpstreamState::Reading) || !readable {
+            return;
+        }
+        // Backpressure check before reading: a client that stopped pulling
+        // (its own socket is stalled) must not let the queue grow without
+        // bound — unless the client decided to buffer the whole body.
+        let client_buffering = self
+            .slab
+            .get(up.client)
+            .and_then(Option::as_ref)
+            .and_then(|conn| conn.splice.as_ref())
+            .is_some_and(|splice| matches!(splice.parked, Some(Work::Buffer { .. })));
+        if up.shared.queued() >= SPLICE_HIGH_WATER_BYTES && !client_buffering {
+            self.pause_upstream(i);
+            return;
+        }
+        let mut events = Vec::new();
+        // Ok(false) = keep reading later; Ok(true) = response complete.
+        let mut outcome: Result<bool, String> = Ok(false);
+        let mut read_bytes = 0usize;
+        loop {
+            let mut chunk = [0u8; 16384];
+            match up.stream.read(&mut chunk) {
+                Ok(0) => {
+                    outcome = up.relay.close().map(|()| true);
+                    break;
+                }
+                Ok(n) => {
+                    read_bytes += n;
+                    if let Err(e) = up.relay.feed(&chunk[..n], &mut events) {
+                        outcome = Err(e);
+                        break;
+                    }
+                    if up.relay.is_done() {
+                        outcome = Ok(true);
+                        break;
+                    }
+                    if read_bytes >= SPLICE_HIGH_WATER_BYTES {
+                        break; // level-triggered: the rest re-fires
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    outcome = Err(format!("read failed: {e}"));
+                    break;
+                }
+            }
+        }
+        if read_bytes > 0 {
+            up.deadline_ms = now + idle;
+        }
+        self.handle_upstream_events(i, events, outcome);
+    }
+
+    /// Applies what an upstream read produced: delivers the head to the
+    /// client, queues body data, finishes the exchange or fails the
+    /// attempt/stream.
+    fn handle_upstream_events(
+        &mut self,
+        i: usize,
+        events: Vec<RelayEvent>,
+        outcome: Result<bool, String>,
+    ) {
+        let mut touched_client = None;
+        for event in events {
+            let Some(up) = self.upstreams.get_mut(i).and_then(Option::as_mut) else {
+                return; // torn down mid-batch
+            };
+            match event {
+                RelayEvent::Head {
+                    response,
+                    declared,
+                    has_body,
+                } => {
+                    let attempt = &up.plan.attempts[up.attempt];
+                    if attempt.fallback_on_error_status && !response.status.is_success() {
+                        let reason = format!("{}: answered {}", attempt.label, response.status);
+                        // Remaining events belong to the rejected attempt.
+                        return self.fail_attempt(i, reason);
+                    }
+                    let client = up.client;
+                    let client_gen = up.client_gen;
+                    let winning = up.attempt;
+                    let shared = up.shared.clone();
+                    let mut response = *response;
+                    response.body = if has_body {
+                        Body::stream(SpliceSource { shared }, declared)
+                    } else {
+                        Body::empty()
+                    };
+                    up.head_delivered = true;
+                    let response = (up.plan.finish)(response, winning);
+                    // Record the final (cache-capture-teed) body so later
+                    // pulls can be matched back to this splice.
+                    let body_handle = response.body.clone();
+                    let delivered = self
+                        .slab
+                        .get_mut(client)
+                        .and_then(Option::as_mut)
+                        .filter(|conn| conn.gen == client_gen)
+                        .map(|conn| {
+                            if let Some(splice) = conn.splice.as_mut() {
+                                splice.body = Some(body_handle);
+                            }
+                            conn.engine.complete(Done::Call(Ok(response)));
+                        })
+                        .is_some();
+                    if !delivered {
+                        // The client died while we connected; nobody is
+                        // left to relay to.
+                        return self.teardown_upstream(i);
+                    }
+                    self.stats.note_spliced_relay();
+                    touched_client = Some(client);
+                }
+                RelayEvent::Data(data) => {
+                    up.shared.push(data);
+                    touched_client = Some(up.client);
+                }
+                RelayEvent::BodyDone => {
+                    up.shared.set_eof();
+                    touched_client = Some(up.client);
+                    self.teardown_upstream(i);
+                }
+            }
+        }
+        match outcome {
+            Ok(false) => {}
+            Ok(true) => {
+                // Clean end of the exchange; a no-op when BodyDone already
+                // tore the slot down.
+                if let Some(up) = self.upstreams.get(i).and_then(Option::as_ref) {
+                    touched_client = Some(up.client);
+                    self.teardown_upstream(i);
+                }
+            }
+            Err(reason) => {
+                if let Some(up) = self.upstreams.get(i).and_then(Option::as_ref) {
+                    let label = up.plan.attempts[up.attempt].label.clone();
+                    touched_client = Some(up.client);
+                    self.fail_attempt(i, format!("{label}: {reason}"));
+                }
+            }
+        }
+        if let Some(client) = touched_client {
+            // Unconditional: a delivered head (no parked work yet) must
+            // still pump the response toward the client socket.
+            self.try_fulfill(client);
+            self.progress(client);
+        }
+    }
+
+    /// The current attempt is unusable before its head was accepted: run
+    /// its failure side effects and move to the next attempt, or deliver
+    /// the plan's failure response when none remain.  After a head was
+    /// delivered the failure belongs to `fail_stream` instead.
+    fn fail_attempt(&mut self, i: usize, reason: String) {
+        use std::os::unix::io::AsRawFd;
+        let head_delivered = match self.upstreams.get(i).and_then(Option::as_ref) {
+            Some(up) => up.head_delivered,
+            None => return,
+        };
+        if head_delivered {
+            return self.fail_stream(i, reason);
+        }
+        let now = self.now_ms();
+        let idle = self.idle_ms;
+        let Some(up) = self.upstreams.get_mut(i).and_then(Option::as_mut) else {
+            return;
+        };
+        if let Some(on_fail) = &up.plan.attempts[up.attempt].on_fail {
+            on_fail();
+        }
+        if up.registered {
+            let _ = self.poller.remove(up.stream.as_raw_fd());
+            up.registered = false;
+        }
+        up.attempt += 1;
+        let mut last_error = reason;
+        while up.attempt < up.plan.attempts.len() {
+            let attempt = &up.plan.attempts[up.attempt];
+            let addr = match attempt.host.parse::<Ipv4Addr>() {
+                Ok(ip) => SocketAddrV4::new(ip, attempt.port),
+                Err(_) => {
+                    // Cannot happen — start_splice vetted every host — but
+                    // treated as an attempt failure all the same.
+                    last_error = format!("{}: non-literal host", attempt.label);
+                    if let Some(on_fail) = &attempt.on_fail {
+                        on_fail();
+                    }
+                    up.attempt += 1;
+                    continue;
+                }
+            };
+            match connect_nonblocking_v4(addr) {
+                Ok((stream, ready)) => {
+                    let _ = stream.set_nodelay(true);
+                    // Fresh generation: the previous attempt's wheel entry
+                    // (possibly already fired) must not evict this one.
+                    self.next_gen += 1;
+                    let ugen = self.next_gen;
+                    let interest = Interest {
+                        readable: false,
+                        writable: true,
+                    };
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), UPSTREAM_BASE + i as u64, interest)
+                        .is_err()
+                    {
+                        last_error = format!("{}: poller failure", attempt.label);
+                        if let Some(on_fail) = &attempt.on_fail {
+                            on_fail();
+                        }
+                        up.attempt += 1;
+                        continue;
+                    }
+                    up.stream = stream;
+                    up.gen = ugen;
+                    up.state = if ready {
+                        UpstreamState::Sending
+                    } else {
+                        UpstreamState::Connecting
+                    };
+                    up.wire_written = 0;
+                    up.relay = ResponseRelay::new();
+                    up.interest = interest;
+                    up.registered = true;
+                    up.paused = false;
+                    up.deadline_ms = now + idle;
+                    let client = up.client;
+                    let client_gen = up.client_gen;
+                    self.wheel.insert(UPSTREAM_BASE_IDX + i, ugen, now + idle);
+                    if let Some(splice) = self
+                        .slab
+                        .get_mut(client)
+                        .and_then(Option::as_mut)
+                        .filter(|conn| conn.gen == client_gen)
+                        .and_then(|conn| conn.splice.as_mut())
+                    {
+                        splice.upstream_gen = ugen;
+                    }
+                    return;
+                }
+                Err(e) => {
+                    last_error = format!("{}: connect failed: {e}", attempt.label);
+                    if let Some(on_fail) = &attempt.on_fail {
+                        on_fail();
+                    }
+                    up.attempt += 1;
+                }
+            }
+        }
+        // Every attempt failed before delivering a head: the client gets
+        // the plan's failure response (a 502, not a dropped connection).
+        let client = up.client;
+        let client_gen = up.client_gen;
+        let response = (up.plan.fail)(&last_error);
+        self.teardown_upstream(i);
+        if let Some(conn) = self
+            .slab
+            .get_mut(client)
+            .and_then(Option::as_mut)
+            .filter(|conn| conn.gen == client_gen)
+        {
+            conn.splice = None;
+            conn.engine.complete(Done::Call(Ok(response)));
+        }
+        self.progress(client);
+    }
+
+    /// The response head was already relayed when the upstream died: the
+    /// client's framing cannot be repaired, so poison the queue — the next
+    /// body pull aborts the connection, a truncation the client detects.
+    fn fail_stream(&mut self, i: usize, reason: String) {
+        let Some(up) = self.upstreams.get(i).and_then(Option::as_ref) else {
+            return;
+        };
+        let client = up.client;
+        up.shared.set_error(reason);
+        self.stats.note_relay_abort();
+        self.teardown_upstream(i);
+        self.try_fulfill(client);
+        self.progress(client);
+    }
+
+    fn teardown_upstream(&mut self, i: usize) {
+        use std::os::unix::io::AsRawFd;
+        if let Some(up) = self.upstreams.get_mut(i).and_then(Option::take) {
+            if up.registered {
+                let _ = self.poller.remove(up.stream.as_raw_fd());
+            }
+            self.upstream_free.push(i);
+            // The slot's wheel entry drops at its next sweep: the slot is
+            // now empty or regenerated, both judged `Drop`.
+        }
+    }
+
+    /// Suspends upstream reads while the client's splice queue is over the
+    /// high-water mark.
+    fn pause_upstream(&mut self, i: usize) {
+        use std::os::unix::io::AsRawFd;
+        if let Some(up) = self.upstreams.get_mut(i).and_then(Option::as_mut) {
+            if up.registered {
+                let _ = self.poller.remove(up.stream.as_raw_fd());
+                up.registered = false;
+            }
+            up.paused = true;
+        }
+    }
+
+    /// Resumes a paused upstream once the client drained the queue below
+    /// the low-water mark.
+    fn maybe_resume_upstream(&mut self, i: usize, gen: u64) {
+        let drained = self
+            .upstreams
+            .get(i)
+            .and_then(Option::as_ref)
+            .is_some_and(|up| {
+                up.gen == gen && up.paused && up.shared.queued() < SPLICE_LOW_WATER_BYTES
+            });
+        if drained {
+            self.resume_upstream(i, gen);
+        }
+    }
+
+    /// Unconditionally resumes a paused upstream (the client committed to
+    /// buffering the whole body).
+    fn resume_upstream(&mut self, i: usize, gen: u64) {
+        use std::os::unix::io::AsRawFd;
+        let Some(up) = self.upstreams.get_mut(i).and_then(Option::as_mut) else {
+            return;
+        };
+        if up.gen != gen || !up.paused {
+            return;
+        }
+        up.paused = false;
+        if !up.registered
+            && self
+                .poller
+                .add(up.stream.as_raw_fd(), UPSTREAM_BASE + i as u64, up.interest)
+                .is_ok()
+        {
+            up.registered = true;
+        }
+        // On a registration failure the deadline sweep evicts the stream.
     }
 }
 
@@ -636,6 +1550,9 @@ impl ReactorServer {
                 poller: Poller::new()?,
                 slab: Vec::new(),
                 free: Vec::new(),
+                upstreams: Vec::new(),
+                upstream_free: Vec::new(),
+                splice_origin: config.splice_origin,
                 service: service.clone(),
                 ctx_factory: ctx_factory.clone(),
                 injector,
@@ -743,8 +1660,10 @@ impl Drop for ReactorServer {
 mod tests {
     use super::*;
     use crate::http_get;
+    use nakika_core::service::RelayAttempt;
     use nakika_core::service::{service_fn, DispatchHint, NakikaError, RequestCtx};
     use nakika_http::{serialize_request, ParseOutcome, Request, Response, StatusCode};
+    use std::sync::atomic::AtomicU64;
     use std::time::{Duration, Instant};
 
     fn origin_service() -> Arc<dyn HttpService> {
@@ -948,5 +1867,200 @@ mod tests {
             "fast requests finished while the slow call was parked \
              (fast {fast_elapsed:?} vs slow {slow_elapsed:?})"
         );
+    }
+
+    /// A service whose relay plan the test scripts directly: each attempt
+    /// names a loopback port and the wire to write there.  `call` is the
+    /// threaded fallback the splice exists to avoid — its marker body must
+    /// never reach a client while the reactor adopts the plan.
+    struct ScriptedPlan {
+        attempts: Vec<(u16, Vec<u8>)>,
+        attempt_failures: Arc<AtomicU64>,
+        /// Winning attempt index + 1 as seen by `finish`; 0 = never ran.
+        winning_attempt: Arc<AtomicU64>,
+    }
+
+    impl HttpService for ScriptedPlan {
+        fn call(&self, _req: Request, _ctx: &RequestCtx) -> Result<Response, NakikaError> {
+            Ok(Response::ok("text/plain", "threaded fallback"))
+        }
+
+        fn dispatch_hint(&self, _req: &Request, _ctx: &RequestCtx) -> DispatchHint {
+            DispatchHint::MayBlock
+        }
+
+        fn relay_plan(&self, _req: &Request, _ctx: &RequestCtx) -> Option<RelayPlan> {
+            let winning = self.winning_attempt.clone();
+            Some(RelayPlan {
+                attempts: self
+                    .attempts
+                    .iter()
+                    .map(|(port, wire)| {
+                        let failures = self.attempt_failures.clone();
+                        RelayAttempt {
+                            host: "127.0.0.1".to_string(),
+                            port: *port,
+                            wire: wire.clone(),
+                            label: format!("upstream :{port}"),
+                            fallback_on_error_status: false,
+                            on_fail: Some(Arc::new(move || {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            })),
+                        }
+                    })
+                    .collect(),
+                on_start: Arc::new(|| {}),
+                finish: Arc::new(move |response, index| {
+                    winning.store(index as u64 + 1, Ordering::Relaxed);
+                    response
+                }),
+                fail: Arc::new(|reason| {
+                    let mut response =
+                        Response::ok("text/plain", format!("relay failed: {reason}"));
+                    response.status = StatusCode::BAD_GATEWAY;
+                    response
+                }),
+            })
+        }
+    }
+
+    /// A raw single-exchange origin: accepts one connection, reads exactly
+    /// `expect` request bytes, writes `reply`, and closes.  Never parses —
+    /// tests that hand it a giant wire only care about the byte count.
+    fn raw_origin(expect: usize, reply: Vec<u8>) -> u16 {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        std::thread::spawn(move || {
+            if let Ok((mut stream, _)) = listener.accept() {
+                let mut seen = 0usize;
+                let mut chunk = [0u8; 65536];
+                while seen < expect {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => seen += n,
+                    }
+                }
+                let _ = stream.write_all(&reply);
+            }
+        });
+        port
+    }
+
+    /// A port with nothing listening behind it: bound, then released.
+    fn refused_port() -> u16 {
+        TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port()
+    }
+
+    fn one_loop_splice_server(service: Arc<dyn HttpService>) -> ReactorServer {
+        ReactorServer::start_with_config(
+            0,
+            service,
+            ReactorConfig {
+                reactors: 1,
+                workers: 2,
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn refused_connect_falls_back_to_the_next_attempt() {
+        // The first upstream refuses the connection — either immediately or
+        // via the Connecting state's SO_ERROR check after EINPROGRESS — and
+        // the splice must move on to the second attempt, still with zero
+        // worker hand-offs.
+        let dead = refused_port();
+        let wire = serialize_request(
+            &Request::get(&format!("http://127.0.0.1:{dead}/f")).with_header("Connection", "close"),
+        );
+        let reply = b"HTTP/1.1 200 OK\r\nContent-Length: 8\r\n\r\nfallback".to_vec();
+        let live = raw_origin(wire.len(), reply);
+        let failures = Arc::new(AtomicU64::new(0));
+        let winning = Arc::new(AtomicU64::new(0));
+        let service: Arc<dyn HttpService> = Arc::new(ScriptedPlan {
+            attempts: vec![(dead, wire.clone()), (live, wire)],
+            attempt_failures: failures.clone(),
+            winning_attempt: winning.clone(),
+        });
+        let server = one_loop_splice_server(service);
+        let response = http_get(&format!("{}/f", server.base_url())).unwrap();
+        assert_eq!(response.status, StatusCode::OK);
+        assert_eq!(response.body.to_text(), "fallback");
+        assert_eq!(failures.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            winning.load(Ordering::Relaxed),
+            2,
+            "finish saw attempt 1 win"
+        );
+        assert_eq!(server.stats().worker_submissions(), 0);
+        assert_eq!(server.stats().spliced_relays(), 1);
+    }
+
+    #[test]
+    fn connect_refused_on_every_attempt_renders_the_plan_failure() {
+        let a = refused_port();
+        let b = refused_port();
+        let wire = serialize_request(
+            &Request::get(&format!("http://127.0.0.1:{a}/dead")).with_header("Connection", "close"),
+        );
+        let failures = Arc::new(AtomicU64::new(0));
+        let winning = Arc::new(AtomicU64::new(0));
+        let service: Arc<dyn HttpService> = Arc::new(ScriptedPlan {
+            attempts: vec![(a, wire.clone()), (b, wire)],
+            attempt_failures: failures.clone(),
+            winning_attempt: winning.clone(),
+        });
+        let server = one_loop_splice_server(service);
+        let response = http_get(&format!("{}/dead", server.base_url())).unwrap();
+        assert_eq!(response.status, StatusCode::BAD_GATEWAY);
+        assert!(
+            response.body.to_text().contains("connect failed"),
+            "failure response names the cause: {}",
+            response.body.to_text()
+        );
+        assert_eq!(
+            failures.load(Ordering::Relaxed),
+            2,
+            "every attempt ran its on_fail"
+        );
+        assert_eq!(winning.load(Ordering::Relaxed), 0, "finish never ran");
+        assert_eq!(server.stats().worker_submissions(), 0);
+        assert_eq!(server.stats().spliced_relays(), 0);
+        assert_eq!(
+            server.stats().relay_aborts(),
+            0,
+            "pre-head failures are not aborts"
+        );
+    }
+
+    #[test]
+    fn giant_upstream_request_survives_partial_writes() {
+        // An 8 MiB upstream wire cannot fit any loopback send buffer, so
+        // the Sending state must hit WouldBlock and resume across many
+        // writability events before the exchange can complete.
+        let mut wire = b"GET /big HTTP/1.1\r\nHost: pad\r\nConnection: close\r\nX-Pad: ".to_vec();
+        wire.extend_from_slice(&vec![b'a'; 8 * 1024 * 1024]);
+        wire.extend_from_slice(b"\r\n\r\n");
+        let reply = b"HTTP/1.1 200 OK\r\nContent-Length: 13\r\n\r\npartial write".to_vec();
+        let origin = raw_origin(wire.len(), reply);
+        let failures = Arc::new(AtomicU64::new(0));
+        let winning = Arc::new(AtomicU64::new(0));
+        let service: Arc<dyn HttpService> = Arc::new(ScriptedPlan {
+            attempts: vec![(origin, wire)],
+            attempt_failures: failures.clone(),
+            winning_attempt: winning.clone(),
+        });
+        let server = one_loop_splice_server(service);
+        let response = http_get(&format!("{}/big", server.base_url())).unwrap();
+        assert_eq!(response.status, StatusCode::OK);
+        assert_eq!(response.body.to_text(), "partial write");
+        assert_eq!(failures.load(Ordering::Relaxed), 0);
+        assert_eq!(server.stats().worker_submissions(), 0);
+        assert_eq!(server.stats().spliced_relays(), 1);
     }
 }

@@ -1,0 +1,547 @@
+//! Sans-IO state machine for the *origin side* of a spliced cache miss.
+//!
+//! [`crate::conn::HttpConn`] drives the server side of the bucket brigade: it
+//! parses requests and serializes responses.  `ResponseRelay` is its mirror
+//! image for the upstream socket the reactor opens on a miss: it consumes
+//! whatever bytes the origin connection produced and turns them into typed
+//! events — a parsed response head, body data chunks, end-of-body — without
+//! ever touching a socket itself.  The reactor feeds it from its read loop;
+//! the threaded transport never needs it (it keeps the blocking
+//! `SocketBody` path).
+//!
+//! Framing follows [`nakika_http::parse_response_head`]'s conventions
+//! exactly: `Content-Length` bodies are counted out byte-by-byte, chunked
+//! bodies run through a pass-through [`ChunkedDecoder`], and a head with
+//! neither header carries no body at all (read-until-close responses are not
+//! produced by this stack).  An early EOF in any state is an error whose
+//! message pins down exactly how far the origin got — the fault-injection
+//! tests assert on these strings.
+
+use bytes::Bytes;
+use nakika_http::parse::{parse_response_head, BodyFraming, ChunkedDecoder, ParseOutcome};
+use nakika_http::Response;
+
+/// What a [`ResponseRelay::feed`] call learned from the origin's bytes.
+#[derive(Debug)]
+pub(crate) enum RelayEvent {
+    /// The response head is complete.  `response` carries an empty body —
+    /// the consumer decides how to attach one.  When `has_body` is false
+    /// the relay emits [`RelayEvent::BodyDone`] immediately after.
+    Head {
+        /// Status line and headers, body left empty.
+        response: Box<Response>,
+        /// The `Content-Length`, when the framing declares one.
+        declared: Option<u64>,
+        /// False for `Content-Length: 0` and bodiless framings.
+        has_body: bool,
+    },
+    /// A decoded slice of body data, in arrival order.
+    Data(Bytes),
+    /// The body ended cleanly (exact `Content-Length`, or the chunked
+    /// terminator arrived).  Emitted exactly once per response.
+    BodyDone,
+}
+
+/// Body-framing progress after the head.
+enum State {
+    /// Accumulating head bytes until `\r\n\r\n`.
+    Head { buf: Vec<u8> },
+    /// Counting out a `Content-Length` body.
+    Length { remaining: u64, total: u64 },
+    /// Decoding a chunked body.
+    Chunked { decoder: ChunkedDecoder },
+    /// The response is complete; trailing bytes are ignored (the relay
+    /// sends `Connection: close` requests, so nothing follows).
+    Done,
+    /// A framing error was reported; the relay must not be fed again.
+    Failed,
+}
+
+/// Incremental parser for one origin response: head, then body framing.
+pub(crate) struct ResponseRelay {
+    state: State,
+}
+
+impl ResponseRelay {
+    /// A relay positioned before the response's status line.
+    pub(crate) fn new() -> ResponseRelay {
+        ResponseRelay {
+            state: State::Head { buf: Vec::new() },
+        }
+    }
+
+    /// True once the head was parsed (events carried it to the consumer).
+    /// The reactor tracks delivery itself; tests use this to pin down how
+    /// far a truncated feed got.
+    #[cfg(test)]
+    pub(crate) fn head_done(&self) -> bool {
+        !matches!(self.state, State::Head { .. })
+    }
+
+    /// True once the whole response (head and body) arrived cleanly.
+    pub(crate) fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    /// Consumes `data` from the origin socket, appending the resulting
+    /// events.  An `Err` means the byte stream is unusable (malformed head,
+    /// bad chunk framing); the connection must be torn down.
+    pub(crate) fn feed(&mut self, data: &[u8], events: &mut Vec<RelayEvent>) -> Result<(), String> {
+        let mut input = data;
+        while !input.is_empty() {
+            match &mut self.state {
+                State::Head { buf } => {
+                    buf.extend_from_slice(input);
+                    input = &[];
+                    // Borrow dance: take the buffer out so the state can be
+                    // replaced while we still hold the parsed leftover.
+                    let buf = std::mem::take(buf);
+                    match parse_response_head(&buf) {
+                        Ok(ParseOutcome::Partial) => {
+                            self.state = State::Head { buf };
+                        }
+                        Ok(ParseOutcome::Complete { message, consumed }) => {
+                            let leftover = buf[consumed..].to_vec();
+                            let (declared, has_body) = match message.framing {
+                                BodyFraming::Length(0) | BodyFraming::None => (Some(0), false),
+                                BodyFraming::Length(n) => (Some(n), true),
+                                BodyFraming::Chunked => (None, true),
+                            };
+                            self.state = match message.framing {
+                                BodyFraming::Length(n) if n > 0 => State::Length {
+                                    remaining: n,
+                                    total: n,
+                                },
+                                BodyFraming::Chunked => State::Chunked {
+                                    decoder: ChunkedDecoder::new(),
+                                },
+                                _ => State::Done,
+                            };
+                            events.push(RelayEvent::Head {
+                                response: Box::new(message.response),
+                                declared,
+                                has_body,
+                            });
+                            if !has_body {
+                                events.push(RelayEvent::BodyDone);
+                            }
+                            if !leftover.is_empty() {
+                                self.feed(&leftover, events)?;
+                            }
+                            return Ok(());
+                        }
+                        Err(e) => {
+                            self.state = State::Failed;
+                            return Err(format!("origin sent a malformed response: {e}"));
+                        }
+                    }
+                }
+                State::Length { remaining, total } => {
+                    let take = (*remaining).min(input.len() as u64) as usize;
+                    events.push(RelayEvent::Data(Bytes::copy_from_slice(&input[..take])));
+                    *remaining -= take as u64;
+                    input = &input[take..];
+                    let _ = total;
+                    if *remaining == 0 {
+                        self.state = State::Done;
+                        events.push(RelayEvent::BodyDone);
+                    }
+                }
+                State::Chunked { decoder } => {
+                    let mut out = Vec::new();
+                    let consumed = match decoder.feed(input, &mut out) {
+                        Ok(n) => n,
+                        Err(e) => {
+                            self.state = State::Failed;
+                            return Err(format!("origin sent bad chunked framing: {e}"));
+                        }
+                    };
+                    events.extend(out.into_iter().map(RelayEvent::Data));
+                    let done = decoder.is_done();
+                    input = &input[consumed..];
+                    if done {
+                        self.state = State::Done;
+                        events.push(RelayEvent::BodyDone);
+                    }
+                }
+                // Trailing bytes after a complete response: the upstream is
+                // Connection: close, so anything extra is noise we drop.
+                State::Done => return Ok(()),
+                State::Failed => {
+                    return Err("relay fed after a framing failure".to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The origin closed its end.  Clean only when the response was already
+    /// complete; otherwise the error pins down how far the origin got —
+    /// consumers surface it to the client as a truncation.
+    pub(crate) fn close(&mut self) -> Result<(), String> {
+        match &self.state {
+            State::Head { buf } if buf.is_empty() => {
+                self.state = State::Failed;
+                Err("origin closed before sending a response".to_string())
+            }
+            State::Head { .. } => {
+                self.state = State::Failed;
+                Err("origin closed mid-response-head".to_string())
+            }
+            State::Length { remaining, total } => {
+                let got = total - remaining;
+                let total = *total;
+                self.state = State::Failed;
+                Err(format!(
+                    "origin closed mid-body: got {got} of {total} Content-Length bytes"
+                ))
+            }
+            State::Chunked { .. } => {
+                self.state = State::Failed;
+                Err("chunked body missing its terminator".to_string())
+            }
+            State::Done | State::Failed => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nakika_http::parse::parse_response;
+
+    /// Feeds `wire` split at `cut`, returning (head response, body bytes,
+    /// saw clean BodyDone).
+    fn run_split(wire: &[u8], cuts: &[usize]) -> (Response, Vec<u8>, bool) {
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        let mut last = 0;
+        for &cut in cuts {
+            relay.feed(&wire[last..cut], &mut events).unwrap();
+            last = cut;
+        }
+        relay.feed(&wire[last..], &mut events).unwrap();
+        relay.close().unwrap();
+        collect(events)
+    }
+
+    fn collect(events: Vec<RelayEvent>) -> (Response, Vec<u8>, bool) {
+        let mut head = None;
+        let mut body = Vec::new();
+        let mut done = false;
+        for event in events {
+            match event {
+                RelayEvent::Head { response, .. } => {
+                    assert!(head.is_none(), "head emitted twice");
+                    head = Some(*response);
+                }
+                RelayEvent::Data(chunk) => {
+                    assert!(!done, "data after BodyDone");
+                    body.extend_from_slice(&chunk);
+                }
+                RelayEvent::BodyDone => {
+                    assert!(!done, "BodyDone emitted twice");
+                    done = true;
+                }
+            }
+        }
+        (head.expect("head event"), body, done)
+    }
+
+    /// One-shot reference: the buffered parser's view of the same bytes.
+    fn reference(wire: &[u8]) -> (Response, Vec<u8>) {
+        match parse_response(wire).unwrap() {
+            ParseOutcome::Complete { message, .. } => {
+                let body = message.body.to_bytes().to_vec();
+                (message, body)
+            }
+            ParseOutcome::Partial => panic!("reference parse incomplete"),
+        }
+    }
+
+    fn assert_equivalent_at_every_boundary(wire: &[u8]) {
+        let (want_resp, want_body) = reference(wire);
+        // Single cut at every position.
+        for cut in 0..=wire.len() {
+            let (resp, body, done) = run_split(wire, &[cut]);
+            assert!(done, "no BodyDone with cut at {cut}");
+            assert_eq!(resp.status, want_resp.status, "cut at {cut}");
+            assert_eq!(body, want_body, "cut at {cut}");
+        }
+        // Fully byte-by-byte.
+        let cuts: Vec<usize> = (1..wire.len()).collect();
+        let (resp, body, done) = run_split(wire, &cuts);
+        assert!(done);
+        assert_eq!(resp.status, want_resp.status);
+        assert_eq!(
+            resp.headers.get("content-type"),
+            want_resp.headers.get("content-type")
+        );
+        assert_eq!(body, want_body);
+    }
+
+    #[test]
+    fn content_length_framing_matches_one_shot_at_every_split() {
+        let wire =
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 11\r\n\r\nhello world";
+        assert_equivalent_at_every_boundary(wire);
+    }
+
+    #[test]
+    fn chunked_framing_matches_one_shot_at_every_split() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n";
+        assert_equivalent_at_every_boundary(wire);
+    }
+
+    #[test]
+    fn bodiless_framing_matches_one_shot_at_every_split() {
+        let wire = b"HTTP/1.1 304 Not Modified\r\nETag: \"x\"\r\n\r\n";
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        for cut in 0..=wire.len() {
+            let mut relay2 = ResponseRelay::new();
+            let mut ev = Vec::new();
+            relay2.feed(&wire[..cut], &mut ev).unwrap();
+            relay2.feed(&wire[cut..], &mut ev).unwrap();
+            relay2.close().unwrap();
+            let (resp, body, done) = collect(ev);
+            assert!(done);
+            assert_eq!(resp.status.as_u16(), 304);
+            assert!(body.is_empty());
+        }
+        relay.feed(wire, &mut events).unwrap();
+        assert!(relay.is_done());
+    }
+
+    #[test]
+    fn content_length_zero_emits_body_done_with_head() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n";
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        relay.feed(wire, &mut events).unwrap();
+        let (resp, body, done) = collect(events);
+        assert_eq!(resp.status.as_u16(), 200);
+        assert!(body.is_empty());
+        assert!(done);
+        assert!(relay.is_done());
+    }
+
+    #[test]
+    fn head_event_reports_framing() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nabcde";
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        relay.feed(wire, &mut events).unwrap();
+        match &events[0] {
+            RelayEvent::Head {
+                declared, has_body, ..
+            } => {
+                assert_eq!(*declared, Some(5));
+                assert!(*has_body);
+            }
+            other => panic!("expected head, got {other:?}"),
+        }
+        let wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        relay.feed(wire, &mut events).unwrap();
+        match &events[0] {
+            RelayEvent::Head {
+                declared, has_body, ..
+            } => {
+                assert_eq!(*declared, None);
+                assert!(*has_body);
+            }
+            other => panic!("expected head, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_before_any_bytes_is_an_error() {
+        let mut relay = ResponseRelay::new();
+        let err = relay.close().unwrap_err();
+        assert!(err.contains("before sending a response"), "{err}");
+    }
+
+    #[test]
+    fn eof_mid_head_is_an_error() {
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        relay
+            .feed(b"HTTP/1.1 200 OK\r\nContent-", &mut events)
+            .unwrap();
+        assert!(events.is_empty());
+        assert!(!relay.head_done());
+        let err = relay.close().unwrap_err();
+        assert!(err.contains("mid-response-head"), "{err}");
+    }
+
+    #[test]
+    fn eof_mid_content_length_body_reports_progress() {
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        relay
+            .feed(
+                b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc",
+                &mut events,
+            )
+            .unwrap();
+        let err = relay.close().unwrap_err();
+        assert_eq!(
+            err,
+            "origin closed mid-body: got 3 of 10 Content-Length bytes"
+        );
+    }
+
+    #[test]
+    fn eof_mid_chunked_body_is_an_error() {
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        relay
+            .feed(
+                b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel",
+                &mut events,
+            )
+            .unwrap();
+        let err = relay.close().unwrap_err();
+        assert!(err.contains("missing its terminator"), "{err}");
+    }
+
+    #[test]
+    fn garbage_head_is_an_error() {
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        let err = relay
+            .feed(b"NOT HTTP AT ALL\r\n\r\n", &mut events)
+            .unwrap_err();
+        assert!(err.contains("malformed response"), "{err}");
+        // Once failed, further feeds are refused.
+        assert!(relay.feed(b"more", &mut events).is_err());
+    }
+
+    #[test]
+    fn bad_chunk_framing_is_an_error() {
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        let err = relay
+            .feed(
+                b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzzzz\r\n",
+                &mut events,
+            )
+            .unwrap_err();
+        assert!(err.contains("chunked"), "{err}");
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        let mut wire = b"HTTP/1.1 200 OK\r\n".to_vec();
+        // Far past MAX_HEADER_BYTES without ever completing the head.
+        for i in 0..9000 {
+            wire.extend_from_slice(format!("X-Flood-{i}: padding-padding\r\n").as_bytes());
+        }
+        let err = relay.feed(&wire, &mut events).unwrap_err();
+        assert!(err.contains("malformed response"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_after_done_are_dropped() {
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        relay
+            .feed(
+                b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nokEXTRA",
+                &mut events,
+            )
+            .unwrap();
+        let (_, body, done) = collect(events);
+        assert_eq!(body, b"ok");
+        assert!(done);
+        assert!(relay.is_done());
+        assert!(relay.close().is_ok());
+    }
+
+    mod random_splits {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A Content-Length wire around `body`.
+        fn length_wire(body: &[u8]) -> Vec<u8> {
+            let mut wire = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .into_bytes();
+            wire.extend_from_slice(body);
+            wire
+        }
+
+        /// A chunked wire: `body` carved into runs of `sizes` (cycled).
+        fn chunked_wire(body: &[u8], sizes: &[usize]) -> Vec<u8> {
+            let mut wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+            let mut rest = body;
+            let mut i = 0;
+            while !rest.is_empty() {
+                let take = sizes[i % sizes.len()].min(rest.len());
+                wire.extend_from_slice(format!("{take:x}\r\n").as_bytes());
+                wire.extend_from_slice(&rest[..take]);
+                wire.extend_from_slice(b"\r\n");
+                rest = &rest[take..];
+                i += 1;
+            }
+            wire.extend_from_slice(b"0\r\n\r\n");
+            wire
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// Any body under either framing, fed in arbitrary fragments,
+            /// must agree with the one-shot parser byte for byte.
+            #[test]
+            fn relay_agrees_with_one_shot_parser_under_random_splits(
+                body in prop::collection::vec(any::<u8>(), 0..600),
+                sizes in prop::collection::vec(1usize..64, 1..8),
+                chunked in any::<bool>(),
+                raw_cuts in prop::collection::vec(0usize..8192, 0..24),
+            ) {
+                let wire = if chunked {
+                    chunked_wire(&body, &sizes)
+                } else {
+                    length_wire(&body)
+                };
+                let mut cuts: Vec<usize> =
+                    raw_cuts.into_iter().map(|c| c % (wire.len() + 1)).collect();
+                cuts.sort_unstable();
+                let (want_resp, want_body) = reference(&wire);
+                let (resp, got_body, done) = run_split(&wire, &cuts);
+                prop_assert!(done, "no clean BodyDone");
+                prop_assert_eq!(resp.status, want_resp.status);
+                prop_assert_eq!(got_body, want_body);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_data_arrives_incrementally_before_body_done() {
+        // A relay must emit Data as bytes arrive, not hold them until the
+        // terminator: that is the whole point of the splice.
+        let mut relay = ResponseRelay::new();
+        let mut events = Vec::new();
+        relay
+            .feed(
+                b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n",
+                &mut events,
+            )
+            .unwrap();
+        let datas = events
+            .iter()
+            .filter(|e| matches!(e, RelayEvent::Data(_)))
+            .count();
+        assert_eq!(datas, 1);
+        assert!(!relay.is_done());
+        relay.feed(b"0\r\n\r\n", &mut events).unwrap();
+        assert!(relay.is_done());
+    }
+}

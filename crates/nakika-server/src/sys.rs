@@ -292,6 +292,76 @@ mod backend {
 
 pub use backend::Poller;
 
+/// Starts a TCP connect without blocking the event loop.  Returns the
+/// non-blocking stream plus whether the connect already completed: `false`
+/// means it is in progress and the caller must wait for *writability* (then
+/// check `take_error`) before using the socket — the reactor registers it
+/// with write interest and finishes the handshake from the poller.
+#[cfg(target_os = "linux")]
+pub(crate) fn connect_nonblocking_v4(
+    addr: std::net::SocketAddrV4,
+) -> io::Result<(std::net::TcpStream, bool)> {
+    use std::os::unix::io::FromRawFd;
+
+    const AF_INET: c_int = 2;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOCK_NONBLOCK: c_int = 0o4000;
+    const EINPROGRESS: i32 = 115;
+
+    /// Mirror of the kernel's `struct sockaddr_in` (port and address in
+    /// network byte order, padded to 16 bytes).
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn connect(fd: c_int, addr: *const SockaddrIn, len: u32) -> c_int;
+    }
+
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // From here the fd is owned by the TcpStream: error paths close it.
+    let stream = unsafe { std::net::TcpStream::from_raw_fd(fd) };
+    let sockaddr = SockaddrIn {
+        sin_family: AF_INET as u16,
+        sin_port: addr.port().to_be(),
+        sin_addr: u32::from_ne_bytes(addr.ip().octets()),
+        sin_zero: [0; 8],
+    };
+    let rc = unsafe { connect(fd, &sockaddr, std::mem::size_of::<SockaddrIn>() as u32) };
+    if rc == 0 {
+        return Ok((stream, true));
+    }
+    let err = io::Error::last_os_error();
+    if err.raw_os_error() == Some(EINPROGRESS) {
+        return Ok((stream, false));
+    }
+    Err(err)
+}
+
+/// Portable fallback: a bounded blocking connect, switched to non-blocking
+/// afterwards.  Reports the connect as already complete, so the reactor's
+/// state machine skips its `Connecting` state on these platforms.
+#[cfg(all(unix, not(target_os = "linux")))]
+pub(crate) fn connect_nonblocking_v4(
+    addr: std::net::SocketAddrV4,
+) -> io::Result<(std::net::TcpStream, bool)> {
+    let stream = std::net::TcpStream::connect_timeout(
+        &std::net::SocketAddr::V4(addr),
+        std::time::Duration::from_secs(10),
+    )?;
+    stream.set_nonblocking(true)?;
+    Ok((stream, true))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +410,79 @@ mod tests {
         let mut c = &client;
         assert_eq!(c.read(&mut buf).unwrap(), 4);
         poller.remove(client.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_under_the_poller() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = match listener.local_addr().unwrap() {
+            std::net::SocketAddr::V4(v4) => v4,
+            other => panic!("unexpected addr {other}"),
+        };
+        let (stream, connected) = connect_nonblocking_v4(addr).unwrap();
+        if !connected {
+            // In-progress: writability signals completion, take_error the
+            // verdict — exactly the sequence the reactor runs.
+            let poller = Poller::new().unwrap();
+            poller
+                .add(
+                    stream.as_raw_fd(),
+                    1,
+                    Interest {
+                        readable: false,
+                        writable: true,
+                    },
+                )
+                .unwrap();
+            let mut events = Vec::new();
+            poller.wait(&mut events, 2000).unwrap();
+            assert!(events.iter().any(|e| e.token == 1 && e.writable));
+        }
+        assert!(stream.take_error().unwrap().is_none());
+        // The socket really is connected: the listener sees the peer.
+        let (mut server, _) = listener.accept().unwrap();
+        server.write_all(b"ok").unwrap();
+        drop(server);
+        stream.set_nonblocking(false).unwrap();
+        let mut buf = Vec::new();
+        let mut s = &stream;
+        s.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"ok");
+    }
+
+    #[test]
+    fn nonblocking_connect_to_refused_port_reports_the_error() {
+        // Bind-then-drop guarantees a port with no listener.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            match l.local_addr().unwrap() {
+                std::net::SocketAddr::V4(v4) => v4,
+                other => panic!("unexpected addr {other}"),
+            }
+        };
+        match connect_nonblocking_v4(addr) {
+            Err(_) => {} // refused synchronously (portable fallback)
+            Ok((stream, connected)) => {
+                assert!(!connected, "connect to a dead port cannot complete");
+                let poller = Poller::new().unwrap();
+                poller
+                    .add(
+                        stream.as_raw_fd(),
+                        1,
+                        Interest {
+                            readable: false,
+                            writable: true,
+                        },
+                    )
+                    .unwrap();
+                let mut events = Vec::new();
+                poller.wait(&mut events, 2000).unwrap();
+                assert!(
+                    stream.take_error().unwrap().is_some() || stream.peer_addr().is_err(),
+                    "failed connect must surface through take_error/peer_addr"
+                );
+            }
+        }
     }
 
     #[test]

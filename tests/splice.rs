@@ -1,0 +1,342 @@
+//! Fault-injection and zero-hand-off pins for the reactor's origin splice.
+//!
+//! A cache miss on the reactor transport is answered by an event-loop
+//! relay: the reactor opens the origin connection itself, in the same
+//! poller as the clients, and splices bytes across with no worker-pool
+//! hand-off.  These tests pin the three properties that make that safe to
+//! rely on:
+//!
+//! 1. **Zero hand-offs** — a reactor cold miss completes without a single
+//!    worker-pool submission (`ServerStats::worker_submissions`), and
+//!    turning the splice off (`ReactorConfig::splice_origin = false`)
+//!    restores the pooled path with identical bytes.
+//! 2. **Truncation is surfaced** — an origin that dies mid-body aborts the
+//!    client connection (counted in `ServerStats::relay_aborts`), never
+//!    silently repairs the framing.  Both transports agree.
+//! 3. **Stalls are evicted** — an origin that accepts and then goes silent
+//!    is evicted by the reactor's timer wheel at `idle_timeout_ms` while
+//!    64 warm keep-alive clients on the same event loop keep receiving
+//!    byte-identical responses.
+
+use nakika_core::service::{service_fn, HttpService};
+use nakika_core::{NodeBuilder, NodeHandle};
+use nakika_http::{Request, Response, StatusCode};
+use nakika_server::{
+    http_get_via_proxy, HttpServer, ProxyClient, ProxyServer, ReactorConfig, ReactorServer,
+    ServerOptions, TcpOrigin, Transport,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn cacheable_origin() -> HttpServer {
+    HttpServer::start(
+        0,
+        service_fn(|req: Request, _ctx| {
+            Ok(
+                Response::ok("text/html", format!("origin body for {}", req.uri.path))
+                    .with_header("Cache-Control", "max-age=600"),
+            )
+        }),
+    )
+    .expect("origin starts")
+}
+
+fn edge_service() -> (NodeHandle, Arc<dyn HttpService>) {
+    let edge = NodeBuilder::plain_proxy("splice-edge")
+        .origin(Arc::new(TcpOrigin::new()))
+        .build();
+    let service = edge.service();
+    (edge, service)
+}
+
+#[test]
+fn reactor_cold_miss_relays_with_zero_worker_handoffs() {
+    let origin = cacheable_origin();
+    let urls: Vec<String> = (0..5)
+        .map(|i| format!("{}/cold/{i}.html", origin.base_url()))
+        .collect();
+
+    // Splice on (the default): every cold miss must be relayed on the
+    // event loop — no worker-pool job for the call, none for body pulls.
+    let (_edge, service) = edge_service();
+    let spliced = ReactorServer::start_with_config(
+        0,
+        service,
+        ReactorConfig {
+            reactors: 1,
+            workers: 2,
+            ..ReactorConfig::default()
+        },
+    )
+    .unwrap();
+    let mut spliced_bodies = Vec::new();
+    for url in &urls {
+        let response = http_get_via_proxy(spliced.addr(), url).unwrap();
+        assert_eq!(response.status, StatusCode::OK);
+        spliced_bodies.push(response.body.to_text());
+    }
+    // A warm re-fetch stays inline, adding neither submissions nor relays.
+    let warm = http_get_via_proxy(spliced.addr(), &urls[0]).unwrap();
+    assert_eq!(warm.body.to_text(), spliced_bodies[0]);
+    assert_eq!(
+        spliced.stats().worker_submissions(),
+        0,
+        "a spliced miss must not touch the worker pool"
+    );
+    assert_eq!(
+        spliced.stats().spliced_relays(),
+        urls.len() as u64,
+        "every cold miss was relayed on the event loop"
+    );
+    assert_eq!(spliced.stats().relay_aborts(), 0);
+
+    // Splice off: the same workload rides the worker pool, byte-identical.
+    let (_edge, service) = edge_service();
+    let pooled = ReactorServer::start_with_config(
+        0,
+        service,
+        ReactorConfig {
+            reactors: 1,
+            workers: 2,
+            splice_origin: false,
+            ..ReactorConfig::default()
+        },
+    )
+    .unwrap();
+    let mut pooled_bodies = Vec::new();
+    for url in &urls {
+        let response = http_get_via_proxy(pooled.addr(), url).unwrap();
+        assert_eq!(response.status, StatusCode::OK);
+        pooled_bodies.push(response.body.to_text());
+    }
+    assert_eq!(pooled.stats().spliced_relays(), 0);
+    assert!(
+        pooled.stats().worker_submissions() >= urls.len() as u64,
+        "with the splice disabled every miss is a pool job"
+    );
+    assert_eq!(spliced_bodies, pooled_bodies, "paths are byte-identical");
+
+    // The threaded transport is untouched by all of this.
+    let (_edge, service) = edge_service();
+    let threaded = ProxyServer::start_with(0, service, Transport::Threaded).unwrap();
+    for (url, expected) in urls.iter().zip(&spliced_bodies) {
+        let response = http_get_via_proxy(threaded.addr(), url).unwrap();
+        assert_eq!(&response.body.to_text(), expected);
+    }
+}
+
+/// A raw TCP origin that answers every connection with a 200 head
+/// declaring `declared` body bytes but sends only `sent` before closing.
+fn truncating_origin(declared: usize, sent: usize) -> SocketAddr {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        while let Ok((mut stream, _)) = listener.accept() {
+            // Read until the request head ends; the test only sends GETs.
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 1024];
+            while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                }
+            }
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\
+                 Cache-Control: max-age=600\r\nContent-Length: {declared}\r\n\r\n"
+            );
+            let _ = stream.write_all(head.as_bytes());
+            let _ = stream.write_all(&vec![b'x'; sent]);
+            // Dropping the stream here truncates the body mid-flight.
+        }
+    });
+    addr
+}
+
+/// Sends one absolute-form GET through the proxy at `proxy` and drains the
+/// connection to EOF, returning everything received.
+fn raw_proxy_get(proxy: SocketAddr, url: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(proxy).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let host = url.trim_start_matches("http://").split('/').next().unwrap();
+    let request = format!("GET {url} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut received = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => received.extend_from_slice(&chunk[..n]),
+        }
+    }
+    received
+}
+
+/// Asserts that `received` carries the truncating origin's head but was cut
+/// off before the declared body completed.
+fn assert_truncated(received: &[u8], declared: usize, transport: &str) {
+    let head_end = received
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("{transport}: no response head in {} bytes", received.len()));
+    let head = String::from_utf8_lossy(&received[..head_end]);
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "{transport}: the origin's head is relayed before the fault: {head}"
+    );
+    assert!(
+        head.contains(&format!("Content-Length: {declared}")),
+        "{transport}: framing is forwarded, not repaired: {head}"
+    );
+    let body_bytes = received.len() - head_end - 4;
+    assert!(
+        body_bytes < declared,
+        "{transport}: the client must observe the truncation \
+         (got {body_bytes} of {declared} declared bytes)"
+    );
+}
+
+#[test]
+fn origin_death_mid_stream_aborts_the_client_on_both_transports() {
+    const DECLARED: usize = 256 * 1024;
+    const SENT: usize = 8 * 1024;
+    let origin = truncating_origin(DECLARED, SENT);
+    let url = format!("http://{origin}/dead.html");
+
+    let (_edge, service) = edge_service();
+    let reactor = ReactorServer::start_with_config(
+        0,
+        service,
+        ReactorConfig {
+            reactors: 1,
+            workers: 2,
+            ..ReactorConfig::default()
+        },
+    )
+    .unwrap();
+    let received = raw_proxy_get(reactor.addr(), &url);
+    assert_truncated(&received, DECLARED, "reactor");
+    assert!(
+        reactor.stats().relay_aborts() >= 1,
+        "the truncation is counted, not silently dropped"
+    );
+    assert_eq!(
+        reactor.stats().worker_submissions(),
+        0,
+        "the failing relay still never touched the worker pool"
+    );
+
+    let (_edge, service) = edge_service();
+    let threaded = ProxyServer::start_with(0, service, Transport::Threaded).unwrap();
+    let received = raw_proxy_get(threaded.addr(), &url);
+    assert_truncated(&received, DECLARED, "threaded");
+}
+
+/// A raw TCP origin that accepts, reads the request, and then never
+/// answers — the stalled-upstream case the timer wheel must reclaim.
+fn stalling_origin() -> SocketAddr {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            // Hold the socket open without ever writing a byte.
+            held.push(stream);
+        }
+    });
+    addr
+}
+
+#[test]
+fn stalled_origin_is_evicted_while_warm_clients_stay_byte_identical() {
+    const WARM_CLIENTS: usize = 64;
+    const WARM_REQUESTS: usize = 10;
+    const IDLE_TIMEOUT_MS: u64 = 300;
+
+    let origin = cacheable_origin();
+    let warm_url = format!("{}/warm.html", origin.base_url());
+    let stall = stalling_origin();
+    let stall_url = format!("http://{stall}/never.html");
+
+    let (_edge, service) = edge_service();
+    // One reactor thread: the stalled upstream shares its event loop with
+    // every warm client, so any mishandling (a blocking wait, a leaked
+    // slot wedging the poller) would show up as warm-path corruption.
+    let server = ReactorServer::start_with_config(
+        0,
+        service,
+        ReactorConfig {
+            reactors: 1,
+            workers: 2,
+            options: ServerOptions {
+                idle_timeout_ms: IDLE_TIMEOUT_MS,
+                max_connections: 0,
+            },
+            ..ReactorConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Warm the cache through the real origin.
+    let first = http_get_via_proxy(server.addr(), &warm_url).unwrap();
+    assert_eq!(first.status, StatusCode::OK);
+    let expected = first.body.to_text();
+
+    // Pin the stalled fetch in flight for the whole warm workload.
+    let stalled = {
+        let addr = server.addr();
+        let url = stall_url.clone();
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            let response = http_get_via_proxy(addr, &url).expect("eviction answers, not drops");
+            (start.elapsed(), response)
+        })
+    };
+
+    let warm_workers: Vec<_> = (0..WARM_CLIENTS)
+        .map(|_| {
+            let addr = server.addr();
+            let url = warm_url.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = ProxyClient::connect(addr).expect("warm client connects");
+                for _ in 0..WARM_REQUESTS {
+                    let response = client.get(&url).expect("warm exchange succeeds");
+                    assert_eq!(response.status, StatusCode::OK);
+                    assert_eq!(
+                        response.body.to_text(),
+                        expected,
+                        "warm bytes unchanged while an upstream stalls"
+                    );
+                }
+            })
+        })
+        .collect();
+    for worker in warm_workers {
+        worker.join().expect("warm client panicked");
+    }
+
+    let (elapsed, response) = stalled.join().expect("stalled client panicked");
+    assert_eq!(
+        response.status,
+        StatusCode::BAD_GATEWAY,
+        "the evicted relay surfaces as an upstream error"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(IDLE_TIMEOUT_MS),
+        "the deadline really governed the eviction ({elapsed:?})"
+    );
+    assert!(
+        server.stats().timeouts() >= 1,
+        "the timer wheel counted the stalled upstream"
+    );
+    assert_eq!(
+        server.stats().relay_aborts(),
+        0,
+        "no head was delivered, so nothing was aborted mid-stream"
+    );
+}
